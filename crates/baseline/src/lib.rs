@@ -1,0 +1,675 @@
+//! # baseline-sim — a SimpleScalar-style baseline cycle simulator
+//!
+//! The paper compares its generated simulators against SimpleScalar-ARM, a
+//! fixed-architecture interpretive simulator. We cannot ship SimpleScalar,
+//! so this crate re-implements a simulator *of that family*, honestly, with
+//! the structures that characterize it (and account for its speed):
+//!
+//! * a **fetch queue** (IFQ) decoupling the front end,
+//! * a **register update unit** (RUU) — a circular instruction window with
+//!   per-entry heap-allocated dependence lists, even though the modeled
+//!   StrongARM issues in order (SimpleScalar models in-order cores with the
+//!   same out-of-order machinery, switched to in-order issue),
+//! * an **event queue** driving completions,
+//! * **re-decoding** of the instruction word at dispatch and issue — the
+//!   simulator keeps no decoded program image, exactly like
+//!   `sim-outorder`'s macro-driven field extraction,
+//! * a functional core running *ahead* of timing (SimpleScalar's
+//!   functional-first organization), here the `arm-isa` ISS wrapped in an
+//!   access-tracing memory.
+//!
+//! The timing model is a single-issue, in-order StrongARM-like
+//! configuration: full forwarding through the RUU wakeup network, loads
+//! complete after the D-cache latency, branches resolve at writeback with
+//! a predict-not-taken front end.
+//!
+//! Architectural results are exact by construction (the functional core is
+//! the gold-model ISS); the interesting outputs are cycles and CPI.
+
+use std::collections::{BinaryHeap, HashSet, VecDeque};
+
+use arm_isa::decode::decode;
+use arm_isa::instr::Instr;
+use arm_isa::iss::Iss;
+use arm_isa::program::{Program, DEFAULT_STACK_TOP};
+use arm_isa::types::Reg;
+use memsys::cache::{Cache, CacheConfig};
+use memsys::{FlatMem, Memory};
+
+/// Memory wrapper that records data accesses of the functional core, so
+/// the timing model can replay them against the D-cache.
+#[derive(Debug)]
+pub struct TraceMem {
+    inner: FlatMem,
+    /// Data accesses (address, is_store) of the current instruction.
+    pub accesses: Vec<(u32, bool)>,
+    /// When false, accesses are not recorded (instruction fetches).
+    pub record: bool,
+}
+
+impl TraceMem {
+    /// Wraps a flat memory.
+    pub fn new(inner: FlatMem) -> Self {
+        TraceMem { inner, accesses: Vec::new(), record: true }
+    }
+}
+
+impl Memory for TraceMem {
+    fn read8(&mut self, addr: u32) -> u8 {
+        if self.record {
+            self.accesses.push((addr, false));
+        }
+        self.inner.read8(addr)
+    }
+    fn write8(&mut self, addr: u32, value: u8) {
+        if self.record {
+            self.accesses.push((addr, true));
+        }
+        self.inner.write8(addr, value)
+    }
+    fn read32(&mut self, addr: u32) -> u32 {
+        if self.record {
+            self.accesses.push((addr, false));
+        }
+        self.inner.read32(addr)
+    }
+    fn write32(&mut self, addr: u32, value: u32) {
+        if self.record {
+            self.accesses.push((addr, true));
+        }
+        self.inner.write32(addr, value)
+    }
+}
+
+/// One instruction as seen by the timing model: the functional core has
+/// already executed it; timing replays its footprint.
+#[derive(Debug, Clone)]
+struct FetchRec {
+    pc: u32,
+    word: u32,
+    next_pc: u32,
+    mem: Vec<(u32, bool)>,
+    exits: bool,
+    serial: u64,
+}
+
+/// RUU entry: SimpleScalar-style reservation slot with heap-allocated
+/// dependence bookkeeping.
+#[derive(Debug)]
+struct RuuEntry {
+    rec: FetchRec,
+    /// Producer serials this instruction waits on.
+    ideps: Vec<u64>,
+    issued: bool,
+    completed: bool,
+}
+
+#[derive(Debug, PartialEq, Eq)]
+struct Event {
+    when: u64,
+    serial: u64,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap by time.
+        other.when.cmp(&self.when).then(other.serial.cmp(&self.serial))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Baseline configuration.
+#[derive(Debug, Clone)]
+pub struct SsConfig {
+    /// Instruction cache.
+    pub icache: CacheConfig,
+    /// Data cache.
+    pub dcache: CacheConfig,
+    /// Fetch-queue depth.
+    pub ifq_depth: usize,
+    /// RUU window size.
+    pub ruu_size: usize,
+    /// Extra front-end stall cycles after a taken redirect resolves.
+    pub branch_penalty: u64,
+}
+
+impl Default for SsConfig {
+    fn default() -> Self {
+        SsConfig {
+            icache: CacheConfig::strongarm_16k(),
+            dcache: CacheConfig::strongarm_16k(),
+            ifq_depth: 4,
+            ruu_size: 8,
+            branch_penalty: 2,
+        }
+    }
+}
+
+/// Result of a baseline run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SsResult {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Instructions committed.
+    pub instrs: u64,
+    /// Exit code, if the program exited.
+    pub exit: Option<u32>,
+}
+
+impl SsResult {
+    /// Cycles per instruction.
+    pub fn cpi(&self) -> f64 {
+        if self.instrs == 0 {
+            f64::NAN
+        } else {
+            self.cycles as f64 / self.instrs as f64
+        }
+    }
+}
+
+/// The baseline simulator.
+pub struct SsArm {
+    iss: Iss<TraceMem>,
+    icache: Cache,
+    dcache: Cache,
+    cfg: SsConfig,
+    ifq: VecDeque<FetchRec>,
+    ruu: VecDeque<RuuEntry>,
+    events: BinaryHeap<Event>,
+    /// Producer serial for each architectural register (r0-r14), or 0.
+    last_writer: [u64; 15],
+    /// Serial of the last flag writer (conditional instructions depend on
+    /// it).
+    flag_writer: u64,
+    /// Serials whose results have been written back (wakeup network).
+    completed_set: HashSet<u64>,
+    cycle: u64,
+    committed: u64,
+    fetch_blocked_until: u64,
+    next_serial: u64,
+    done: bool,
+}
+
+impl SsArm {
+    /// Builds the baseline for `program` with the default configuration.
+    pub fn new(program: &Program) -> Self {
+        Self::with_config(program, SsConfig::default())
+    }
+
+    /// Builds the baseline with an explicit configuration.
+    pub fn with_config(program: &Program, cfg: SsConfig) -> Self {
+        let mut mem = FlatMem::new(arm_isa::program::DEFAULT_MEM_BYTES as usize);
+        program.load_into(&mut mem);
+        let mut iss = Iss::new(TraceMem::new(mem), program.entry);
+        iss.regs[13] = DEFAULT_STACK_TOP;
+        SsArm {
+            icache: Cache::new(cfg.icache),
+            dcache: Cache::new(cfg.dcache),
+            ifq: VecDeque::with_capacity(cfg.ifq_depth),
+            ruu: VecDeque::with_capacity(cfg.ruu_size),
+            events: BinaryHeap::new(),
+            last_writer: [0; 15],
+            flag_writer: 0,
+            completed_set: HashSet::new(),
+            cycle: 0,
+            committed: 0,
+            fetch_blocked_until: 0,
+            next_serial: 1,
+            done: false,
+            cfg,
+            iss,
+        }
+    }
+
+    /// The functional core (for architectural state inspection).
+    pub fn iss(&self) -> &Iss<TraceMem> {
+        &self.iss
+    }
+
+    /// Cycles simulated so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Whether the simulation has finished.
+    pub fn done(&self) -> bool {
+        self.done
+    }
+
+    /// D-cache statistics.
+    pub fn dcache_stats(&self) -> &memsys::cache::CacheStats {
+        self.dcache.stats()
+    }
+
+    /// Runs to completion or for `max_cycles`.
+    pub fn run(&mut self, max_cycles: u64) -> SsResult {
+        let limit = self.cycle.saturating_add(max_cycles);
+        while !self.done && self.cycle < limit {
+            self.step();
+        }
+        SsResult {
+            cycles: self.cycle,
+            instrs: self.committed,
+            exit: if self.done && self.iss.halted() {
+                Some(self.iss.exit_code())
+            } else {
+                None
+            },
+        }
+    }
+
+    /// One clock cycle: writeback ← commit ← issue ← dispatch ← fetch.
+    pub fn step(&mut self) {
+        self.cycle += 1;
+
+        // Writeback: drain due completion events; wake up dependents.
+        while let Some(ev) = self.events.peek() {
+            if ev.when > self.cycle {
+                break;
+            }
+            let ev = self.events.pop().expect("peeked");
+            // Associative search for the entry, as the original walks its
+            // event target lists.
+            if let Some(entry) = self.ruu.iter_mut().find(|e| e.rec.serial == ev.serial) {
+                entry.completed = true;
+                self.completed_set.insert(ev.serial);
+            }
+        }
+
+        // Commit: in-order from the RUU head, one per cycle.
+        if let Some(head) = self.ruu.front() {
+            if head.completed {
+                let entry = self.ruu.pop_front().expect("nonempty");
+                self.committed += 1;
+                if entry.rec.exits {
+                    self.done = true;
+                    return;
+                }
+            }
+        }
+
+        // Issue: in-order — only the oldest unissued entry may issue, and
+        // only when its producers have written back. Latency is computed by
+        // re-decoding the instruction word.
+        // lsq_refresh: scan the window for stores whose data is still
+        // outstanding (the per-cycle associative walk of the original).
+        let mut pending_store_addrs: Vec<(u64, u32)> = Vec::new();
+        for e in &self.ruu {
+            if !e.completed {
+                for &(addr, is_store) in &e.rec.mem {
+                    if is_store {
+                        pending_store_addrs.push((e.rec.serial, addr & !3));
+                    }
+                }
+            }
+        }
+        let oldest_unissued = self.ruu.iter().position(|e| !e.issued);
+        if let Some(i) = oldest_unissued {
+            let deps_ready = self.ruu[i]
+                .ideps
+                .iter()
+                .all(|dep| self.completed_set.contains(dep));
+            // Loads also wait for older overlapping stores to drain.
+            let serial_i = self.ruu[i].rec.serial;
+            let mem_ready = self.ruu[i].rec.mem.iter().all(|&(addr, is_store)| {
+                is_store
+                    || !pending_store_addrs
+                        .iter()
+                        .any(|&(s, a)| s < serial_i && a == (addr & !3))
+            });
+            let ready = deps_ready && mem_ready;
+            if ready {
+                let (word, mem_accesses, redirected) = {
+                    let e = &self.ruu[i];
+                    (
+                        e.rec.word,
+                        e.rec.mem.clone(),
+                        e.rec.next_pc != e.rec.pc.wrapping_add(4),
+                    )
+                };
+                let instr = decode(word);
+                let mut lat: u64 = 1;
+                match instr {
+                    Instr::Mul { .. } => lat = 2,
+                    Instr::MulLong { .. } => lat = 3,
+                    _ => {}
+                }
+                for &(addr, is_store) in &mem_accesses {
+                    let l = u64::from(self.dcache.access(addr));
+                    if !is_store {
+                        // Loads deliver one stage after execute (MEM),
+                        // giving the classic load-use bubble on a hit.
+                        lat = lat.max(l + 1);
+                    }
+                }
+                let serial = self.ruu[i].rec.serial;
+                self.ruu[i].issued = true;
+                self.events.push(Event { when: self.cycle + lat, serial });
+                // Redirecting instructions stall the front end until they
+                // resolve (predict-not-taken front end).
+                if redirected {
+                    self.fetch_blocked_until = self
+                        .fetch_blocked_until
+                        .max(self.cycle + lat + self.cfg.branch_penalty);
+                }
+            }
+        }
+
+        // Dispatch: IFQ head into the RUU; the word is decoded afresh.
+        if self.ruu.len() < self.cfg.ruu_size {
+            if let Some(rec) = self.ifq.pop_front() {
+                let instr = decode(rec.word);
+                let (ideps, odeps, flags) = self.dependences(&instr);
+                let serial = rec.serial;
+                self.ruu.push_back(RuuEntry { rec, ideps, issued: false, completed: false });
+                for r in odeps {
+                    self.last_writer[r.index()] = serial;
+                }
+                if flags {
+                    self.flag_writer = serial;
+                }
+            }
+        }
+
+        // Fetch: functional core runs ahead; the IFQ buffers its records.
+        if self.cycle >= self.fetch_blocked_until
+            && self.ifq.len() < self.cfg.ifq_depth
+            && !self.iss.halted()
+        {
+            let pc = self.iss.regs[15];
+            let ilat = u64::from(self.icache.access(pc));
+            if ilat > 1 {
+                self.fetch_blocked_until = self.fetch_blocked_until.max(self.cycle + ilat - 1);
+            }
+            self.iss.mem.record = false;
+            let word = self.iss.mem.read32(pc);
+            self.iss.mem.record = true;
+            self.iss.mem.accesses.clear();
+            if self.iss.step().is_err() {
+                // Undefined instruction: stop fetching, drain what's left.
+                if self.ruu.is_empty() && self.ifq.is_empty() {
+                    self.done = true;
+                }
+                return;
+            }
+            let rec = FetchRec {
+                pc,
+                word,
+                next_pc: self.iss.regs[15],
+                mem: std::mem::take(&mut self.iss.mem.accesses),
+                exits: self.iss.halted(),
+                serial: self.next_serial,
+            };
+            self.next_serial += 1;
+            self.ifq.push_back(rec);
+        }
+
+        // Termination safety net (e.g. fault drain).
+        if self.iss.halted() && self.ruu.is_empty() && self.ifq.is_empty() {
+            self.done = true;
+        }
+    }
+
+    /// Register dependences of an instruction — computed by walking the
+    /// freshly decoded form, as the original does with its DEP macros.
+    /// Returns (input producer serials, output registers, writes_flags).
+    fn dependences(&self, instr: &Instr) -> (Vec<u64>, Vec<Reg>, bool) {
+        use arm_isa::instr::{HOff, MemOff, Op2, Shift};
+        let mut ideps = Vec::new();
+        let mut odeps = Vec::new();
+        let writers = &self.last_writer;
+        let dep_on = |list: &mut Vec<u64>, r: Reg| {
+            if !r.is_pc() {
+                let w = writers[r.index()];
+                if w != 0 {
+                    list.push(w);
+                }
+            }
+        };
+        let mut flags = false;
+        let flag_dep = |list: &mut Vec<u64>, cond: arm_isa::types::Cond, fw: u64| {
+            if cond != arm_isa::types::Cond::Al && fw != 0 {
+                list.push(fw);
+            }
+        };
+        match *instr {
+            Instr::Dp { op, s, rn, rd, op2, cond } => {
+                if !op.is_unary() {
+                    dep_on(&mut ideps, rn);
+                }
+                if let Op2::Reg { rm, shift } = op2 {
+                    dep_on(&mut ideps, rm);
+                    if let Shift::Reg { rs, .. } = shift {
+                        dep_on(&mut ideps, rs);
+                    }
+                }
+                flag_dep(&mut ideps, cond, self.flag_writer);
+                if !op.is_test() && !rd.is_pc() {
+                    odeps.push(rd);
+                }
+                flags = s;
+            }
+            Instr::Mul { acc, s, rd, rn, rs, rm, cond } => {
+                dep_on(&mut ideps, rm);
+                dep_on(&mut ideps, rs);
+                if acc {
+                    dep_on(&mut ideps, rn);
+                }
+                flag_dep(&mut ideps, cond, self.flag_writer);
+                odeps.push(rd);
+                flags = s;
+            }
+            Instr::MulLong { acc, s, rdhi, rdlo, rs, rm, cond, .. } => {
+                dep_on(&mut ideps, rm);
+                dep_on(&mut ideps, rs);
+                if acc {
+                    dep_on(&mut ideps, rdlo);
+                    dep_on(&mut ideps, rdhi);
+                }
+                flag_dep(&mut ideps, cond, self.flag_writer);
+                odeps.push(rdlo);
+                odeps.push(rdhi);
+                flags = s;
+            }
+            Instr::Mem { load, wb, pre, rn, rd, off, cond, .. } => {
+                dep_on(&mut ideps, rn);
+                if let MemOff::Reg { rm, .. } = off {
+                    dep_on(&mut ideps, rm);
+                }
+                flag_dep(&mut ideps, cond, self.flag_writer);
+                if load {
+                    if !rd.is_pc() {
+                        odeps.push(rd);
+                    }
+                } else {
+                    dep_on(&mut ideps, rd);
+                }
+                if wb || !pre {
+                    odeps.push(rn);
+                }
+            }
+            Instr::MemH { load, wb, pre, rn, rd, off, cond, .. } => {
+                dep_on(&mut ideps, rn);
+                if let HOff::Reg(rm) = off {
+                    dep_on(&mut ideps, rm);
+                }
+                flag_dep(&mut ideps, cond, self.flag_writer);
+                if load {
+                    odeps.push(rd);
+                } else {
+                    dep_on(&mut ideps, rd);
+                }
+                if wb || !pre {
+                    odeps.push(rn);
+                }
+            }
+            Instr::Block { load, wb, rn, list, cond, .. } => {
+                dep_on(&mut ideps, rn);
+                flag_dep(&mut ideps, cond, self.flag_writer);
+                for i in 0..15u8 {
+                    if (list >> i) & 1 == 1 {
+                        let r = Reg::new(i);
+                        if load {
+                            odeps.push(r);
+                        } else {
+                            dep_on(&mut ideps, r);
+                        }
+                    }
+                }
+                if wb {
+                    odeps.push(rn);
+                }
+            }
+            Instr::Branch { link, cond, .. } => {
+                flag_dep(&mut ideps, cond, self.flag_writer);
+                if link {
+                    odeps.push(Reg::LR);
+                }
+            }
+            Instr::Swi { .. } => {
+                dep_on(&mut ideps, Reg::new(0));
+            }
+            Instr::Undefined(_) => {}
+        }
+        (ideps, odeps, flags)
+    }
+}
+
+impl std::fmt::Debug for SsArm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SsArm")
+            .field("cycle", &self.cycle)
+            .field("committed", &self.committed)
+            .field("done", &self.done)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arm_isa::asm::assemble;
+
+    fn run(src: &str) -> (SsResult, SsArm) {
+        let p = assemble(src).expect("assembles");
+        let mut sim = SsArm::new(&p);
+        let r = sim.run(10_000_000);
+        (r, sim)
+    }
+
+    #[test]
+    fn straightline_completes_with_correct_exit() {
+        let (r, _) = run("mov r0, #5\nadd r0, r0, #6\nswi #0\n");
+        assert_eq!(r.exit, Some(11));
+        assert_eq!(r.instrs, 3);
+        assert!(r.cycles >= 3);
+    }
+
+    #[test]
+    fn loop_cpi_is_reasonable() {
+        let (r, _) = run(
+            "    mov r0, #0
+                 mov r1, #100
+            lp:  add r0, r0, r1
+                 subs r1, r1, #1
+                 bne lp
+                 swi #0",
+        );
+        assert_eq!(r.exit, Some(5050));
+        let cpi = r.cpi();
+        assert!(cpi > 1.0 && cpi < 5.0, "cpi = {cpi}");
+    }
+
+    #[test]
+    fn memory_program_hits_dcache() {
+        let (r, sim) = run(
+            "    ldr r1, =buf
+                 mov r0, #0
+                 mov r2, #32
+            lp:  ldr r3, [r1], #4
+                 add r0, r0, r3
+                 subs r2, r2, #1
+                 bne lp
+                 swi #0
+            buf: .space 128, 7",
+        );
+        assert!(r.exit.is_some());
+        assert!(sim.dcache_stats().accesses() >= 32);
+        assert!(sim.dcache_stats().hit_ratio() > 0.5);
+    }
+
+    #[test]
+    fn dependent_chain_is_not_faster_than_independent() {
+        let dep = run(
+            "mov r0, #1
+             add r0, r0, #1
+             add r0, r0, #1
+             add r0, r0, #1
+             add r0, r0, #1
+             add r0, r0, #1
+             swi #0",
+        )
+        .0;
+        let indep = run(
+            "mov r0, #1
+             mov r1, #1
+             mov r2, #1
+             mov r3, #1
+             mov r4, #1
+             mov r5, #6
+             swi #0",
+        )
+        .0;
+        assert!(dep.cycles >= indep.cycles, "dep {} vs indep {}", dep.cycles, indep.cycles);
+    }
+
+    #[test]
+    fn architectural_state_matches_gold_iss_by_construction() {
+        let src = "mov r0, #3\nbl f\nswi #0\nf: add r0, r0, #4\nmov pc, lr\n";
+        let p = assemble(src).unwrap();
+        let mut gold = arm_isa::iss::Iss::from_program(&p);
+        gold.run(1000).unwrap();
+        let mut sim = SsArm::new(&p);
+        let r = sim.run(100_000);
+        assert_eq!(r.exit, Some(gold.exit_code()));
+        for i in 0..15 {
+            assert_eq!(sim.iss().regs[i], gold.regs[i], "r{i}");
+        }
+    }
+
+    #[test]
+    fn taken_branches_cost_more() {
+        let branchy = run(
+            "    mov r0, #0
+                 mov r1, #200
+            lp:  subs r1, r1, #1
+                 bne lp
+                 swi #0",
+        )
+        .0;
+        let straight = run(
+            "    mov r0, #0
+                 mov r1, #100
+            lp:  subs r1, r1, #1
+                 subs r1, r1, #1
+                 bne lp
+                 swi #0",
+        )
+        .0;
+        assert!(branchy.cpi() > straight.cpi(), "{} vs {}", branchy.cpi(), straight.cpi());
+    }
+
+    #[test]
+    fn exit_is_none_on_cycle_budget() {
+        let p = assemble("lp: b lp\n").unwrap();
+        let mut sim = SsArm::new(&p);
+        let r = sim.run(1000);
+        assert_eq!(r.exit, None);
+        assert_eq!(r.cycles, 1000);
+    }
+}

@@ -1,0 +1,35 @@
+//! Section 4 ablations — each RCPN optimization toggled on the StrongARM
+//! simulator: sorted transition tables (per-place-class / per-place / full
+//! scan), reverse-topological single-list evaluation vs two-list
+//! everywhere, and the decode/token cache.
+//!
+//! Simulated timing is identical across configurations (asserted); only
+//! simulator speed changes. Throughput is in simulated cycles.
+//!
+//! ```text
+//! cargo bench -p rcpn-bench --bench ablations
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rcpn_bench::{ablation_configs, measure_ablation};
+use std::time::Duration;
+use workloads::{Kernel, Workload};
+
+fn ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    let w = Workload::build(Kernel::Crc, Kernel::Crc.bench_size() / 20);
+    let reference = measure_ablation(&w, Default::default(), true).cycles;
+    for (name, cfg, decode_cache) in ablation_configs() {
+        let cycles = measure_ablation(&w, cfg.clone(), decode_cache).cycles;
+        assert_eq!(cycles, reference, "{name} must not change simulated time");
+        group.throughput(Throughput::Elements(cycles));
+        group.bench_function(name, |b| {
+            b.iter(|| measure_ablation(&w, cfg.clone(), decode_cache).cycles)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablations);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Figure 1/2's performance claim — the same pipeline simulated by the
+//! RCPN engine vs its standard-CPN lowering under a generic
+//! enabled-transition search. Both simulate the identical token game
+//! (equality is asserted in the integration tests); the CPN interpreter
+//! pays the search cost RCPN's static tables eliminate.
+//!
+//! ```text
+//! cargo bench -p rcpn-bench --bench cpn_vs_rcpn
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rcpn::builder::ModelBuilder;
+use rcpn::engine::Engine;
+use rcpn::ids::OpClassId;
+use rcpn::model::Machine;
+use rcpn::reg::RegisterFile;
+use rcpn::token::InstrData;
+use std::time::Duration;
+
+#[derive(Debug)]
+struct Tok(OpClassId);
+impl InstrData for Tok {
+    fn op_class(&self) -> OpClassId {
+        self.0
+    }
+}
+
+#[derive(Debug)]
+struct Feed {
+    left: u32,
+    count: u64,
+}
+
+fn build_model() -> rcpn::model::Model<Tok, Feed> {
+    let mut b = ModelBuilder::<Tok, Feed>::new();
+    let l1 = b.stage("L1", 1);
+    let l2 = b.stage("L2", 1);
+    let p1 = b.place("P1", l1);
+    let p2 = b.place("P2", l2);
+    let end = b.end_place();
+    let (short, _) = b.class_net("Short");
+    let (long, _) = b.class_net("Long");
+    b.transition(short, "U4").from(p1).to(end).done();
+    b.transition(long, "U2").from(p1).to(p2).done();
+    b.transition(long, "U3").from(p2).to(end).done();
+    b.source("U1")
+        .to(p1)
+        .produce(move |m, _fx| {
+            if m.res.left == 0 {
+                return None;
+            }
+            m.res.left -= 1;
+            m.res.count += 1;
+            Some(Tok(if m.res.count % 4 == 1 { short } else { long }))
+        })
+        .done();
+    b.build().expect("fig2 model")
+}
+
+const TOKENS: u32 = 20_000;
+
+fn rcpn_run() -> u64 {
+    let model = build_model();
+    let mut e = Engine::new(
+        model,
+        Machine::new(RegisterFile::new(), Feed { left: TOKENS, count: 0 }),
+    );
+    e.run(3 * u64::from(TOKENS));
+    assert_eq!(e.stats().retired, u64::from(TOKENS));
+    e.stats().cycles
+}
+
+fn cpn_run() -> u64 {
+    let model = build_model();
+    let program: Vec<OpClassId> = (0..TOKENS)
+        .map(|i| OpClassId::from_index(if i % 4 == 0 { 0 } else { 1 }))
+        .collect();
+    let mut net = rcpn::cpn::convert(&model, &program).expect("structural model converts");
+    net.run(3 * u64::from(TOKENS));
+    assert_eq!(net.stats().retired, u64::from(TOKENS));
+    net.stats().cycles
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cpn_vs_rcpn");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    let cycles = rcpn_run();
+    group.throughput(Throughput::Elements(cycles));
+    group.bench_function("rcpn-engine", |b| b.iter(rcpn_run));
+    group.bench_function("cpn-interpreter", |b| b.iter(cpn_run));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Figure 10 — simulation performance of the three simulators over the six
+//! benchmarks. Criterion reports time per run; throughput is configured in
+//! simulated cycles, so the `thrpt` column reads directly in cycles/second
+//! (the paper's Mcycles/s metric).
+//!
+//! ```text
+//! cargo bench -p rcpn-bench --bench fig10_performance
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rcpn_bench::{measure, Simulator};
+use std::time::Duration;
+use workloads::{Kernel, Workload};
+
+/// Bench-size divisor: keeps a full Criterion sweep (3 sims × 6 kernels ×
+/// samples) within minutes while still simulating ≥100k cycles per run.
+const SCALE_DIV: usize = 20;
+
+fn fig10(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    for kernel in Kernel::ALL {
+        let size = (kernel.bench_size() / SCALE_DIV).max(kernel.test_size());
+        let w = Workload::build(kernel, size);
+        // One calibration run per simulator gives the cycle count for the
+        // throughput scale (deterministic, identical every run).
+        for sim in [Simulator::Baseline, Simulator::RcpnXScale, Simulator::RcpnStrongArm] {
+            let cycles = measure(sim, &w).cycles;
+            group.throughput(Throughput::Elements(cycles));
+            group.bench_function(format!("{}/{}", sim.name(), kernel.name()), |b| {
+                b.iter(|| {
+                    let m = measure(sim, &w);
+                    assert_eq!(m.cycles, cycles, "deterministic simulation");
+                    m.cycles
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig10);
+criterion_main!(benches);

@@ -1,0 +1,209 @@
+//! # rcpn-bench — the measurement harness for the paper's figures
+//!
+//! Helpers shared by the Criterion benches and the `figures` binary:
+//! timed runs of each simulator over each benchmark, and the table
+//! generators for Figure 10 (simulation performance in Mcycles/s),
+//! Figure 11 (CPI), the Figure 1/2 model-size comparison, the Section 4
+//! optimization ablations, and the Section 5 model-effort summary.
+
+use std::time::Instant;
+
+use arm_isa::iss::Iss;
+use baseline_sim::SsArm;
+use processors::res::SimConfig;
+use processors::sim::{CaSim, ProcModel};
+use rcpn::engine::{EngineConfig, TableMode};
+use workloads::{Kernel, Workload};
+
+/// Cycle budget nothing should ever hit.
+pub const MAX_CYCLES: u64 = 4_000_000_000;
+
+/// One timed simulator run.
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Committed instructions.
+    pub instrs: u64,
+    /// Host seconds.
+    pub seconds: f64,
+}
+
+impl Measurement {
+    /// Million simulated cycles per host second (Figure 10's metric).
+    pub fn mcps(&self) -> f64 {
+        self.cycles as f64 / self.seconds / 1.0e6
+    }
+
+    /// Cycles per instruction (Figure 11's metric).
+    pub fn cpi(&self) -> f64 {
+        self.cycles as f64 / self.instrs as f64
+    }
+}
+
+/// Which simulator to measure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Simulator {
+    /// The SimpleScalar-style baseline (the paper's comparator).
+    Baseline,
+    /// RCPN-generated XScale.
+    RcpnXScale,
+    /// RCPN-generated StrongARM.
+    RcpnStrongArm,
+    /// The functional ISS (no timing; context number).
+    FunctionalIss,
+}
+
+impl Simulator {
+    /// Display name matching the paper's legends.
+    pub fn name(self) -> &'static str {
+        match self {
+            Simulator::Baseline => "SimpleScalar-Arm",
+            Simulator::RcpnXScale => "RCPN-XScale",
+            Simulator::RcpnStrongArm => "RCPN-StrongArm",
+            Simulator::FunctionalIss => "Functional-ISS",
+        }
+    }
+}
+
+/// Runs one simulator over one workload, timed, verifying the checksum.
+///
+/// # Panics
+///
+/// Panics if the simulation does not exit with the gold checksum — a
+/// mis-simulating benchmark must never be timed.
+pub fn measure(sim: Simulator, w: &Workload) -> Measurement {
+    match sim {
+        Simulator::Baseline => {
+            let mut s = SsArm::new(&w.program);
+            let t0 = Instant::now();
+            let r = s.run(MAX_CYCLES);
+            let seconds = t0.elapsed().as_secs_f64();
+            assert_eq!(r.exit, Some(w.expected), "baseline/{}", w.kernel);
+            Measurement { cycles: r.cycles, instrs: r.instrs, seconds }
+        }
+        Simulator::RcpnXScale | Simulator::RcpnStrongArm => {
+            let model = if sim == Simulator::RcpnXScale {
+                ProcModel::XScale
+            } else {
+                ProcModel::StrongArm
+            };
+            let config = if sim == Simulator::RcpnXScale {
+                SimConfig::xscale()
+            } else {
+                SimConfig::strongarm()
+            };
+            let mut s = CaSim::with_config(model, &w.program, &config);
+            let t0 = Instant::now();
+            let r = s.run(MAX_CYCLES);
+            let seconds = t0.elapsed().as_secs_f64();
+            assert_eq!(r.exit, Some(w.expected), "{}/{}", sim.name(), w.kernel);
+            Measurement { cycles: r.cycles, instrs: r.instrs, seconds }
+        }
+        Simulator::FunctionalIss => {
+            let mut s = Iss::from_program(&w.program);
+            let t0 = Instant::now();
+            s.run(u64::MAX).expect("iss clean");
+            let seconds = t0.elapsed().as_secs_f64();
+            assert_eq!(s.exit_code(), w.expected, "iss/{}", w.kernel);
+            Measurement { cycles: s.instr_count(), instrs: s.instr_count(), seconds }
+        }
+    }
+}
+
+/// The ablation configurations, with labels: engine config plus the
+/// decode-cache flag.
+pub fn ablation_configs() -> Vec<(&'static str, EngineConfig, bool)> {
+    vec![
+        ("full-optimizations", EngineConfig::default(), true),
+        (
+            "tables:per-place",
+            EngineConfig { table_mode: TableMode::PerPlace, ..Default::default() },
+            true,
+        ),
+        (
+            "tables:full-scan",
+            EngineConfig { table_mode: TableMode::FullScan, ..Default::default() },
+            true,
+        ),
+        (
+            "two-list-everywhere",
+            EngineConfig { two_list_everywhere: true, ..Default::default() },
+            true,
+        ),
+        ("no-decode-cache", EngineConfig::default(), false),
+    ]
+}
+
+/// Runs one ablation row (engine config + decode-cache flag), timed.
+///
+/// # Panics
+///
+/// Panics if the run does not exit with the gold checksum.
+pub fn measure_ablation(w: &Workload, engine: EngineConfig, decode_cache: bool) -> Measurement {
+    let config = SimConfig { engine, decode_cache, ..SimConfig::strongarm() };
+    let mut s = CaSim::with_config(ProcModel::StrongArm, &w.program, &config);
+    let t0 = Instant::now();
+    let r = s.run(MAX_CYCLES);
+    let seconds = t0.elapsed().as_secs_f64();
+    assert_eq!(r.exit, Some(w.expected), "ablation/{}", w.kernel);
+    Measurement { cycles: r.cycles, instrs: r.instrs, seconds }
+}
+
+/// Builds the benchmark suite at a size scale: 1.0 = the paper-style bench
+/// sizes, smaller for quick runs.
+pub fn suite(scale: f64) -> Vec<Workload> {
+    Kernel::ALL
+        .iter()
+        .map(|&k| {
+            let size = ((k.bench_size() as f64 * scale) as usize).max(k.test_size());
+            Workload::build(k, size)
+        })
+        .collect()
+}
+
+/// Arithmetic mean (the paper's "Average" bars).
+pub fn average(values: &[f64]) -> f64 {
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurement_math() {
+        let m = Measurement { cycles: 2_000_000, instrs: 1_000_000, seconds: 0.5 };
+        assert!((m.mcps() - 4.0).abs() < 1e-9);
+        assert!((m.cpi() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn small_measurements_run() {
+        let w = Workload::build(Kernel::Crc, 64);
+        for sim in [
+            Simulator::Baseline,
+            Simulator::RcpnStrongArm,
+            Simulator::RcpnXScale,
+            Simulator::FunctionalIss,
+        ] {
+            let m = measure(sim, &w);
+            assert!(m.cycles > 0);
+        }
+    }
+
+    #[test]
+    fn ablations_change_speed_never_simulated_time() {
+        let w = Workload::build(Kernel::Crc, 64);
+        let base = measure_ablation(&w, EngineConfig::default(), true);
+        for (name, cfg, dec) in ablation_configs() {
+            let m = measure_ablation(&w, cfg, dec);
+            assert_eq!(m.cycles, base.cycles, "{name}");
+        }
+    }
+
+    #[test]
+    fn average_is_arithmetic() {
+        assert!((average(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+}

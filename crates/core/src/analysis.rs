@@ -1,0 +1,405 @@
+//! Static analysis of an RCPN model (paper, Section 4).
+//!
+//! Three properties of RCPN make its simulators fast, and all three are
+//! extracted here, before simulation begins, so they carry no runtime cost:
+//!
+//! 1. **Sorted transition tables** (`CalculateSortedTransitions`, Fig. 6):
+//!    for every (place, operation class) pair, the list of transitions that
+//!    may be enabled, sorted by arc priority. During simulation only this
+//!    subset is searched, never the whole net.
+//! 2. **Reverse topological place order** (Fig. 8): evaluating places
+//!    downstream-first guarantees stage capacity is freed before upstream
+//!    instructions try to advance, so pipelines shift in lockstep without a
+//!    second token storage.
+//! 3. **Two-list places**: only places that are referenced in a circular way
+//!    — either a genuine token-flow cycle, or a feedback reference such as
+//!    `canRead(L3)` evaluated upstream of the transition that writes into
+//!    `L3` — need the two-storage (master/slave) treatment. Everywhere else
+//!    the single-storage fast path is safe.
+
+use crate::ids::{OpClassId, PlaceId, SubnetId, TransitionId};
+
+/// Results of the build-time analysis. Owned by [`crate::model::Model`].
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    pub(crate) order: Vec<PlaceId>,
+    pub(crate) two_list: Vec<bool>,
+    pub(crate) sorted: Vec<Box<[TransitionId]>>,
+    pub(crate) by_place: Vec<Box<[TransitionId]>>,
+    pub(crate) n_classes: usize,
+    pub(crate) flow_cycle_places: usize,
+    pub(crate) feedback_places: usize,
+}
+
+impl Analysis {
+    /// The place evaluation order (reverse topological over token flow).
+    pub fn order(&self) -> &[PlaceId] {
+        &self.order
+    }
+
+    /// Whether `place` requires two-list (master/slave) token storage.
+    pub fn is_two_list(&self, place: PlaceId) -> bool {
+        self.two_list[place.index()]
+    }
+
+    /// Number of places requiring two-list storage.
+    pub fn two_list_count(&self) -> usize {
+        self.two_list.iter().filter(|&&b| b).count()
+    }
+
+    /// Number of places on genuine token-flow cycles.
+    pub fn flow_cycle_places(&self) -> usize {
+        self.flow_cycle_places
+    }
+
+    /// Number of places marked two-list because of feedback references
+    /// (`canRead(s)` evaluated upstream of a writer into `s`).
+    pub fn feedback_places(&self) -> usize {
+        self.feedback_places
+    }
+
+    /// The sorted transition list for a (place, class) pair — the paper's
+    /// `sorted_transitions[p, IType]` table.
+    #[inline]
+    pub fn sorted_transitions(&self, place: PlaceId, class: OpClassId) -> &[TransitionId] {
+        &self.sorted[place.index() * self.n_classes + class.index()]
+    }
+
+    /// All transitions out of a place sorted by priority, regardless of
+    /// class (used by the ablation mode that skips the per-class split).
+    #[inline]
+    pub fn place_transitions(&self, place: PlaceId) -> &[TransitionId] {
+        &self.by_place[place.index()]
+    }
+}
+
+/// Minimal view of a transition needed by the analysis, decoupled from the
+/// generic model type.
+pub(crate) struct TransView {
+    pub input: PlaceId,
+    pub dest: PlaceId,
+    pub subnet: SubnetId,
+    pub priority: u32,
+    pub reads_states: Vec<PlaceId>,
+}
+
+pub(crate) struct AnalysisInput<'a> {
+    pub n_places: usize,
+    pub transitions: &'a [TransView],
+    /// subnet of each operation class, indexed by class.
+    pub class_subnets: &'a [SubnetId],
+}
+
+/// Tarjan's strongly-connected-components algorithm (iterative).
+///
+/// `adj` is an adjacency list; returns for each node the id of its SCC and
+/// the number of SCCs. SCC ids are assigned in reverse topological order of
+/// the condensation (an SCC's id is smaller than the ids of SCCs that can
+/// reach it).
+fn tarjan_scc(adj: &[Vec<usize>]) -> (Vec<usize>, Vec<usize>) {
+    let n = adj.len();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut comp = vec![usize::MAX; n];
+    let mut comp_sizes: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+
+    // Iterative DFS with explicit call frames: (node, next child position).
+    let mut frames: Vec<(usize, usize)> = Vec::new();
+    for start in 0..n {
+        if index[start] != usize::MAX {
+            continue;
+        }
+        frames.push((start, 0));
+        index[start] = next_index;
+        low[start] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start] = true;
+
+        while let Some(&mut (v, ref mut child)) = frames.last_mut() {
+            if *child < adj[v].len() {
+                let w = adj[v][*child];
+                *child += 1;
+                if index[w] == usize::MAX {
+                    index[w] = next_index;
+                    low[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    frames.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let cid = comp_sizes.len();
+                    let mut size = 0;
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        comp[w] = cid;
+                        size += 1;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp_sizes.push(size);
+                }
+            }
+        }
+    }
+    (comp, comp_sizes)
+}
+
+pub(crate) fn analyze(input: &AnalysisInput<'_>) -> Analysis {
+    let n = input.n_places;
+    let n_classes = input.class_subnets.len();
+
+    // --- Place evaluation order -------------------------------------------
+    // Build the "process-before" graph: for every token-flow arc
+    // input --t--> dest, the destination must be evaluated before the input
+    // (downstream first), i.e. edge dest -> input.
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut self_loop = vec![false; n];
+    for t in input.transitions {
+        if t.input != t.dest {
+            let (d, i) = (t.dest.index(), t.input.index());
+            if !adj[d].contains(&i) {
+                adj[d].push(i);
+            }
+        } else {
+            self_loop[t.input.index()] = true;
+        }
+    }
+
+    let (comp, comp_sizes) = tarjan_scc(&adj);
+    // Tarjan assigns SCC ids in reverse topological order of the
+    // condensation: an SCC reachable from another gets a *smaller* id. We
+    // want "process-before" sources first, so sort places by descending SCC
+    // id; within an SCC, keep declaration order for determinism.
+    let mut order: Vec<PlaceId> = (0..n).map(PlaceId::from_index).collect();
+    order.sort_by(|a, b| {
+        comp[b.index()].cmp(&comp[a.index()]).then(a.index().cmp(&b.index()))
+    });
+
+    let mut two_list = vec![false; n];
+    let mut flow_cycle_places = 0;
+    for p in 0..n {
+        // Nodes in a non-trivial SCC, or with a self-loop, sit on a flow
+        // cycle: no linear order can make them read-before-write safe.
+        let nontrivial = comp_sizes[comp[p]] > 1 || self_loop[p];
+        if nontrivial {
+            two_list[p] = true;
+            flow_cycle_places += 1;
+        }
+    }
+
+    // --- Feedback-reference detection --------------------------------------
+    // A transition at place p referencing state s (canRead(s)/read(s)) must
+    // observe s as it was at the start of the cycle. If any transition that
+    // writes into s fires from a place evaluated no later than p, the write
+    // would become visible in the same cycle, so s needs two-list storage.
+    let mut pos = vec![0usize; n];
+    for (i, p) in order.iter().enumerate() {
+        pos[p.index()] = i;
+    }
+    let mut feedback_places = 0;
+    for t in input.transitions {
+        for &s in &t.reads_states {
+            if two_list[s.index()] {
+                continue;
+            }
+            let referenced_upstream = input
+                .transitions
+                .iter()
+                .any(|w| w.dest == s && pos[w.input.index()] <= pos[t.input.index()]);
+            if referenced_upstream {
+                two_list[s.index()] = true;
+                feedback_places += 1;
+            }
+        }
+    }
+
+    // --- Sorted transition tables (Fig. 6) ----------------------------------
+    let mut sorted: Vec<Vec<TransitionId>> = vec![Vec::new(); n * n_classes.max(1)];
+    let mut by_place: Vec<Vec<TransitionId>> = vec![Vec::new(); n];
+    for (ti, t) in input.transitions.iter().enumerate() {
+        let tid = TransitionId::from_index(ti);
+        by_place[t.input.index()].push(tid);
+        for (ci, &cn) in input.class_subnets.iter().enumerate() {
+            if cn == t.subnet {
+                sorted[t.input.index() * n_classes + ci].push(tid);
+            }
+        }
+    }
+    let priority_of = |tid: &TransitionId| input.transitions[tid.index()].priority;
+    for list in sorted.iter_mut().chain(by_place.iter_mut()) {
+        list.sort_by_key(|tid| (priority_of(tid), tid.index()));
+    }
+
+    Analysis {
+        order,
+        two_list,
+        sorted: sorted.into_iter().map(Vec::into_boxed_slice).collect(),
+        by_place: by_place.into_iter().map(Vec::into_boxed_slice).collect(),
+        n_classes,
+        flow_cycle_places,
+        feedback_places,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(input: usize, dest: usize, subnet: usize, priority: u32) -> TransView {
+        TransView {
+            input: PlaceId::from_index(input),
+            dest: PlaceId::from_index(dest),
+            subnet: SubnetId::from_index(subnet),
+            priority,
+            reads_states: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn linear_pipeline_orders_downstream_first() {
+        // p0 -> p1 -> p2, single subnet/class.
+        let ts = vec![t(0, 1, 0, 0), t(1, 2, 0, 0)];
+        let a = analyze(&AnalysisInput {
+            n_places: 3,
+            transitions: &ts,
+            class_subnets: &[SubnetId::from_index(0)],
+        });
+        let idx: Vec<usize> = a.order().iter().map(|p| p.index()).collect();
+        assert_eq!(idx, vec![2, 1, 0], "downstream places must be evaluated first");
+        assert_eq!(a.two_list_count(), 0, "a straight pipeline needs no two-list place");
+    }
+
+    #[test]
+    fn diamond_orders_consistently() {
+        // p0 -> p1 -> p3 and p0 -> p2 -> p3.
+        let ts = vec![t(0, 1, 0, 0), t(0, 2, 0, 1), t(1, 3, 0, 0), t(2, 3, 0, 0)];
+        let a = analyze(&AnalysisInput {
+            n_places: 4,
+            transitions: &ts,
+            class_subnets: &[SubnetId::from_index(0)],
+        });
+        let pos: Vec<usize> = {
+            let mut pos = vec![0; 4];
+            for (i, p) in a.order().iter().enumerate() {
+                pos[p.index()] = i;
+            }
+            pos
+        };
+        assert!(pos[3] < pos[1] && pos[3] < pos[2]);
+        assert!(pos[1] < pos[0] && pos[2] < pos[0]);
+    }
+
+    #[test]
+    fn token_flow_cycle_forces_two_list() {
+        // p0 -> p1 -> p0 (a loop of places).
+        let ts = vec![t(0, 1, 0, 0), t(1, 0, 0, 0)];
+        let a = analyze(&AnalysisInput {
+            n_places: 2,
+            transitions: &ts,
+            class_subnets: &[SubnetId::from_index(0)],
+        });
+        assert!(a.is_two_list(PlaceId::from_index(0)));
+        assert!(a.is_two_list(PlaceId::from_index(1)));
+        assert_eq!(a.flow_cycle_places(), 2);
+    }
+
+    #[test]
+    fn feedback_reference_marks_referenced_place_only() {
+        // Fig. 5 situation: p0 -> p1 -> p2 -> p3(end-ish), a transition at
+        // p0 references state p2 (forwarding), and the writer into p2 fires
+        // from p1, which is evaluated before p0. Only p2 needs two-list.
+        let mut fwd = t(0, 1, 0, 1);
+        fwd.reads_states = vec![PlaceId::from_index(2)];
+        let ts = vec![t(0, 1, 0, 0), fwd, t(1, 2, 0, 0), t(2, 3, 0, 0)];
+        let a = analyze(&AnalysisInput {
+            n_places: 4,
+            transitions: &ts,
+            class_subnets: &[SubnetId::from_index(0)],
+        });
+        assert!(a.is_two_list(PlaceId::from_index(2)), "referenced feedback place");
+        assert!(!a.is_two_list(PlaceId::from_index(0)));
+        assert!(!a.is_two_list(PlaceId::from_index(1)));
+        assert!(!a.is_two_list(PlaceId::from_index(3)));
+        assert_eq!(a.feedback_places(), 1);
+        assert_eq!(a.flow_cycle_places(), 0);
+    }
+
+    #[test]
+    fn reference_to_downstream_written_place_is_safe() {
+        // p0 -> p1 -> p2; a transition at p1 references p2, but the only
+        // writer into p2 fires from p1 itself... that is pos-equal, so it
+        // IS marked. Use instead: reader at p1 references p0-written place:
+        // writer into p1 fires from p0, evaluated AFTER p1 -> safe.
+        let mut rdr = t(1, 2, 0, 0);
+        rdr.reads_states = vec![PlaceId::from_index(1)];
+        let ts = vec![t(0, 1, 0, 0), rdr];
+        let a = analyze(&AnalysisInput {
+            n_places: 3,
+            transitions: &ts,
+            class_subnets: &[SubnetId::from_index(0)],
+        });
+        // Writer into p1 is at p0; pos[p0] > pos[p1], so reads of p1 state
+        // at p1 happen before the write becomes visible. No two-list.
+        assert_eq!(a.two_list_count(), 0);
+    }
+
+    #[test]
+    fn sorted_tables_split_by_class_and_priority() {
+        // Two classes on two subnets; place p0 has transitions of both, with
+        // priorities interleaved.
+        let ts = vec![t(0, 1, 0, 1), t(0, 1, 1, 0), t(0, 2, 0, 0)];
+        let a = analyze(&AnalysisInput {
+            n_places: 3,
+            transitions: &ts,
+            class_subnets: &[SubnetId::from_index(0), SubnetId::from_index(1)],
+        });
+        let c0 = a.sorted_transitions(PlaceId::from_index(0), OpClassId::from_index(0));
+        let c1 = a.sorted_transitions(PlaceId::from_index(0), OpClassId::from_index(1));
+        assert_eq!(c0.iter().map(|t| t.index()).collect::<Vec<_>>(), vec![2, 0]);
+        assert_eq!(c1.iter().map(|t| t.index()).collect::<Vec<_>>(), vec![1]);
+        let all = a.place_transitions(PlaceId::from_index(0));
+        assert_eq!(all.iter().map(|t| t.index()).collect::<Vec<_>>(), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn self_loop_is_two_list_but_not_ordering_cycle() {
+        let ts = vec![t(0, 0, 0, 0), t(0, 1, 0, 1)];
+        let a = analyze(&AnalysisInput {
+            n_places: 2,
+            transitions: &ts,
+            class_subnets: &[SubnetId::from_index(0)],
+        });
+        // Self-loop place is conservatively two-list.
+        assert!(a.is_two_list(PlaceId::from_index(0)));
+        // But the order is still well defined.
+        assert_eq!(a.order().len(), 2);
+    }
+
+    #[test]
+    fn big_linear_chain_is_linear_time() {
+        let n = 2000;
+        let ts: Vec<TransView> = (0..n - 1).map(|i| t(i, i + 1, 0, 0)).collect();
+        let a = analyze(&AnalysisInput {
+            n_places: n,
+            transitions: &ts,
+            class_subnets: &[SubnetId::from_index(0)],
+        });
+        assert_eq!(a.order().len(), n);
+        assert_eq!(a.order()[0].index(), n - 1);
+        assert_eq!(a.two_list_count(), 0);
+    }
+}

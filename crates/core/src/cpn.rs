@@ -1,0 +1,550 @@
+//! Conversion of RCPN models to standard Colored Petri Nets, plus a generic
+//! CPN interpreter.
+//!
+//! The paper argues (Figures 1 and 2) that a CPN model of a pipeline needs
+//! explicit *capacity places* with circular back-edges for every resource,
+//! which (a) blows up the net size and (b) defeats the reverse-topological
+//! evaluation trick, forcing a generic enabled-transition search. This
+//! module makes both effects measurable:
+//!
+//! * [`convert`] lowers an RCPN [`Model`] into a [`Cpn`]: one *free-slot*
+//!   place per stage holding `capacity` unit tokens, one colored place per
+//!   RCPN place, and back-edge arcs returning freed slots — the classic CPN
+//!   encoding of Figure 2(b).
+//! * [`Cpn`] simulates the result with the textbook synchronous scheme:
+//!   repeated scans over all transitions until a fixpoint, one cycle at a
+//!   time. The number of transition examinations is counted so the search
+//!   overhead can be compared against the RCPN engine.
+//!
+//! The conversion covers the token game (structural hazards, capacities,
+//! unit-delay flow). Data-dependent guards, reservations and token emission
+//! are outside the structural fragment (the full conversion is in the
+//! paper's technical report (ref. 5), which is not publicly available) and
+//! produce a [`ConvertError`].
+
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+
+use crate::ids::{OpClassId, TransitionId};
+use crate::model::Model;
+
+/// Why an RCPN model could not be converted to the structural CPN fragment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConvertError {
+    /// The transition has guard/action/state references; data-dependent
+    /// behavior is outside the structural fragment.
+    DataDependent { transition: TransitionId },
+    /// The transition uses reservation arcs or extra inputs.
+    NonStructuralArc { transition: TransitionId },
+}
+
+impl fmt::Display for ConvertError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConvertError::DataDependent { transition } => {
+                write!(f, "transition {transition} is data-dependent; structural CPN fragment only")
+            }
+            ConvertError::NonStructuralArc { transition } => {
+                write!(f, "transition {transition} uses reservation/extra arcs; not convertible")
+            }
+        }
+    }
+}
+
+impl Error for ConvertError {}
+
+/// Color carried by a CPN token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Color {
+    /// An uncolored resource token (a free pipeline slot).
+    Unit,
+    /// An instruction token of the given operation class.
+    Instr(OpClassId),
+}
+
+/// One CPN token: a color plus the first cycle it may be consumed.
+#[derive(Debug, Clone, Copy)]
+pub struct CpnToken {
+    /// The token's color.
+    pub color: Color,
+    /// Earliest cycle at which the token can enable a transition.
+    pub ready: u64,
+    /// Creation order, for FIFO consumption.
+    pub seq: u64,
+}
+
+/// What an input arc accepts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArcFilter {
+    /// Any unit token.
+    Unit,
+    /// An instruction token of one of the listed classes.
+    InstrOf(Vec<OpClassId>),
+    /// Any instruction token.
+    AnyInstr,
+}
+
+/// What an output arc produces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArcOutput {
+    /// A unit token, consumable in the same cycle (freed capacity).
+    UnitNow,
+    /// The instruction token consumed by this firing, delayed one cycle.
+    PassInstr,
+}
+
+/// A CPN place: a FIFO multiset of colored tokens.
+#[derive(Debug, Clone)]
+pub struct CpnPlace {
+    /// Display name.
+    pub name: String,
+    /// Whether tokens arriving here count as retired instructions.
+    pub is_end: bool,
+    tokens: VecDeque<CpnToken>,
+}
+
+/// A CPN transition.
+#[derive(Debug, Clone)]
+pub struct CpnTransition {
+    /// Display name.
+    pub name: String,
+    /// Input arcs: (place index, filter).
+    pub inputs: Vec<(usize, ArcFilter)>,
+    /// Output arcs: (place index, production rule).
+    pub outputs: Vec<(usize, ArcOutput)>,
+}
+
+/// Interpreter statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CpnStats {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Transition firings.
+    pub fires: u64,
+    /// Transitions examined while searching for enabled ones — the search
+    /// cost RCPN's sorted tables eliminate.
+    pub scans: u64,
+    /// Fixpoint passes executed.
+    pub passes: u64,
+    /// Instruction tokens that reached an end place.
+    pub retired: u64,
+}
+
+/// A colored Petri net with a synchronous fixpoint interpreter.
+#[derive(Debug, Clone)]
+pub struct Cpn {
+    places: Vec<CpnPlace>,
+    transitions: Vec<CpnTransition>,
+    cycle: u64,
+    next_seq: u64,
+    stats: CpnStats,
+    retire_log: Vec<u64>,
+}
+
+impl Cpn {
+    /// Creates an empty net.
+    pub fn new() -> Self {
+        Cpn {
+            places: Vec::new(),
+            transitions: Vec::new(),
+            cycle: 0,
+            next_seq: 0,
+            stats: CpnStats::default(),
+            retire_log: Vec::new(),
+        }
+    }
+
+    /// Adds a place; returns its index.
+    pub fn add_place(&mut self, name: &str, is_end: bool) -> usize {
+        self.places.push(CpnPlace { name: name.to_string(), is_end, tokens: VecDeque::new() });
+        self.places.len() - 1
+    }
+
+    /// Adds a transition; returns its index.
+    pub fn add_transition(
+        &mut self,
+        name: &str,
+        inputs: Vec<(usize, ArcFilter)>,
+        outputs: Vec<(usize, ArcOutput)>,
+    ) -> usize {
+        self.transitions.push(CpnTransition { name: name.to_string(), inputs, outputs });
+        self.transitions.len() - 1
+    }
+
+    /// Deposits a token into a place (initial marking).
+    pub fn add_token(&mut self, place: usize, color: Color) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.places[place].tokens.push_back(CpnToken { color, ready: self.cycle, seq });
+    }
+
+    /// Number of places.
+    pub fn place_count(&self) -> usize {
+        self.places.len()
+    }
+
+    /// Number of transitions.
+    pub fn transition_count(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Total number of arcs.
+    pub fn arc_count(&self) -> usize {
+        self.transitions.iter().map(|t| t.inputs.len() + t.outputs.len()).sum()
+    }
+
+    /// Tokens currently in the named place.
+    pub fn tokens_in(&self, name: &str) -> usize {
+        self.places
+            .iter()
+            .find(|p| p.name == name)
+            .map_or(0, |p| p.tokens.len())
+    }
+
+    /// Interpreter statistics.
+    pub fn stats(&self) -> &CpnStats {
+        &self.stats
+    }
+
+    /// Cycles at which each retirement happened, in retirement order.
+    pub fn retire_log(&self) -> &[u64] {
+        &self.retire_log
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    fn find_binding(&self, t: usize) -> Option<Vec<(usize, usize)>> {
+        // For each input arc, the oldest ready matching token. Arcs bind
+        // independently (our generated nets never have two arcs from the
+        // same place on one transition).
+        let mut binding = Vec::with_capacity(self.transitions[t].inputs.len());
+        for (pi, filter) in &self.transitions[t].inputs {
+            let place = &self.places[*pi];
+            let found = place.tokens.iter().enumerate().find(|(_, tok)| {
+                tok.ready <= self.cycle
+                    && match filter {
+                        ArcFilter::Unit => tok.color == Color::Unit,
+                        ArcFilter::AnyInstr => matches!(tok.color, Color::Instr(_)),
+                        ArcFilter::InstrOf(classes) => match tok.color {
+                            Color::Instr(c) => classes.contains(&c),
+                            Color::Unit => false,
+                        },
+                    }
+            });
+            match found {
+                Some((idx, _)) => binding.push((*pi, idx)),
+                None => return None,
+            }
+        }
+        Some(binding)
+    }
+
+    fn fire(&mut self, t: usize, binding: Vec<(usize, usize)>) {
+        let mut instr: Option<Color> = None;
+        for (pi, idx) in binding {
+            let tok = self.places[pi].tokens.remove(idx).expect("bound token exists");
+            if matches!(tok.color, Color::Instr(_)) {
+                instr = Some(tok.color);
+            }
+        }
+        let outputs = self.transitions[t].outputs.clone();
+        for (pi, out) in outputs {
+            let (color, ready) = match out {
+                ArcOutput::UnitNow => (Color::Unit, self.cycle),
+                ArcOutput::PassInstr => {
+                    (instr.expect("PassInstr output without instr input"), self.cycle + 1)
+                }
+            };
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.places[pi].tokens.push_back(CpnToken { color, ready, seq });
+            if self.places[pi].is_end && matches!(color, Color::Instr(_)) {
+                self.stats.retired += 1;
+                self.retire_log.push(self.cycle);
+            }
+        }
+        self.stats.fires += 1;
+    }
+
+    /// Executes one synchronous cycle: scan all transitions repeatedly,
+    /// firing enabled ones, until a pass makes no progress.
+    pub fn step(&mut self) {
+        loop {
+            self.stats.passes += 1;
+            let mut fired = false;
+            for t in 0..self.transitions.len() {
+                self.stats.scans += 1;
+                if let Some(binding) = self.find_binding(t) {
+                    self.fire(t, binding);
+                    fired = true;
+                }
+            }
+            if !fired {
+                break;
+            }
+        }
+        self.cycle += 1;
+        self.stats.cycles += 1;
+    }
+
+    /// Runs `cycles` cycles.
+    pub fn run(&mut self, cycles: u64) {
+        for _ in 0..cycles {
+            self.step();
+        }
+    }
+}
+
+impl Default for Cpn {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Lowers the structural fragment of an RCPN model into a standard CPN
+/// (Figure 2(b) encoding) and preloads `program` as the instruction stream.
+///
+/// Every non-`end` stage becomes a *free-slot* place initially holding
+/// `capacity` unit tokens; every RCPN transition additionally consumes a
+/// free slot of its destination stage and returns a slot of its source
+/// stage — the circular back-edges the paper highlights. Sources consume
+/// from a `stream` place preloaded with one instruction token per entry of
+/// `program`.
+///
+/// # Errors
+///
+/// Returns [`ConvertError`] if the model uses guards, actions, state
+/// references, reservations or extra inputs (the data-dependent features
+/// RCPN adds on top of the token game).
+pub fn convert<D, R>(model: &Model<D, R>, program: &[OpClassId]) -> Result<Cpn, ConvertError> {
+    for (i, t) in model.transitions.iter().enumerate() {
+        let tid = TransitionId::from_index(i);
+        if t.guard.is_some() || t.action.is_some() || !t.reads_states.is_empty() {
+            return Err(ConvertError::DataDependent { transition: tid });
+        }
+        if !t.reservations.is_empty() || !t.extra_inputs.is_empty() {
+            return Err(ConvertError::NonStructuralArc { transition: tid });
+        }
+    }
+
+    let mut cpn = Cpn::new();
+
+    // Free-slot place per non-end stage.
+    let mut free_of: Vec<Option<usize>> = Vec::with_capacity(model.stages.len());
+    for s in &model.stages {
+        if s.is_end {
+            free_of.push(None);
+        } else {
+            let pi = cpn.add_place(&format!("free_{}", s.name), false);
+            for _ in 0..s.capacity {
+                cpn.add_token(pi, Color::Unit);
+            }
+            free_of.push(Some(pi));
+        }
+    }
+
+    // Colored place per RCPN place.
+    let mut place_of: Vec<usize> = Vec::with_capacity(model.places.len());
+    for p in &model.places {
+        let is_end = model.stages[p.stage.index()].is_end;
+        place_of.push(cpn.add_place(&p.name, is_end));
+    }
+
+    // Stream place feeding the sources.
+    let stream = cpn.add_place("stream", false);
+    for &c in program {
+        cpn.add_token(stream, Color::Instr(c));
+    }
+
+    // Transitions with capacity claim/release back-edges.
+    for t in &model.transitions {
+        let classes: Vec<OpClassId> = model
+            .classes
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.subnet == t.subnet)
+            .map(|(i, _)| OpClassId::from_index(i))
+            .collect();
+        let src_stage = model.places[t.input.index()].stage;
+        let dst_stage = model.places[t.dest.index()].stage;
+        let mut inputs = vec![(place_of[t.input.index()], ArcFilter::InstrOf(classes))];
+        if dst_stage != src_stage {
+            if let Some(free) = free_of[dst_stage.index()] {
+                inputs.push((free, ArcFilter::Unit));
+            }
+        }
+        let mut outputs = vec![(place_of[t.dest.index()], ArcOutput::PassInstr)];
+        if dst_stage != src_stage {
+            if let Some(free) = free_of[src_stage.index()] {
+                outputs.push((free, ArcOutput::UnitNow));
+            }
+        }
+        cpn.add_transition(&t.name, inputs, outputs);
+    }
+
+    // Sources: consume a stream token and a free slot of the destination.
+    for s in &model.sources {
+        let dst_stage = model.places[s.dest.index()].stage;
+        let mut inputs = vec![(stream, ArcFilter::AnyInstr)];
+        if let Some(free) = free_of[dst_stage.index()] {
+            inputs.push((free, ArcFilter::Unit));
+        }
+        let outputs = vec![(place_of[s.dest.index()], ArcOutput::PassInstr)];
+        cpn.add_transition(&s.name, inputs, outputs);
+    }
+
+    Ok(cpn)
+}
+
+/// Side-by-side size comparison of an RCPN model and its CPN lowering —
+/// the quantitative version of the paper's Figure 1/2 argument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SizeComparison {
+    /// RCPN places.
+    pub rcpn_places: usize,
+    /// RCPN transitions (including sources).
+    pub rcpn_transitions: usize,
+    /// RCPN arcs (input + output + reservation + extra arcs).
+    pub rcpn_arcs: usize,
+    /// CPN places (including free-slot and stream places).
+    pub cpn_places: usize,
+    /// CPN transitions.
+    pub cpn_transitions: usize,
+    /// CPN arcs.
+    pub cpn_arcs: usize,
+}
+
+/// Computes the [`SizeComparison`] for a convertible model.
+///
+/// # Errors
+///
+/// Propagates [`ConvertError`] from [`convert`].
+pub fn compare_sizes<D, R>(model: &Model<D, R>) -> Result<SizeComparison, ConvertError> {
+    let cpn = convert(model, &[])?;
+    let rcpn_arcs: usize = model
+        .transitions
+        .iter()
+        .map(|t| 2 + t.reservations.len() + t.extra_inputs.len())
+        .sum::<usize>()
+        + model.sources.len();
+    Ok(SizeComparison {
+        rcpn_places: model.place_count(),
+        rcpn_transitions: model.transition_count() + model.source_count(),
+        rcpn_arcs,
+        cpn_places: cpn.place_count(),
+        cpn_transitions: cpn.transition_count(),
+        cpn_arcs: cpn.arc_count(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hand_built_pipeline_flows() {
+        // free_L1 --(fetch: stream+free_L1 -> p1)--> p1 --(u: p1+free_L2 ->
+        // p2, free_L1)--> p2 --(done: p2 -> end, free_L2)--> end
+        let mut cpn = Cpn::new();
+        let free1 = cpn.add_place("free_L1", false);
+        let free2 = cpn.add_place("free_L2", false);
+        let p1 = cpn.add_place("p1", false);
+        let p2 = cpn.add_place("p2", false);
+        let end = cpn.add_place("end", true);
+        let stream = cpn.add_place("stream", false);
+        cpn.add_token(free1, Color::Unit);
+        cpn.add_token(free2, Color::Unit);
+        let class = OpClassId::from_index(0);
+        for _ in 0..4 {
+            cpn.add_token(stream, Color::Instr(class));
+        }
+        cpn.add_transition(
+            "u",
+            vec![(p1, ArcFilter::AnyInstr), (free2, ArcFilter::Unit)],
+            vec![(p2, ArcOutput::PassInstr), (free1, ArcOutput::UnitNow)],
+        );
+        cpn.add_transition(
+            "done",
+            vec![(p2, ArcFilter::AnyInstr)],
+            vec![(end, ArcOutput::PassInstr), (free2, ArcOutput::UnitNow)],
+        );
+        cpn.add_transition(
+            "fetch",
+            vec![(stream, ArcFilter::AnyInstr), (free1, ArcFilter::Unit)],
+            vec![(p1, ArcOutput::PassInstr)],
+        );
+
+        cpn.run(10);
+        assert_eq!(cpn.stats().retired, 4, "all four instructions retire");
+        assert_eq!(cpn.tokens_in("free_L1"), 1, "capacity restored");
+        assert_eq!(cpn.tokens_in("free_L2"), 1);
+        // Steady-state throughput 1/cycle: retirements on consecutive cycles.
+        let log = cpn.retire_log();
+        for w in log.windows(2) {
+            assert_eq!(w[1] - w[0], 1);
+        }
+    }
+
+    #[test]
+    fn capacity_blocks_when_no_free_token() {
+        let mut cpn = Cpn::new();
+        let free1 = cpn.add_place("free_L1", false);
+        let p1 = cpn.add_place("p1", false);
+        let stream = cpn.add_place("stream", false);
+        cpn.add_token(free1, Color::Unit);
+        let class = OpClassId::from_index(0);
+        cpn.add_token(stream, Color::Instr(class));
+        cpn.add_token(stream, Color::Instr(class));
+        cpn.add_transition(
+            "fetch",
+            vec![(stream, ArcFilter::AnyInstr), (free1, ArcFilter::Unit)],
+            vec![(p1, ArcOutput::PassInstr)],
+        );
+        cpn.run(5);
+        // Only one instruction got in: the slot was never released.
+        assert_eq!(cpn.tokens_in("p1"), 1);
+        assert_eq!(cpn.tokens_in("stream"), 1);
+    }
+
+    #[test]
+    fn scans_count_search_cost() {
+        let mut cpn = Cpn::new();
+        let p = cpn.add_place("p", false);
+        let q = cpn.add_place("q", false);
+        cpn.add_transition("t", vec![(p, ArcFilter::Unit)], vec![(q, ArcOutput::UnitNow)]);
+        cpn.run(3);
+        // Each cycle does at least one full pass over all transitions.
+        assert!(cpn.stats().scans >= 3);
+        assert_eq!(cpn.stats().fires, 0);
+    }
+
+    #[test]
+    fn class_filter_selects_matching_tokens() {
+        let mut cpn = Cpn::new();
+        let p = cpn.add_place("p", false);
+        let a = cpn.add_place("a", true);
+        let b = cpn.add_place("b", true);
+        let c0 = OpClassId::from_index(0);
+        let c1 = OpClassId::from_index(1);
+        cpn.add_token(p, Color::Instr(c1));
+        cpn.add_token(p, Color::Instr(c0));
+        cpn.add_transition(
+            "ta",
+            vec![(p, ArcFilter::InstrOf(vec![c0]))],
+            vec![(a, ArcOutput::PassInstr)],
+        );
+        cpn.add_transition(
+            "tb",
+            vec![(p, ArcFilter::InstrOf(vec![c1]))],
+            vec![(b, ArcOutput::PassInstr)],
+        );
+        cpn.run(2);
+        assert_eq!(cpn.tokens_in("a"), 1);
+        assert_eq!(cpn.tokens_in("b"), 1);
+    }
+}

@@ -1,0 +1,814 @@
+//! The cycle-accurate simulation engine (paper, Section 4).
+//!
+//! The engine executes a [`Model`] one clock cycle at a time. The main loop
+//! mirrors Figure 8 of the paper:
+//!
+//! ```text
+//! CalculateSortedTransitions();            // done at Model::build time
+//! P = places in reverse topological order;
+//! while program not finished
+//!     foreach two-list place p: mark written tokens available for read;
+//!     foreach place p in P: Process(p);
+//!     execute the instruction-independent sub-net (sources);
+//!     increment cycle count;
+//! ```
+//!
+//! `Process(p)` (Figure 7) walks the instruction tokens resident in `p` and,
+//! for each, tries the statically sorted transition list of the token's
+//! operation class; the first enabled transition fires and the token moves
+//! on.
+//!
+//! The engine plays the role of the paper's *generated* simulator: at
+//! construction it partially evaluates the model into flat hot tables
+//! (per-transition capacity/delay/destination facts, flattened sorted
+//! transition lists), so the per-cycle loop touches only dense arrays plus
+//! the model's guard/action closures.
+//!
+//! Three optimizations from the paper are implemented and individually
+//! switchable through [`EngineConfig`] so their contribution can be measured
+//! (see the `ablations` bench):
+//!
+//! * [`TableMode::PerPlaceClass`] — the `sorted_transitions[p, IType]`
+//!   table; alternatives re-introduce the search cost the paper eliminates.
+//! * Reverse-topological evaluation with two-list storage only on feedback
+//!   places; [`EngineConfig::two_list_everywhere`] instead runs the generic
+//!   two-storage fixpoint scheme for every place, like a naive synchronous
+//!   Petri-net simulator.
+
+use crate::ids::{PlaceId, SourceId, TokenId, TransitionId};
+use crate::model::{Fx, Machine, Model};
+use crate::stats::Stats;
+use crate::token::{InstrData, TokenKind, TokenPool};
+
+/// How `Process(p)` locates candidate transitions for a token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TableMode {
+    /// The paper's optimization: a pre-sorted list per (place, class).
+    #[default]
+    PerPlaceClass,
+    /// A pre-sorted list per place; class membership checked dynamically.
+    PerPlace,
+    /// No tables: scan every transition of the net for each token, the way
+    /// a generic Petri-net simulator searches for enabled transitions.
+    FullScan,
+}
+
+/// Engine tuning knobs; the defaults enable every optimization.
+#[derive(Debug, Clone, Default)]
+pub struct EngineConfig {
+    /// Candidate-transition lookup strategy.
+    pub table_mode: TableMode,
+    /// Use two-storage (master/slave) token lists for *every* place and a
+    /// per-cycle fixpoint search instead of the reverse-topological single
+    /// pass. This is the "usual, computationally expensive solution" the
+    /// paper avoids.
+    pub two_list_everywhere: bool,
+    /// Accumulate per-place occupancy statistics (small per-cycle cost).
+    pub collect_occupancy: bool,
+    /// Record a [`TraceEvent`] log (for model validation / CPN equivalence
+    /// checks).
+    pub trace: bool,
+}
+
+/// One recorded simulation event (enabled by [`EngineConfig::trace`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A transition fired, moving the token with sequence number `seq`.
+    Fired {
+        /// Cycle of the firing.
+        cycle: u64,
+        /// The transition.
+        transition: TransitionId,
+        /// Sequence number of the moved token.
+        seq: u64,
+    },
+    /// A source generated a token.
+    Generated {
+        /// Cycle of the generation.
+        cycle: u64,
+        /// The source.
+        source: SourceId,
+        /// Sequence number of the new token.
+        seq: u64,
+    },
+    /// An instruction token reached an `end` place.
+    Retired {
+        /// Cycle of the retirement.
+        cycle: u64,
+        /// The end place reached.
+        place: PlaceId,
+        /// Sequence number of the retired token.
+        seq: u64,
+    },
+    /// A token was squashed by a flush.
+    Flushed {
+        /// Cycle of the flush.
+        cycle: u64,
+        /// The flushed place.
+        place: PlaceId,
+        /// Sequence number of the squashed token.
+        seq: u64,
+    },
+}
+
+/// Why [`Engine::run`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The model requested a halt (e.g. an exit system call).
+    Halted,
+    /// The cycle budget was exhausted first.
+    CycleLimit,
+}
+
+/// Partially evaluated per-transition facts (one cache line of PODs).
+#[derive(Debug, Clone, Copy)]
+struct HotTrans {
+    dest: u32,
+    dest_stage: u32,
+    /// Capacity check can be skipped: destination is `end` or shares the
+    /// input's stage.
+    cap_exempt: bool,
+    dest_is_end: bool,
+    /// `transition.delay + dest place delay` (the no-override ready delta).
+    base_ready: u64,
+    /// `transition.delay` alone (token-delay override case).
+    tdelay: u64,
+    cap: u32,
+    has_guard: bool,
+    has_action: bool,
+    has_extra: bool,
+    has_res: bool,
+}
+
+/// Partially evaluated per-place facts.
+#[derive(Debug, Clone, Copy)]
+struct HotPlace {
+    stage: u32,
+    two_list: bool,
+    delay: u64,
+    cap: u32,
+    is_end: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct HotSource {
+    dest: u32,
+    width: u32,
+}
+
+/// The RCPN cycle-accurate simulator.
+///
+/// Created from a validated [`Model`] and an initial [`Machine`]; stepped
+/// with [`Engine::step`] or driven with [`Engine::run`].
+pub struct Engine<D: InstrData, R> {
+    model: Model<D, R>,
+    machine: Machine<R>,
+    pool: TokenPool<D>,
+    live: Vec<Vec<TokenId>>,
+    pending: Vec<Vec<TokenId>>,
+    stage_occ: Vec<u32>,
+    /// Effective evaluation order (reverse topological, or declaration
+    /// order when `two_list_everywhere`).
+    order: Vec<PlaceId>,
+    two_list_places: Vec<PlaceId>,
+    res_places: Vec<PlaceId>,
+    full_scan_order: Vec<TransitionId>,
+    hot: Vec<HotTrans>,
+    hot_place: Vec<HotPlace>,
+    hot_source: Vec<HotSource>,
+    /// Flattened sorted_transitions: spans into `tab_flat` indexed by
+    /// `place * n_classes + class`.
+    tab_flat: Vec<u32>,
+    tab_span: Vec<(u32, u16)>,
+    n_classes: usize,
+    cfg: EngineConfig,
+    stats: Stats,
+    halted: bool,
+    cycle: u64,
+    trace: Vec<TraceEvent>,
+    scratch: Vec<TokenId>,
+}
+
+impl<D: InstrData, R> Engine<D, R> {
+    /// Creates an engine with the default (fully optimized) configuration.
+    pub fn new(model: Model<D, R>, machine: Machine<R>) -> Self {
+        Self::with_config(model, machine, EngineConfig::default())
+    }
+
+    /// Creates an engine with an explicit configuration.
+    pub fn with_config(model: Model<D, R>, machine: Machine<R>, cfg: EngineConfig) -> Self {
+        let n_places = model.place_count();
+        let (order, two_list): (Vec<PlaceId>, Vec<bool>) = if cfg.two_list_everywhere {
+            ((0..n_places).map(PlaceId::from_index).collect(), vec![true; n_places])
+        } else {
+            (
+                model.analysis.order.clone(),
+                (0..n_places).map(|i| model.analysis.two_list[i]).collect(),
+            )
+        };
+        let two_list_places: Vec<PlaceId> = (0..n_places)
+            .map(PlaceId::from_index)
+            .filter(|p| two_list[p.index()])
+            .collect();
+        let mut res_places: Vec<PlaceId> = model
+            .transitions
+            .iter()
+            .flat_map(|t| t.reservations.iter().map(|r| r.place))
+            .collect();
+        res_places.sort();
+        res_places.dedup();
+        let mut full_scan_order: Vec<TransitionId> = model.transition_ids().collect();
+        full_scan_order.sort_by_key(|t| (model.transitions[t.index()].priority, t.index()));
+
+        // Partial evaluation of the static structure into flat tables.
+        let hot_place: Vec<HotPlace> = model
+            .places
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let st = &model.stages[p.stage.index()];
+                HotPlace {
+                    stage: p.stage.index() as u32,
+                    two_list: two_list[i],
+                    delay: u64::from(p.delay),
+                    cap: st.capacity,
+                    is_end: st.is_end,
+                }
+            })
+            .collect();
+        let hot: Vec<HotTrans> = model
+            .transitions
+            .iter()
+            .map(|t| {
+                let dp = &hot_place[t.dest.index()];
+                let sp = &hot_place[t.input.index()];
+                HotTrans {
+                    dest: t.dest.index() as u32,
+                    dest_stage: dp.stage,
+                    cap_exempt: dp.is_end || dp.stage == sp.stage,
+                    dest_is_end: dp.is_end,
+                    base_ready: u64::from(t.delay) + dp.delay,
+                    tdelay: u64::from(t.delay),
+                    cap: dp.cap,
+                    has_guard: t.guard.is_some(),
+                    has_action: t.action.is_some(),
+                    has_extra: !t.extra_inputs.is_empty(),
+                    has_res: !t.reservations.is_empty(),
+                }
+            })
+            .collect();
+        let hot_source: Vec<HotSource> = model
+            .sources
+            .iter()
+            .map(|s| HotSource { dest: s.dest.index() as u32, width: s.max_per_cycle })
+            .collect();
+        let n_classes = model.analysis.n_classes;
+        let mut tab_flat: Vec<u32> = Vec::new();
+        let mut tab_span: Vec<(u32, u16)> = Vec::with_capacity(n_places * n_classes);
+        for list in &model.analysis.sorted {
+            let start = tab_flat.len() as u32;
+            tab_flat.extend(list.iter().map(|t| t.index() as u32));
+            tab_span.push((start, list.len() as u16));
+        }
+
+        let stats =
+            Stats::new(model.transition_count(), model.source_count(), model.place_count());
+        Engine {
+            live: vec![Vec::new(); n_places],
+            pending: vec![Vec::new(); n_places],
+            stage_occ: vec![0; model.stage_count()],
+            order,
+            two_list_places,
+            res_places,
+            full_scan_order,
+            hot,
+            hot_place,
+            hot_source,
+            tab_flat,
+            tab_span,
+            n_classes,
+            cfg,
+            stats,
+            halted: false,
+            cycle: 0,
+            trace: Vec::new(),
+            scratch: Vec::new(),
+            model,
+            machine,
+            pool: TokenPool::new(),
+        }
+    }
+
+    /// The model being simulated.
+    pub fn model(&self) -> &Model<D, R> {
+        &self.model
+    }
+
+    /// The machine state.
+    pub fn machine(&self) -> &Machine<R> {
+        &self.machine
+    }
+
+    /// Mutable machine state (for initialization between runs).
+    pub fn machine_mut(&mut self) -> &mut Machine<R> {
+        &mut self.machine
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Current cycle number.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Whether a halt was requested.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Number of tokens (live + pending) currently in `place`.
+    pub fn tokens_in(&self, place: PlaceId) -> usize {
+        self.live[place.index()].len() + self.pending[place.index()].len()
+    }
+
+    /// Total number of in-flight tokens.
+    pub fn live_tokens(&self) -> usize {
+        self.pool.live()
+    }
+
+    /// Drains and returns the recorded trace.
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.trace)
+    }
+
+    /// Injects an instruction token directly into a place (testing and
+    /// model-bring-up aid). The token becomes eligible after the place's
+    /// default delay.
+    pub fn inject(&mut self, payload: D, place: PlaceId) -> TokenId {
+        let ready = self.cycle + self.hot_place[place.index()].delay;
+        let id =
+            self.pool.alloc(TokenKind::Instruction, Some(payload), place, self.cycle, ready);
+        self.insert_token(id, place.index() as u32);
+        self.stats.generated += 1;
+        id
+    }
+
+    /// Executes one clock cycle (Figure 8 main loop body).
+    pub fn step(&mut self) {
+        self.machine.cycle = self.cycle;
+
+        // 1. Two-list commit: written tokens become readable.
+        for i in 0..self.two_list_places.len() {
+            let p = self.two_list_places[i];
+            if self.pending[p.index()].is_empty() {
+                continue;
+            }
+            let mut moved = std::mem::take(&mut self.pending[p.index()]);
+            for &id in &moved {
+                self.machine.regs.note_move(id, p);
+            }
+            self.stats.two_list_commits += moved.len() as u64;
+            self.live[p.index()].append(&mut moved);
+        }
+
+        // 2. Reservation expiry: reservation tokens whose residency elapsed
+        //    release their stage capacity ("in the next cycle, this token
+        //    is consumed").
+        for i in 0..self.res_places.len() {
+            let p = self.res_places[i];
+            if self.live[p.index()].is_empty() {
+                continue;
+            }
+            let cycle = self.cycle;
+            let mut expired: Vec<TokenId> = Vec::new();
+            self.live[p.index()].retain(|&id| {
+                let t = self.pool.get(id).expect("reservation token must be live");
+                if t.kind == TokenKind::Reservation && t.ready_at <= cycle {
+                    expired.push(id);
+                    false
+                } else {
+                    true
+                }
+            });
+            let stage = self.hot_place[p.index()].stage as usize;
+            for id in expired {
+                self.pool.take(id);
+                self.stage_occ[stage] -= 1;
+            }
+        }
+
+        // 3. Process places.
+        if !self.halted {
+            if self.cfg.two_list_everywhere {
+                // Generic synchronous scheme: scan for enabled transitions
+                // until a fixpoint — the expensive search RCPN avoids.
+                let max_passes = self.order.len() + 1;
+                for _ in 0..max_passes {
+                    let mut any = false;
+                    for i in 0..self.order.len() {
+                        let p = self.order[i];
+                        if self.process_place(p) {
+                            any = true;
+                        }
+                        if self.halted {
+                            break;
+                        }
+                    }
+                    if !any || self.halted {
+                        break;
+                    }
+                }
+            } else {
+                for i in 0..self.order.len() {
+                    let p = self.order[i];
+                    self.process_place(p);
+                    if self.halted {
+                        break;
+                    }
+                }
+            }
+        }
+
+        // 4. Instruction-independent sub-net: generate new tokens.
+        if !self.halted {
+            self.run_sources();
+        }
+
+        if self.cfg.collect_occupancy {
+            for p in 0..self.live.len() {
+                self.stats.occupancy[p] +=
+                    (self.live[p].len() + self.pending[p].len()) as u64;
+            }
+        }
+
+        self.cycle += 1;
+        self.stats.cycles += 1;
+    }
+
+    /// Runs until the model halts or `max_cycles` have executed.
+    pub fn run(&mut self, max_cycles: u64) -> RunOutcome {
+        let limit = self.cycle.saturating_add(max_cycles);
+        while !self.halted && self.cycle < limit {
+            self.step();
+        }
+        if self.halted {
+            RunOutcome::Halted
+        } else {
+            RunOutcome::CycleLimit
+        }
+    }
+
+    /// Figure 7: processes the instruction tokens of one place. Returns
+    /// whether any transition fired.
+    fn process_place(&mut self, p: PlaceId) -> bool {
+        let pi = p.index();
+        if self.live[pi].is_empty() {
+            return false;
+        }
+        let mut snapshot = std::mem::take(&mut self.scratch);
+        snapshot.clear();
+        snapshot.extend_from_slice(&self.live[pi]);
+        let mut fired_any = false;
+
+        for &id in &snapshot {
+            let Some(tok) = self.pool.get(id) else { continue };
+            if tok.place != p || tok.kind != TokenKind::Instruction || tok.ready_at > self.cycle
+            {
+                continue;
+            }
+            let class = tok.data.as_ref().expect("instruction token has data").op_class();
+            let fired = match self.cfg.table_mode {
+                TableMode::PerPlaceClass => {
+                    let (start, len) = self.tab_span[pi * self.n_classes + class.index()];
+                    let mut fired = false;
+                    for k in start..start + u32::from(len) {
+                        let tid = self.tab_flat[k as usize] as usize;
+                        if self.try_fire(tid, id, p) {
+                            fired = true;
+                            break;
+                        }
+                    }
+                    fired
+                }
+                TableMode::PerPlace => {
+                    let len = self.model.analysis.by_place[pi].len();
+                    let subnet = self.model.classes[class.index()].subnet;
+                    let mut fired = false;
+                    for k in 0..len {
+                        let tid = self.model.analysis.by_place[pi][k];
+                        if self.model.transitions[tid.index()].subnet != subnet {
+                            continue;
+                        }
+                        if self.try_fire(tid.index(), id, p) {
+                            fired = true;
+                            break;
+                        }
+                    }
+                    fired
+                }
+                TableMode::FullScan => {
+                    let subnet = self.model.classes[class.index()].subnet;
+                    let mut fired = false;
+                    for k in 0..self.full_scan_order.len() {
+                        let tid = self.full_scan_order[k];
+                        let t = &self.model.transitions[tid.index()];
+                        if t.input != p || t.subnet != subnet {
+                            continue;
+                        }
+                        if self.try_fire(tid.index(), id, p) {
+                            fired = true;
+                            break;
+                        }
+                    }
+                    fired
+                }
+            };
+            if fired {
+                fired_any = true;
+            } else {
+                self.stats.stalls += 1;
+                self.stats.place_stalls[pi] += 1;
+            }
+            if self.halted {
+                break;
+            }
+        }
+
+        self.scratch = snapshot;
+        fired_any
+    }
+
+    /// Checks capacity / extra inputs / guard; fires if enabled.
+    #[inline]
+    fn try_fire(&mut self, tid: usize, token: TokenId, place: PlaceId) -> bool {
+        let h = self.hot[tid];
+        if !h.cap_exempt && self.stage_occ[h.dest_stage as usize] >= h.cap {
+            self.stats.capacity_blocks += 1;
+            return false;
+        }
+        if h.has_extra {
+            for k in 0..self.model.transitions[tid].extra_inputs.len() {
+                let x = self.model.transitions[tid].extra_inputs[k];
+                if self.oldest_ready(x).is_none() {
+                    return false;
+                }
+            }
+        }
+        if h.has_guard {
+            let guard =
+                self.model.transitions[tid].guard.as_ref().expect("has_guard implies guard");
+            let tok = self.pool.get(token).expect("token live during guard");
+            let data = tok.data.as_ref().expect("instruction token has data");
+            if !guard(&self.machine, data) {
+                self.stats.guard_fails += 1;
+                return false;
+            }
+        }
+        self.fire(tid, h, token, place);
+        true
+    }
+
+    /// The oldest ready token in `place` (any kind), if one exists.
+    fn oldest_ready(&self, place: PlaceId) -> Option<TokenId> {
+        self.live[place.index()]
+            .iter()
+            .copied()
+            .filter(|&id| self.pool.get(id).is_some_and(|t| t.ready_at <= self.cycle))
+            .min_by_key(|&id| self.pool.get(id).expect("live token").seq())
+    }
+
+    #[inline]
+    fn remove_from_place(&mut self, place: usize, id: TokenId) {
+        let list = &mut self.live[place];
+        let pos = list.iter().position(|&x| x == id).expect("token listed in its place");
+        list.remove(pos);
+        self.stage_occ[self.hot_place[place].stage as usize] -= 1;
+    }
+
+    #[inline]
+    fn insert_token(&mut self, id: TokenId, place: u32) {
+        let hp = self.hot_place[place as usize];
+        if hp.two_list {
+            self.pending[place as usize].push(id);
+        } else {
+            self.live[place as usize].push(id);
+            self.machine.regs.note_move(id, PlaceId::from_index(place as usize));
+        }
+        self.stage_occ[hp.stage as usize] += 1;
+    }
+
+    /// Fires transition `tid`, moving `token` from `place` to the
+    /// destination.
+    fn fire(&mut self, tid: usize, h: HotTrans, token: TokenId, place: PlaceId) {
+        let cycle = self.cycle;
+
+        // Consume extra-input tokens (joins) first.
+        if h.has_extra {
+            for k in 0..self.model.transitions[tid].extra_inputs.len() {
+                let x = self.model.transitions[tid].extra_inputs[k];
+                let victim = self
+                    .oldest_ready(x)
+                    .expect("extra input availability was checked in try_fire");
+                self.remove_from_place(x.index(), victim);
+                let t = self.pool.take(victim);
+                if t.kind == TokenKind::Instruction {
+                    self.machine.regs.release(victim);
+                }
+            }
+        }
+
+        self.remove_from_place(place.index(), token);
+
+        // Run the action.
+        let mut fx = Fx::new(Some(token));
+        let mut has_fx = false;
+        if h.has_action {
+            let action =
+                self.model.transitions[tid].action.as_ref().expect("has_action implies action");
+            let tok = self.pool.get_mut(token).expect("firing token is live");
+            let data = tok.data.as_mut().expect("instruction token has data");
+            action(&mut self.machine, data, &mut fx);
+            has_fx = !fx.emits.is_empty() || !fx.flush_places.is_empty() || fx.halt;
+        }
+
+        // Move the token.
+        let mut seq = 0;
+        if h.dest_is_end {
+            let tok = self.pool.take(token);
+            if self.cfg.trace {
+                seq = tok.seq;
+            }
+            let leaked = self.machine.regs.release(token);
+            self.stats.leaked_reservations += leaked as u64;
+            self.stats.retired += 1;
+            if self.cfg.trace {
+                self.trace.push(TraceEvent::Retired {
+                    cycle,
+                    place: PlaceId::from_index(h.dest as usize),
+                    seq,
+                });
+            }
+        } else {
+            let eff = match fx.token_delay {
+                None => h.base_ready,
+                Some(d) => h.tdelay + u64::from(d),
+            };
+            let tok = self.pool.get_mut(token).expect("firing token is live");
+            tok.place = PlaceId::from_index(h.dest as usize);
+            tok.arrived_at = cycle;
+            tok.ready_at = cycle + eff;
+            if self.cfg.trace {
+                seq = tok.seq;
+            }
+            self.insert_token(token, h.dest);
+        }
+
+        // Reservation-token output arcs.
+        if h.has_res {
+            for k in 0..self.model.transitions[tid].reservations.len() {
+                let r = self.model.transitions[tid].reservations[k];
+                let rid = self.pool.alloc(
+                    TokenKind::Reservation,
+                    None,
+                    r.place,
+                    cycle,
+                    cycle + u64::from(r.expire),
+                );
+                // Reservations occupy immediately; they are not deferred
+                // even on two-list places, since their only observable
+                // effect is stage occupancy (which is always next-state).
+                self.live[r.place.index()].push(rid);
+                self.stage_occ[self.hot_place[r.place.index()].stage as usize] += 1;
+                self.stats.reservations += 1;
+            }
+        }
+
+        if has_fx {
+            self.apply_fx(fx);
+        }
+        self.stats.fires[tid] += 1;
+        if self.cfg.trace {
+            self.trace.push(TraceEvent::Fired {
+                cycle,
+                transition: TransitionId::from_index(tid),
+                seq,
+            });
+        }
+    }
+
+    fn apply_fx(&mut self, fx: Fx<D>) {
+        let cycle = self.cycle;
+        for (payload, place, delay) in fx.emits {
+            let id = self.pool.alloc(
+                TokenKind::Instruction,
+                Some(payload),
+                place,
+                cycle,
+                cycle + u64::from(delay),
+            );
+            self.insert_token(id, place.index() as u32);
+            self.stats.emitted += 1;
+        }
+        for place in fx.flush_places {
+            self.flush_place(place);
+        }
+        if fx.halt {
+            self.halted = true;
+        }
+    }
+
+    /// Squashes every token in `place`, releasing register reservations.
+    pub fn flush_place(&mut self, place: PlaceId) {
+        let ids: Vec<TokenId> = self.live[place.index()]
+            .drain(..)
+            .chain(self.pending[place.index()].drain(..))
+            .collect();
+        let stage = self.hot_place[place.index()].stage as usize;
+        for id in ids {
+            let mut tok = self.pool.take(id);
+            if tok.kind == TokenKind::Instruction {
+                self.machine.regs.release(id);
+                if let Some(handler) = &self.model.squash_handler {
+                    let data = tok.data.as_mut().expect("instruction token has data");
+                    handler(&mut self.machine, data);
+                }
+            }
+            self.stage_occ[stage] -= 1;
+            self.stats.flushed += 1;
+            if self.cfg.trace {
+                self.trace.push(TraceEvent::Flushed { cycle: self.cycle, place, seq: tok.seq });
+            }
+        }
+    }
+
+    /// Executes the instruction-independent sub-net (all sources).
+    fn run_sources(&mut self) {
+        let cycle = self.cycle;
+        for si in 0..self.hot_source.len() {
+            let hs = self.hot_source[si];
+            let hp = self.hot_place[hs.dest as usize];
+            for _ in 0..hs.width {
+                if !hp.is_end && self.stage_occ[hp.stage as usize] >= hp.cap {
+                    break;
+                }
+                if let Some(guard) = &self.model.sources[si].guard {
+                    if !guard(&self.machine) {
+                        break;
+                    }
+                }
+                let mut fx = Fx::new(None);
+                let payload = {
+                    let produce = &self.model.sources[si].produce;
+                    produce(&mut self.machine, &mut fx)
+                };
+                let produced = payload.is_some();
+                if let Some(data) = payload {
+                    let eff = match fx.token_delay {
+                        None => hp.delay,
+                        Some(d) => u64::from(d),
+                    };
+                    let id = self.pool.alloc(
+                        TokenKind::Instruction,
+                        Some(data),
+                        PlaceId::from_index(hs.dest as usize),
+                        cycle,
+                        cycle + eff,
+                    );
+                    self.insert_token(id, hs.dest);
+                    self.stats.generated += 1;
+                    self.stats.source_fires[si] += 1;
+                    if self.cfg.trace {
+                        let seq = self.pool.get(id).expect("just allocated").seq();
+                        self.trace.push(TraceEvent::Generated {
+                            cycle,
+                            source: SourceId::from_index(si),
+                            seq,
+                        });
+                    }
+                }
+                if !fx.emits.is_empty() || !fx.flush_places.is_empty() || fx.halt {
+                    self.apply_fx(fx);
+                }
+                if self.halted || !produced {
+                    break;
+                }
+            }
+            if self.halted {
+                break;
+            }
+        }
+    }
+}
+
+impl<D: InstrData, R> std::fmt::Debug for Engine<D, R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("cycle", &self.cycle)
+            .field("halted", &self.halted)
+            .field("live_tokens", &self.pool.live())
+            .finish()
+    }
+}

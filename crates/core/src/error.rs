@@ -1,0 +1,102 @@
+//! Error types reported while constructing an RCPN model.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::ids::{OpClassId, PlaceId, StageId, SubnetId, TransitionId};
+
+/// An error produced while building or validating an RCPN model.
+///
+/// Returned by [`crate::builder::ModelBuilder::build`]. Each variant points
+/// at the offending entity so the model author can locate the mistake.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BuildError {
+    /// A place refers to a stage id that was never declared.
+    UnknownStage { place: PlaceId, stage: StageId },
+    /// A transition refers to a place id that was never declared.
+    UnknownPlace { transition: TransitionId, place: PlaceId },
+    /// A transition was declared without a destination place.
+    MissingDestination { transition: TransitionId },
+    /// A transition was declared without an input place. Token-consuming
+    /// transitions must have exactly one instruction-token input; use a
+    /// source transition for token generation instead.
+    MissingInput { transition: TransitionId },
+    /// An operation class refers to a sub-net that was never declared.
+    UnknownSubnet { class: OpClassId, subnet: SubnetId },
+    /// A stage was declared with a capacity of zero.
+    ZeroCapacity { stage: StageId },
+    /// Two transitions on the same input place and sub-net share a priority,
+    /// which would make the firing order ambiguous.
+    DuplicatePriority {
+        place: PlaceId,
+        subnet: SubnetId,
+        priority: u32,
+        first: TransitionId,
+        second: TransitionId,
+    },
+    /// The model contains no operation classes, so no instruction token can
+    /// ever be dispatched.
+    NoOpClasses,
+    /// A name was reused for two different entities of the same kind.
+    DuplicateName { kind: &'static str, name: String },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UnknownStage { place, stage } => {
+                write!(f, "place {place} refers to undeclared stage {stage}")
+            }
+            BuildError::UnknownPlace { transition, place } => {
+                write!(f, "transition {transition} refers to undeclared place {place}")
+            }
+            BuildError::MissingDestination { transition } => {
+                write!(f, "transition {transition} has no destination place")
+            }
+            BuildError::MissingInput { transition } => {
+                write!(f, "transition {transition} has no input place")
+            }
+            BuildError::UnknownSubnet { class, subnet } => {
+                write!(f, "operation class {class} refers to undeclared sub-net {subnet}")
+            }
+            BuildError::ZeroCapacity { stage } => {
+                write!(f, "stage {stage} was declared with capacity zero")
+            }
+            BuildError::DuplicatePriority { place, subnet, priority, first, second } => {
+                write!(
+                    f,
+                    "transitions {first} and {second} on place {place} in sub-net {subnet} \
+                     share priority {priority}"
+                )
+            }
+            BuildError::NoOpClasses => {
+                write!(f, "model declares no operation classes")
+            }
+            BuildError::DuplicateName { kind, name } => {
+                write!(f, "duplicate {kind} name {name:?}")
+            }
+        }
+    }
+}
+
+impl Error for BuildError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let e = BuildError::NoOpClasses;
+        let s = e.to_string();
+        assert!(!s.is_empty());
+        assert!(s.chars().next().unwrap().is_lowercase());
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn takes_error<E: Error>(_: E) {}
+        takes_error(BuildError::NoOpClasses);
+    }
+}

@@ -1,0 +1,161 @@
+//! Dense, copyable identifiers for every entity in an RCPN model.
+//!
+//! All model entities (stages, places, transitions, sub-nets, operation
+//! classes) are stored in flat vectors inside [`crate::model::Model`]; the id
+//! types below are newtyped indices into those vectors. Tokens additionally
+//! carry a generation counter so that a stale [`TokenId`] (e.g. one recorded
+//! in the register scoreboard before its instruction was squashed) can never
+//! be confused with a recycled pool slot.
+
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$meta:meta])* $name:ident, $tag:literal) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub(crate) u32);
+
+        impl $name {
+            /// Returns the raw index of this id.
+            ///
+            /// Useful for indexing user-side side tables that parallel the
+            /// model's own storage (e.g. per-place counters).
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Builds an id from a raw index.
+            ///
+            /// The index is not validated here; passing an index that does
+            /// not belong to the model that produced it will cause a panic
+            /// later, when the id is used.
+            #[inline]
+            pub fn from_index(index: usize) -> Self {
+                $name(index as u32)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifies a pipeline stage (latch, reservation station, or other
+    /// storage element an instruction can reside in).
+    StageId,
+    "S"
+);
+define_id!(
+    /// Identifies a place: the state of an instruction, bound to a stage.
+    PlaceId,
+    "P"
+);
+define_id!(
+    /// Identifies a transition: the functionality executed when an
+    /// instruction changes state.
+    TransitionId,
+    "T"
+);
+define_id!(
+    /// Identifies a source transition: a transition with no input place that
+    /// belongs to the instruction-independent sub-net (e.g. fetch).
+    SourceId,
+    "F"
+);
+define_id!(
+    /// Identifies a sub-net. Every operation class owns one sub-net; the
+    /// instruction-independent portion of the model is a sub-net too.
+    SubnetId,
+    "N"
+);
+define_id!(
+    /// Identifies an operation class: a group of instructions that flow
+    /// through the same pipeline path and share a binary format.
+    OpClassId,
+    "C"
+);
+define_id!(
+    /// Identifies a register in a [`crate::reg::RegisterFile`].
+    RegId,
+    "R"
+);
+
+/// Identifies an in-flight token. Combines a pool slot with a generation
+/// counter so recycled slots do not alias old tokens.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TokenId {
+    pub(crate) slot: u32,
+    pub(crate) gen: u32,
+}
+
+impl TokenId {
+    /// Returns the pool slot of the token.
+    #[inline]
+    pub fn slot(self) -> usize {
+        self.slot as usize
+    }
+
+    /// Returns the generation counter of the token.
+    #[inline]
+    pub fn generation(self) -> u32 {
+        self.gen
+    }
+}
+
+impl fmt::Debug for TokenId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tok{}.{}", self.slot, self.gen)
+    }
+}
+
+impl fmt::Display for TokenId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_roundtrip() {
+        let p = PlaceId::from_index(7);
+        assert_eq!(p.index(), 7);
+        assert_eq!(format!("{p}"), "P7");
+        assert_eq!(format!("{p:?}"), "P7");
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let a = StageId::from_index(1);
+        let b = StageId::from_index(2);
+        assert!(a < b);
+        let mut set = HashSet::new();
+        set.insert(a);
+        set.insert(b);
+        set.insert(a);
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn token_id_distinguishes_generations() {
+        let t1 = TokenId { slot: 3, gen: 0 };
+        let t2 = TokenId { slot: 3, gen: 1 };
+        assert_ne!(t1, t2);
+        assert_eq!(t1.slot(), t2.slot());
+        assert_eq!(format!("{t2}"), "tok3.1");
+    }
+}

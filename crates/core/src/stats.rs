@@ -1,0 +1,144 @@
+//! Simulation statistics.
+//!
+//! Cycle-accurate simulators exist to produce performance metrics — cycle
+//! counts, CPI, utilization (paper, Section 1). The engine maintains a
+//! [`Stats`] block with cheap counters; per-transition and per-place
+//! breakdowns support the utilization reports.
+
+use crate::ids::{PlaceId, TransitionId};
+
+/// Counters maintained by [`crate::engine::Engine`].
+#[derive(Debug, Clone, Default)]
+pub struct Stats {
+    /// Simulated cycles executed.
+    pub cycles: u64,
+    /// Instruction tokens that reached an `end`-stage place.
+    pub retired: u64,
+    /// Instruction tokens created by sources.
+    pub generated: u64,
+    /// Instruction tokens created by `Fx::emit` (micro-ops).
+    pub emitted: u64,
+    /// Tokens removed by flushes (squashes).
+    pub flushed: u64,
+    /// Reservation tokens created.
+    pub reservations: u64,
+    /// Register reservations force-released at retire time (model leaks).
+    pub leaked_reservations: u64,
+    /// Guard evaluations that returned false.
+    pub guard_fails: u64,
+    /// Enabling attempts rejected for lack of destination capacity.
+    pub capacity_blocks: u64,
+    /// Ready instruction tokens that found no enabled transition this cycle.
+    pub stalls: u64,
+    /// Tokens committed from pending to live storage (two-list places).
+    pub two_list_commits: u64,
+    /// Fire count per transition.
+    pub fires: Vec<u64>,
+    /// Fire count per source.
+    pub source_fires: Vec<u64>,
+    /// Per-place stall counts (ready token, nothing fired).
+    pub place_stalls: Vec<u64>,
+    /// Per-place cumulative occupancy (token-cycles), for utilization.
+    pub occupancy: Vec<u64>,
+}
+
+impl Stats {
+    pub(crate) fn new(n_transitions: usize, n_sources: usize, n_places: usize) -> Self {
+        Stats {
+            fires: vec![0; n_transitions],
+            source_fires: vec![0; n_sources],
+            place_stalls: vec![0; n_places],
+            occupancy: vec![0; n_places],
+            ..Default::default()
+        }
+    }
+
+    /// Cycles per instruction.
+    ///
+    /// Returns `None` until at least one instruction has retired.
+    pub fn cpi(&self) -> Option<f64> {
+        if self.retired == 0 {
+            None
+        } else {
+            Some(self.cycles as f64 / self.retired as f64)
+        }
+    }
+
+    /// Instructions per cycle.
+    ///
+    /// Returns `None` until at least one cycle has executed.
+    pub fn ipc(&self) -> Option<f64> {
+        if self.cycles == 0 {
+            None
+        } else {
+            Some(self.retired as f64 / self.cycles as f64)
+        }
+    }
+
+    /// Fire count of one transition.
+    pub fn fires_of(&self, t: TransitionId) -> u64 {
+        self.fires[t.index()]
+    }
+
+    /// Stall count of one place.
+    pub fn stalls_of(&self, p: PlaceId) -> u64 {
+        self.place_stalls[p.index()]
+    }
+
+    /// Mean occupancy of one place (tokens per cycle).
+    pub fn mean_occupancy(&self, p: PlaceId) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.occupancy[p.index()] as f64 / self.cycles as f64
+        }
+    }
+
+    /// A compact human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "cycles={} retired={} cpi={} generated={} emitted={} flushed={} stalls={}",
+            self.cycles,
+            self.retired,
+            self.cpi().map_or_else(|| "n/a".to_string(), |c| format!("{c:.3}")),
+            self.generated,
+            self.emitted,
+            self.flushed,
+            self.stalls,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpi_and_ipc() {
+        let mut s = Stats::new(2, 1, 3);
+        assert_eq!(s.cpi(), None);
+        assert_eq!(s.ipc(), None);
+        s.cycles = 100;
+        s.retired = 50;
+        assert_eq!(s.cpi(), Some(2.0));
+        assert_eq!(s.ipc(), Some(0.5));
+    }
+
+    #[test]
+    fn summary_mentions_key_counters() {
+        let mut s = Stats::new(0, 0, 0);
+        s.cycles = 7;
+        let txt = s.summary();
+        assert!(txt.contains("cycles=7"));
+        assert!(txt.contains("cpi=n/a"));
+    }
+
+    #[test]
+    fn occupancy_mean() {
+        let mut s = Stats::new(0, 0, 2);
+        s.cycles = 10;
+        s.occupancy[1] = 25;
+        assert_eq!(s.mean_occupancy(PlaceId::from_index(1)), 2.5);
+        assert_eq!(s.mean_occupancy(PlaceId::from_index(0)), 0.0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Property-based tests on the RCPN core data structures: the register
+//! scoreboard's hazard discipline and the static analysis' ordering
+//! guarantees hold for arbitrary inputs.
+
+use proptest::prelude::*;
+use rcpn::ids::{PlaceId, TokenId};
+use rcpn::reg::{Operand, RegisterFile};
+
+fn tid(n: u32) -> TokenId {
+    // TokenIds normally come from the engine pool; for scoreboard-only
+    // tests any distinct ids work.
+    let mut pool = rcpn::token::TokenPool::<u32>::new();
+    let mut last = None;
+    for _ in 0..=n {
+        last = Some(pool.alloc(
+            rcpn::token::TokenKind::Instruction,
+            Some(0),
+            PlaceId::from_index(0),
+            0,
+            0,
+        ));
+    }
+    last.expect("allocated at least one")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// reserve → publish → writeback always restores readability and
+    /// commits the value, for any register count and register choice.
+    #[test]
+    fn reserve_writeback_roundtrip(n_regs in 1usize..24, pick in 0usize..24, v in any::<u32>()) {
+        let pick = pick % n_regs;
+        let mut rf = RegisterFile::new();
+        let regs = rf.add_bank("r", n_regs);
+        let t = tid(1);
+        let mut op = Operand::reg(regs[pick]);
+        prop_assert!(op.can_write(&rf));
+        op.reserve_write(&mut rf, t, PlaceId::from_index(0));
+        prop_assert!(!op.can_read(&rf));
+        prop_assert!(!op.can_write(&rf));
+        op.set(&mut rf, t, v);
+        op.writeback(&mut rf, t);
+        prop_assert!(op.can_read(&rf), "writeback restores readability");
+        prop_assert_eq!(rf.value_of(regs[pick]), v);
+        prop_assert_eq!(rf.reserved_cells(), 0);
+        // Untouched registers keep their reset value.
+        for (k, &r) in regs.iter().enumerate() {
+            if k != pick {
+                prop_assert_eq!(rf.value_of(r), 0);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// A random interleaving of reservations and releases never leaves the
+    /// scoreboard inconsistent: released registers read their last
+    /// committed value; live reservations always block readers/writers.
+    #[test]
+    fn scoreboard_consistency(ops in proptest::collection::vec((0usize..8, 0u8..3, any::<u32>()), 1..64)) {
+        let mut rf = RegisterFile::new();
+        let regs = rf.add_bank("r", 8);
+        // Model state: committed value per register, live writer token.
+        let mut committed = [0u32; 8];
+        let mut writer: [Option<TokenId>; 8] = [None; 8];
+        let mut next_tok = 0u32;
+
+        for (r, action, v) in ops {
+            let reg = regs[r];
+            match action {
+                // Try to reserve.
+                0 => {
+                    if writer[r].is_none() {
+                        next_tok += 1;
+                        let t = tid(next_tok);
+                        rf.reserve_write(reg, t, PlaceId::from_index(0));
+                        writer[r] = Some(t);
+                    }
+                }
+                // Publish + writeback if reserved.
+                1 => {
+                    if let Some(t) = writer[r].take() {
+                        rf.publish(reg, t, v);
+                        rf.writeback(reg, t, v);
+                        committed[r] = v;
+                    }
+                }
+                // Squash if reserved.
+                _ => {
+                    if let Some(t) = writer[r].take() {
+                        rf.release(t);
+                    }
+                }
+            }
+            // Invariants after every step.
+            for k in 0..8 {
+                if writer[k].is_some() {
+                    prop_assert!(!rf.readable(regs[k]), "r{} reserved but readable", k);
+                    prop_assert!(!rf.writable(regs[k]));
+                } else {
+                    prop_assert!(rf.readable(regs[k]), "r{} free but blocked", k);
+                    prop_assert_eq!(rf.value_of(regs[k]), committed[k], "r{} value", k);
+                }
+            }
+        }
+        // Total reservations in the scoreboard match the model.
+        let live = writer.iter().filter(|w| w.is_some()).count();
+        prop_assert_eq!(rf.reserved_cells(), live);
+    }
+
+    /// The analysis' evaluation order is a valid reverse-topological order
+    /// for arbitrary acyclic nets: every transition's destination is
+    /// evaluated before its input.
+    #[test]
+    fn order_is_reverse_topological(edges in proptest::collection::vec((0usize..12, 0usize..12), 0..40)) {
+        use rcpn::builder::ModelBuilder;
+        use rcpn::ids::OpClassId;
+        use rcpn::token::InstrData;
+
+        #[derive(Debug)]
+        struct Tok(OpClassId);
+        impl InstrData for Tok {
+            fn op_class(&self) -> OpClassId { self.0 }
+        }
+
+        // Build a DAG by only keeping forward edges (i < j).
+        let mut b = ModelBuilder::<Tok, ()>::new();
+        let stages: Vec<_> = (0..12).map(|i| b.stage(&format!("S{i}"), 2)).collect();
+        let places: Vec<_> =
+            stages.iter().enumerate().map(|(i, &s)| b.place(&format!("P{i}"), s)).collect();
+        let (c, _) = b.class_net("C");
+        let mut used = std::collections::HashSet::new();
+        let mut kept: Vec<(usize, usize)> = Vec::new();
+        for (k, (a, bb)) in edges.into_iter().enumerate() {
+            let (lo, hi) = (a.min(bb), a.max(bb));
+            if lo == hi || !used.insert((lo, hi)) {
+                continue;
+            }
+            b.transition(c, &format!("t{k}"))
+                .from(places[lo])
+                .to(places[hi])
+                .priority(k as u32)
+                .done();
+            kept.push((lo, hi));
+        }
+        let model = b.build().expect("acyclic net builds");
+        let analysis = model.analysis();
+        let mut pos = vec![0usize; model.place_count()];
+        for (i, p) in analysis.order().iter().enumerate() {
+            pos[p.index()] = i;
+        }
+        for (lo, hi) in kept {
+            prop_assert!(
+                pos[places[hi].index()] < pos[places[lo].index()],
+                "dest P{} must be evaluated before input P{}", hi, lo
+            );
+        }
+        prop_assert_eq!(analysis.two_list_count(), 0, "a DAG without references needs no two-list");
+    }
+}

@@ -1,0 +1,1642 @@
+//! A two-pass ARM assembler.
+//!
+//! The paper builds its benchmark binaries with `arm-linux-gcc`; this
+//! workspace cannot ship a cross-compiler, so the kernels in the
+//! `workloads` crate are written in assembly and built with this module
+//! (the substitution is recorded in `DESIGN.md`).
+//!
+//! Supported syntax (classic pre-UAL ARM):
+//!
+//! * All [`crate::instr::Instr`] forms with condition and `s` suffixes in
+//!   either order (`addeqs` / `addseq`), `ldr`/`str` with `b`/`h`/`sb`/`sh`
+//!   size suffixes, `ldm`/`stm` with `ia`/`ib`/`da`/`db`/`fd`/`ed`/`fa`/`ea`
+//!   modes, `push`/`pop`, `nop`.
+//! * Addressing modes: `[rn]`, `[rn, #±imm]`, `[rn, ±rm]`,
+//!   `[rn, ±rm, lsl #n]`, each with optional `!`, and the post-indexed
+//!   forms `[rn], #±imm`, `[rn], ±rm`.
+//! * Pseudo-instructions: `ldr rd, =expr` (literal pool), `adr rd, label`.
+//! * Directives: `.word`, `.half`, `.byte`, `.ascii`, `.asciz`, `.space`,
+//!   `.align`, `.equ`/`.set`, `.pool`/`.ltorg`, `.entry`; `.text`,
+//!   `.data`, `.global` are accepted and ignored.
+//! * Expressions: decimal/hex/binary/char literals, labels, `.` (current
+//!   address), `+ - * /`, parentheses, unary minus.
+//! * Comments: `;` or `@` to end of line; labels end with `:`.
+//!
+//! # Examples
+//!
+//! ```
+//! use arm_isa::asm::assemble;
+//!
+//! # fn main() -> Result<(), arm_isa::asm::AsmError> {
+//! let program = assemble(
+//!     "start:
+//!         mov   r0, #0
+//!         mov   r1, #10
+//!     loop:
+//!         add   r0, r0, r1
+//!         subs  r1, r1, #1
+//!         bne   loop
+//!         swi   #0          ; exit with sum in r0
+//!     ",
+//! )?;
+//! assert_eq!(program.words.len(), 6);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::encode::encode;
+use crate::instr::{DpOp, HKind, HOff, Instr, MemOff, Op2, Shift};
+use crate::program::Program;
+use crate::types::{Cond, Reg, ShiftTy};
+
+/// An assembly error with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl Error for AsmError {}
+
+fn err<T>(line: usize, msg: impl Into<String>) -> Result<T, AsmError> {
+    Err(AsmError { line, msg: msg.into() })
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Expr {
+    Num(i64),
+    Sym(String),
+    Here,
+    Neg(Box<Expr>),
+    Bin(char, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    fn eval(&self, syms: &BTreeMap<String, i64>, here: u32, line: usize) -> Result<i64, AsmError> {
+        Ok(match self {
+            Expr::Num(n) => *n,
+            Expr::Sym(s) => match syms.get(s) {
+                Some(v) => *v,
+                None => return err(line, format!("undefined symbol {s:?}")),
+            },
+            Expr::Here => i64::from(here),
+            Expr::Neg(e) => -e.eval(syms, here, line)?,
+            Expr::Bin(op, a, b) => {
+                let a = a.eval(syms, here, line)?;
+                let b = b.eval(syms, here, line)?;
+                match op {
+                    '+' => a.wrapping_add(b),
+                    '-' => a.wrapping_sub(b),
+                    '*' => a.wrapping_mul(b),
+                    '/' => {
+                        if b == 0 {
+                            return err(line, "division by zero in expression");
+                        }
+                        a / b
+                    }
+                    _ => unreachable!(),
+                }
+            }
+        })
+    }
+}
+
+struct ExprParser<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: usize,
+}
+
+impl<'a> ExprParser<'a> {
+    fn new(s: &'a str, line: usize) -> Self {
+        ExprParser { chars: s.chars().peekable(), line }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.chars.peek(), Some(c) if c.is_whitespace()) {
+            self.chars.next();
+        }
+    }
+
+    fn parse(mut self) -> Result<Expr, AsmError> {
+        let e = self.expr()?;
+        self.skip_ws();
+        if let Some(c) = self.chars.peek() {
+            return err(self.line, format!("unexpected character {c:?} in expression"));
+        }
+        Ok(e)
+    }
+
+    fn expr(&mut self) -> Result<Expr, AsmError> {
+        let mut lhs = self.term()?;
+        loop {
+            self.skip_ws();
+            match self.chars.peek() {
+                Some(&op @ ('+' | '-')) => {
+                    self.chars.next();
+                    let rhs = self.term()?;
+                    lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    fn term(&mut self) -> Result<Expr, AsmError> {
+        let mut lhs = self.factor()?;
+        loop {
+            self.skip_ws();
+            match self.chars.peek() {
+                Some(&op @ ('*' | '/')) => {
+                    self.chars.next();
+                    let rhs = self.factor()?;
+                    lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    fn factor(&mut self) -> Result<Expr, AsmError> {
+        self.skip_ws();
+        match self.chars.peek().copied() {
+            Some('-') => {
+                self.chars.next();
+                Ok(Expr::Neg(Box::new(self.factor()?)))
+            }
+            Some('(') => {
+                self.chars.next();
+                let e = self.expr()?;
+                self.skip_ws();
+                if self.chars.next() != Some(')') {
+                    return err(self.line, "missing ')' in expression");
+                }
+                Ok(e)
+            }
+            Some('.') => {
+                self.chars.next();
+                Ok(Expr::Here)
+            }
+            Some('\'') => {
+                self.chars.next();
+                let c = match self.chars.next() {
+                    Some('\\') => match self.chars.next() {
+                        Some('n') => '\n',
+                        Some('t') => '\t',
+                        Some('0') => '\0',
+                        Some('\\') => '\\',
+                        Some('\'') => '\'',
+                        other => {
+                            return err(self.line, format!("bad escape {other:?} in char literal"))
+                        }
+                    },
+                    Some(c) => c,
+                    None => return err(self.line, "unterminated char literal"),
+                };
+                if self.chars.next() != Some('\'') {
+                    return err(self.line, "unterminated char literal");
+                }
+                Ok(Expr::Num(i64::from(c as u32)))
+            }
+            Some(c) if c.is_ascii_digit() => self.number(),
+            Some(c) if c.is_alphabetic() || c == '_' => {
+                let mut name = String::new();
+                while matches!(self.chars.peek(), Some(&c) if c.is_alphanumeric() || c == '_') {
+                    name.push(self.chars.next().unwrap());
+                }
+                Ok(Expr::Sym(name))
+            }
+            other => err(self.line, format!("unexpected {other:?} in expression")),
+        }
+    }
+
+    fn number(&mut self) -> Result<Expr, AsmError> {
+        let mut digits = String::new();
+        while matches!(self.chars.peek(), Some(&c) if c.is_alphanumeric() || c == '_') {
+            digits.push(self.chars.next().unwrap());
+        }
+        let digits = digits.replace('_', "");
+        let value = if let Some(hex) = digits.strip_prefix("0x").or_else(|| digits.strip_prefix("0X"))
+        {
+            i64::from_str_radix(hex, 16)
+        } else if let Some(bin) = digits.strip_prefix("0b").or_else(|| digits.strip_prefix("0B")) {
+            i64::from_str_radix(bin, 2)
+        } else {
+            digits.parse()
+        };
+        match value {
+            Ok(v) => Ok(Expr::Num(v)),
+            Err(_) => err(self.line, format!("bad number {digits:?}")),
+        }
+    }
+}
+
+fn parse_expr(s: &str, line: usize) -> Result<Expr, AsmError> {
+    ExprParser::new(s, line).parse()
+}
+
+// ---------------------------------------------------------------------------
+// Items (pass-1 output)
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum ShiftT {
+    None,
+    Imm(ShiftTy, Expr),
+    Reg(ShiftTy, Reg),
+    Rrx,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Op2T {
+    Imm(Expr),
+    Reg(Reg, ShiftT),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum AddrT {
+    Pre { rn: Reg, off: OffT, wb: bool },
+    Post { rn: Reg, off: OffT },
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum OffT {
+    Imm(Expr),
+    Reg { rm: Reg, neg: bool, shift: Option<(ShiftTy, Expr)> },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MemSize {
+    W,
+    B,
+    H,
+    Sb,
+    Sh,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Item {
+    Dp { cond: Cond, op: DpOp, s: bool, rd: Reg, rn: Reg, op2: Op2T },
+    Mul { cond: Cond, acc: bool, s: bool, rd: Reg, rm: Reg, rs: Reg, rn: Reg },
+    MulLong { cond: Cond, signed: bool, acc: bool, s: bool, rdlo: Reg, rdhi: Reg, rm: Reg, rs: Reg },
+    Mem { cond: Cond, load: bool, size: MemSize, rd: Reg, addr: AddrT },
+    Block { cond: Cond, load: bool, pre: bool, up: bool, wb: bool, rn: Reg, list: u16 },
+    Branch { cond: Cond, link: bool, target: Expr },
+    Swi { cond: Cond, imm: Expr },
+    LitLoad { cond: Cond, rd: Reg, slot: usize },
+    Adr { cond: Cond, rd: Reg, target: Expr },
+    Word(Vec<Expr>),
+    Half(Vec<Expr>),
+    Byte(Vec<Expr>),
+    Bytes(Vec<u8>),
+    Space(u32, u8),
+    Pool(Vec<usize>),
+}
+
+fn item_size(item: &Item) -> u32 {
+    match item {
+        Item::Word(es) => 4 * es.len() as u32,
+        Item::Half(es) => 2 * es.len() as u32,
+        Item::Byte(es) => es.len() as u32,
+        Item::Bytes(b) => b.len() as u32,
+        Item::Space(n, _) => *n,
+        Item::Pool(slots) => 4 * slots.len() as u32,
+        _ => 4,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tokenizing helpers
+// ---------------------------------------------------------------------------
+
+/// Strips a `;` or `@` comment, respecting char and string literals.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut in_char = false;
+    let mut prev_escape = false;
+    for (i, c) in line.char_indices() {
+        if prev_escape {
+            prev_escape = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str || in_char => prev_escape = true,
+            '"' if !in_char => in_str = !in_str,
+            '\'' if !in_str => in_char = !in_char,
+            ';' | '@' if !in_str && !in_char => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Splits an operand string on top-level commas (commas inside `[]`, `{}`,
+/// `()` or literals do not split).
+fn split_operands(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut cur = String::new();
+    let mut in_str = false;
+    let mut in_char = false;
+    let mut prev_escape = false;
+    for c in s.chars() {
+        if prev_escape {
+            prev_escape = false;
+            cur.push(c);
+            continue;
+        }
+        match c {
+            '\\' if in_str || in_char => {
+                prev_escape = true;
+                cur.push(c);
+            }
+            '"' if !in_char => {
+                in_str = !in_str;
+                cur.push(c);
+            }
+            '\'' if !in_str => {
+                in_char = !in_char;
+                cur.push(c);
+            }
+            '[' | '{' | '(' if !in_str && !in_char => {
+                depth += 1;
+                cur.push(c);
+            }
+            ']' | '}' | ')' if !in_str && !in_char => {
+                depth -= 1;
+                cur.push(c);
+            }
+            ',' if depth == 0 && !in_str && !in_char => {
+                out.push(cur.trim().to_string());
+                cur.clear();
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur.trim().to_string());
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Mnemonic parsing
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Family {
+    Dp(DpOp),
+    Mul { acc: bool },
+    MulLong { signed: bool, acc: bool },
+    Mem { load: bool },
+    Block { load: bool },
+    Branch { link: bool },
+    Swi,
+    Nop,
+    Push,
+    Pop,
+    Adr,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Mnemonic {
+    family: Family,
+    cond: Cond,
+    s: bool,
+    size: MemSize,
+    /// Block-transfer mode: (pre, up), resolved against load/store.
+    block_mode: (bool, bool),
+}
+
+/// Tries `rest` as `[cond][suffix]` or `[suffix][cond]` where `suffix` is
+/// drawn from `suffixes` (may be empty). Returns (cond, suffix).
+fn parse_suffixes<'a>(rest: &str, suffixes: &[&'a str]) -> Option<(Cond, &'a str)> {
+    // Longest suffixes first so "sb" wins over "b"... try all combinations.
+    let mut options: Vec<&str> = suffixes.to_vec();
+    options.sort_by_key(|s| std::cmp::Reverse(s.len()));
+    // cond then suffix
+    for clen in [2usize, 0] {
+        if rest.len() < clen {
+            continue;
+        }
+        let (c, tail) = rest.split_at(clen);
+        let Some(cond) = (if clen == 0 { Some(Cond::Al) } else { Cond::parse(c) }) else {
+            continue;
+        };
+        for &suf in &options {
+            if tail == suf {
+                return Some((cond, suf));
+            }
+        }
+    }
+    // suffix then cond
+    for &suf in &options {
+        if let Some(tail) = rest.strip_prefix(suf) {
+            match tail.len() {
+                0 => return Some((Cond::Al, suf)),
+                2 => {
+                    if let Some(cond) = Cond::parse(tail) {
+                        return Some((cond, suf));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+fn parse_mnemonic(m: &str) -> Option<Mnemonic> {
+    let m = m.to_ascii_lowercase();
+    let mut out = Mnemonic {
+        family: Family::Nop,
+        cond: Cond::Al,
+        s: false,
+        size: MemSize::W,
+        block_mode: (false, true),
+    };
+
+    // (base, family) candidates, tried longest-first with fallback.
+    let dp_bases: Vec<(String, Family)> =
+        DpOp::ALL.iter().map(|&op| (op.mnemonic().to_string(), Family::Dp(op))).collect();
+    let mut candidates: Vec<(String, Family)> = vec![
+        ("umull".into(), Family::MulLong { signed: false, acc: false }),
+        ("umlal".into(), Family::MulLong { signed: false, acc: true }),
+        ("smull".into(), Family::MulLong { signed: true, acc: false }),
+        ("smlal".into(), Family::MulLong { signed: true, acc: true }),
+        ("push".into(), Family::Push),
+        ("pop".into(), Family::Pop),
+        ("nop".into(), Family::Nop),
+        ("adr".into(), Family::Adr),
+        ("mla".into(), Family::Mul { acc: true }),
+        ("mul".into(), Family::Mul { acc: false }),
+        ("ldr".into(), Family::Mem { load: true }),
+        ("str".into(), Family::Mem { load: false }),
+        ("ldm".into(), Family::Block { load: true }),
+        ("stm".into(), Family::Block { load: false }),
+        ("swi".into(), Family::Swi),
+        ("svc".into(), Family::Swi),
+        ("bl".into(), Family::Branch { link: true }),
+        ("b".into(), Family::Branch { link: false }),
+    ];
+    candidates.extend(dp_bases);
+    candidates.sort_by_key(|(base, _)| std::cmp::Reverse(base.len()));
+
+    for (base, family) in &candidates {
+        let Some(rest) = m.strip_prefix(base.as_str()) else { continue };
+        match family {
+            Family::Dp(_) | Family::Mul { .. } | Family::MulLong { .. } => {
+                if let Some((cond, suf)) = parse_suffixes(rest, &["", "s"]) {
+                    out.family = *family;
+                    out.cond = cond;
+                    out.s = suf == "s";
+                    return Some(out);
+                }
+            }
+            Family::Mem { .. } => {
+                if let Some((cond, suf)) = parse_suffixes(rest, &["", "b", "h", "sb", "sh"]) {
+                    out.family = *family;
+                    out.cond = cond;
+                    out.size = match suf {
+                        "" => MemSize::W,
+                        "b" => MemSize::B,
+                        "h" => MemSize::H,
+                        "sb" => MemSize::Sb,
+                        "sh" => MemSize::Sh,
+                        _ => unreachable!(),
+                    };
+                    return Some(out);
+                }
+            }
+            Family::Block { load } => {
+                let modes = ["ia", "ib", "da", "db", "fd", "ed", "fa", "ea", ""];
+                if let Some((cond, suf)) = parse_suffixes(rest, &modes) {
+                    out.family = *family;
+                    out.cond = cond;
+                    out.block_mode = match (suf, load) {
+                        ("ia", _) | ("", _) => (false, true),
+                        ("ib", _) => (true, true),
+                        ("da", _) => (false, false),
+                        ("db", _) => (true, false),
+                        // Stack aliases resolve differently for ldm/stm.
+                        ("fd", true) => (false, true),  // ldmfd = ldmia
+                        ("fd", false) => (true, false), // stmfd = stmdb
+                        ("ed", true) => (true, true),
+                        ("ed", false) => (false, false),
+                        ("fa", true) => (false, false),
+                        ("fa", false) => (true, true),
+                        ("ea", true) => (true, false),
+                        ("ea", false) => (false, true),
+                        _ => unreachable!(),
+                    };
+                    return Some(out);
+                }
+            }
+            Family::Branch { .. } | Family::Swi | Family::Nop | Family::Push | Family::Pop
+            | Family::Adr => {
+                if let Some(cond) = Cond::parse(rest) {
+                    out.family = *family;
+                    out.cond = cond;
+                    return Some(out);
+                }
+            }
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// Operand parsing
+// ---------------------------------------------------------------------------
+
+fn parse_reg(s: &str, line: usize) -> Result<Reg, AsmError> {
+    Reg::parse(s.trim()).ok_or_else(|| AsmError { line, msg: format!("expected register, got {s:?}") })
+}
+
+fn parse_shift_operand(s: &str, line: usize) -> Result<ShiftT, AsmError> {
+    let s = s.trim();
+    let lower = s.to_ascii_lowercase();
+    if lower == "rrx" {
+        return Ok(ShiftT::Rrx);
+    }
+    let (ty_str, rest) = s.split_at(3.min(s.len()));
+    let ty = match ty_str.to_ascii_lowercase().as_str() {
+        "lsl" => ShiftTy::Lsl,
+        "lsr" => ShiftTy::Lsr,
+        "asr" => ShiftTy::Asr,
+        "ror" => ShiftTy::Ror,
+        _ => return err(line, format!("expected shift, got {s:?}")),
+    };
+    let rest = rest.trim();
+    if let Some(imm) = rest.strip_prefix('#') {
+        Ok(ShiftT::Imm(ty, parse_expr(imm, line)?))
+    } else if let Some(rs) = Reg::parse(rest) {
+        Ok(ShiftT::Reg(ty, rs))
+    } else {
+        err(line, format!("bad shift amount {rest:?}"))
+    }
+}
+
+fn parse_op2(ops: &[String], line: usize) -> Result<Op2T, AsmError> {
+    match ops {
+        [one] => {
+            if let Some(imm) = one.strip_prefix('#') {
+                Ok(Op2T::Imm(parse_expr(imm, line)?))
+            } else {
+                Ok(Op2T::Reg(parse_reg(one, line)?, ShiftT::None))
+            }
+        }
+        [rm, shift] => Ok(Op2T::Reg(parse_reg(rm, line)?, parse_shift_operand(shift, line)?)),
+        _ => err(line, "malformed second operand"),
+    }
+}
+
+fn parse_reg_offset(s: &str, line: usize) -> Result<(Reg, bool), AsmError> {
+    let s = s.trim();
+    if let Some(rest) = s.strip_prefix('-') {
+        Ok((parse_reg(rest, line)?, true))
+    } else {
+        let rest = s.strip_prefix('+').unwrap_or(s);
+        Ok((parse_reg(rest, line)?, false))
+    }
+}
+
+/// Parses the address part of a load/store, consuming `ops` (the operands
+/// after `rd`).
+fn parse_addr(ops: &[String], line: usize) -> Result<AddrT, AsmError> {
+    if ops.is_empty() {
+        return err(line, "missing address operand");
+    }
+    let first = &ops[0];
+    if !first.starts_with('[') {
+        return err(line, format!("expected '[' address, got {first:?}"));
+    }
+    let (inner, wb) = if let Some(stripped) = first.strip_suffix("]!") {
+        (&stripped[1..], true)
+    } else if let Some(stripped) = first.strip_suffix(']') {
+        (&stripped[1..], false)
+    } else {
+        return err(line, format!("missing ']' in {first:?}"));
+    };
+    let parts = split_operands(inner);
+    if parts.is_empty() {
+        return err(line, "empty address");
+    }
+    let rn = parse_reg(&parts[0], line)?;
+
+    if ops.len() == 1 {
+        // Fully bracketed: pre-indexed.
+        let off = match parts.len() {
+            1 => OffT::Imm(Expr::Num(0)),
+            2 => {
+                if let Some(imm) = parts[1].strip_prefix('#') {
+                    OffT::Imm(parse_expr(imm, line)?)
+                } else {
+                    let (rm, neg) = parse_reg_offset(&parts[1], line)?;
+                    OffT::Reg { rm, neg, shift: None }
+                }
+            }
+            3 => {
+                let (rm, neg) = parse_reg_offset(&parts[1], line)?;
+                match parse_shift_operand(&parts[2], line)? {
+                    ShiftT::Imm(ty, e) => OffT::Reg { rm, neg, shift: Some((ty, e)) },
+                    ShiftT::Rrx => OffT::Reg { rm, neg, shift: Some((ShiftTy::Ror, Expr::Num(0))) },
+                    ShiftT::Reg(..) | ShiftT::None => {
+                        return err(line, "register-specified shift not allowed in addresses")
+                    }
+                }
+            }
+            _ => return err(line, "too many components in address"),
+        };
+        return Ok(AddrT::Pre { rn, off, wb });
+    }
+
+    // Post-indexed: "[rn]", then offset operands.
+    if parts.len() != 1 {
+        return err(line, "post-indexed base must be plain [rn]");
+    }
+    if wb {
+        return err(line, "'!' is meaningless with post-indexing");
+    }
+    let off = match &ops[1..] {
+        [imm] if imm.starts_with('#') => OffT::Imm(parse_expr(&imm[1..], line)?),
+        [rm] => {
+            let (rm, neg) = parse_reg_offset(rm, line)?;
+            OffT::Reg { rm, neg, shift: None }
+        }
+        [rm, shift] => {
+            let (rm, neg) = parse_reg_offset(rm, line)?;
+            match parse_shift_operand(shift, line)? {
+                ShiftT::Imm(ty, e) => OffT::Reg { rm, neg, shift: Some((ty, e)) },
+                _ => return err(line, "bad post-index shift"),
+            }
+        }
+        _ => return err(line, "malformed post-index offset"),
+    };
+    Ok(AddrT::Post { rn, off })
+}
+
+fn parse_reglist(s: &str, line: usize) -> Result<u16, AsmError> {
+    let s = s.trim();
+    let inner = s
+        .strip_prefix('{')
+        .and_then(|t| t.strip_suffix('}'))
+        .ok_or_else(|| AsmError { line, msg: format!("expected {{reglist}}, got {s:?}") })?;
+    let mut list: u16 = 0;
+    for part in inner.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        if let Some((lo, hi)) = part.split_once('-') {
+            let lo = parse_reg(lo, line)?.num();
+            let hi = parse_reg(hi, line)?.num();
+            if lo > hi {
+                return err(line, format!("reversed range {part:?}"));
+            }
+            for i in lo..=hi {
+                list |= 1 << i;
+            }
+        } else {
+            list |= 1 << parse_reg(part, line)?.num();
+        }
+    }
+    if list == 0 {
+        return err(line, "empty register list");
+    }
+    Ok(list)
+}
+
+// ---------------------------------------------------------------------------
+// The assembler
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct Asm {
+    items: Vec<(usize, u32, Item)>, // (line, addr, item)
+    offset: u32,
+    labels: BTreeMap<String, i64>,
+    entry: Option<String>,
+    /// Pending literal expressions (deduplicated by source text).
+    literals: Vec<(String, Expr)>,
+    /// Literal slots not yet placed in a pool.
+    unplaced: Vec<usize>,
+    /// Address of each literal slot once its pool is laid out.
+    lit_addr: Vec<Option<u32>>,
+}
+
+impl Asm {
+    fn push(&mut self, line: usize, item: Item) {
+        // Instructions and word data are word-aligned automatically.
+        let align = match item {
+            Item::Byte(_) | Item::Bytes(_) | Item::Space(..) => 1,
+            Item::Half(_) => 2,
+            _ => 4,
+        };
+        let rem = self.offset % align;
+        if rem != 0 {
+            let pad = align - rem;
+            self.items.push((line, self.offset, Item::Space(pad, 0)));
+            self.offset += pad;
+        }
+        let size = item_size(&item);
+        self.items.push((line, self.offset, item));
+        self.offset += size;
+    }
+
+    fn add_literal(&mut self, key: String, expr: Expr) -> usize {
+        if let Some(i) = self
+            .unplaced
+            .iter()
+            .find(|&&i| self.literals[i].0 == key)
+        {
+            return *i;
+        }
+        self.literals.push((key, expr));
+        self.lit_addr.push(None);
+        let slot = self.literals.len() - 1;
+        self.unplaced.push(slot);
+        slot
+    }
+
+    fn flush_pool(&mut self, line: usize) {
+        if self.unplaced.is_empty() {
+            return;
+        }
+        let slots = std::mem::take(&mut self.unplaced);
+        // Word alignment for the pool.
+        let rem = self.offset % 4;
+        if rem != 0 {
+            self.items.push((line, self.offset, Item::Space(4 - rem, 0)));
+            self.offset += 4 - rem;
+        }
+        for (k, &slot) in slots.iter().enumerate() {
+            self.lit_addr[slot] = Some(self.offset + 4 * k as u32);
+        }
+        self.push(line, Item::Pool(slots));
+    }
+}
+
+fn parse_string(s: &str, line: usize) -> Result<Vec<u8>, AsmError> {
+    let s = s.trim();
+    let inner = s
+        .strip_prefix('"')
+        .and_then(|t| t.strip_suffix('"'))
+        .ok_or_else(|| AsmError { line, msg: format!("expected string literal, got {s:?}") })?;
+    let mut out = Vec::new();
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push(b'\n'),
+                Some('t') => out.push(b'\t'),
+                Some('0') => out.push(0),
+                Some('\\') => out.push(b'\\'),
+                Some('"') => out.push(b'"'),
+                other => return err(line, format!("bad string escape {other:?}")),
+            }
+        } else {
+            out.push(c as u8);
+        }
+    }
+    Ok(out)
+}
+
+/// Assembles ARM source into a [`Program`] loaded at address 0.
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] naming the offending line for syntax errors,
+/// undefined symbols, out-of-range immediates/offsets, and malformed
+/// directives.
+pub fn assemble(src: &str) -> Result<Program, AsmError> {
+    assemble_at(src, 0)
+}
+
+/// Assembles ARM source with an explicit load address.
+///
+/// # Errors
+///
+/// See [`assemble`].
+pub fn assemble_at(src: &str, base: u32) -> Result<Program, AsmError> {
+    let mut asm = Asm {
+        items: Vec::new(),
+        offset: base,
+        labels: BTreeMap::new(),
+        entry: None,
+        literals: Vec::new(),
+        unplaced: Vec::new(),
+        lit_addr: Vec::new(),
+    };
+
+    // ---- Pass 1: parse, lay out, collect labels -------------------------
+    for (lineno, raw) in src.lines().enumerate() {
+        let line = lineno + 1;
+        let mut text = strip_comment(raw).trim();
+
+        // Labels (possibly several on one line).
+        while let Some(colon) = text.find(':') {
+            let (head, tail) = text.split_at(colon);
+            let name = head.trim();
+            if name.is_empty()
+                || !name.chars().all(|c| c.is_alphanumeric() || c == '_')
+                || name.chars().next().is_some_and(|c| c.is_ascii_digit())
+            {
+                break;
+            }
+            // Align labels that precede instructions lazily: record current
+            // offset; the next item's auto-alignment could shift it, so
+            // align to 4 here when the remaining text is an instruction or
+            // empty (conservative: always align labels to word boundary
+            // unless data follows immediately).
+            asm.labels.insert(name.to_string(), i64::from(asm.offset));
+            text = tail[1..].trim();
+        }
+        if text.is_empty() {
+            continue;
+        }
+
+        if let Some(rest) = text.strip_prefix('.') {
+            // Directive.
+            let (name, args) = match rest.split_once(char::is_whitespace) {
+                Some((n, a)) => (n, a.trim()),
+                None => (rest, ""),
+            };
+            match name {
+                "word" | "4byte" | "long" => {
+                    let exprs = split_operands(args)
+                        .iter()
+                        .map(|e| parse_expr(e, line))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    asm.push(line, Item::Word(exprs));
+                }
+                "half" | "2byte" | "short" | "hword" => {
+                    let exprs = split_operands(args)
+                        .iter()
+                        .map(|e| parse_expr(e, line))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    asm.push(line, Item::Half(exprs));
+                }
+                "byte" => {
+                    let exprs = split_operands(args)
+                        .iter()
+                        .map(|e| parse_expr(e, line))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    asm.push(line, Item::Byte(exprs));
+                }
+                "ascii" => asm.push(line, Item::Bytes(parse_string(args, line)?)),
+                "asciz" | "string" => {
+                    let mut b = parse_string(args, line)?;
+                    b.push(0);
+                    asm.push(line, Item::Bytes(b));
+                }
+                "space" | "zero" | "skip" => {
+                    let parts = split_operands(args);
+                    if parts.is_empty() {
+                        return err(line, ".space needs a size");
+                    }
+                    let n = parse_expr(&parts[0], line)?.eval(&asm.labels, asm.offset, line)?;
+                    if n < 0 {
+                        return err(line, "negative .space");
+                    }
+                    let fill = if parts.len() > 1 {
+                        parse_expr(&parts[1], line)?.eval(&asm.labels, asm.offset, line)? as u8
+                    } else {
+                        0
+                    };
+                    asm.push(line, Item::Space(n as u32, fill));
+                }
+                "align" | "balign" => {
+                    let n = if args.is_empty() {
+                        4
+                    } else {
+                        parse_expr(args, line)?.eval(&asm.labels, asm.offset, line)?
+                    };
+                    if n <= 0 || (n as u64).count_ones() != 1 {
+                        return err(line, ".align needs a power-of-two byte count");
+                    }
+                    let n = n as u32;
+                    let rem = asm.offset % n;
+                    if rem != 0 {
+                        asm.push(line, Item::Space(n - rem, 0));
+                    }
+                }
+                "equ" | "set" => {
+                    let (name, value) = args
+                        .split_once(',')
+                        .ok_or_else(|| AsmError { line, msg: ".equ needs NAME, VALUE".into() })?;
+                    let v = parse_expr(value.trim(), line)?.eval(&asm.labels, asm.offset, line)?;
+                    asm.labels.insert(name.trim().to_string(), v);
+                }
+                "pool" | "ltorg" => asm.flush_pool(line),
+                "entry" => asm.entry = Some(args.trim().to_string()),
+                "text" | "data" | "global" | "globl" | "org" | "arm" | "code" | "type"
+                | "size" => {}
+                other => return err(line, format!("unknown directive .{other}")),
+            }
+            continue;
+        }
+
+        // Instruction.
+        let (mnemonic, operands) = match text.split_once(char::is_whitespace) {
+            Some((m, rest)) => (m, rest.trim()),
+            None => (text, ""),
+        };
+        let Some(spec) = parse_mnemonic(mnemonic) else {
+            return err(line, format!("unknown mnemonic {mnemonic:?}"));
+        };
+        let ops = split_operands(operands);
+
+        // `ldr rd, =expr` pseudo.
+        if let Family::Mem { load: true } = spec.family {
+            if ops.len() == 2 && ops[1].starts_with('=') {
+                let expr = parse_expr(&ops[1][1..], line)?;
+                let slot = asm.add_literal(ops[1][1..].trim().to_string(), expr);
+                let rd = parse_reg(&ops[0], line)?;
+                asm.push(line, Item::LitLoad { cond: spec.cond, rd, slot });
+                continue;
+            }
+        }
+
+        let item = match spec.family {
+            Family::Nop => Item::Dp {
+                cond: spec.cond,
+                op: DpOp::Mov,
+                s: false,
+                rd: Reg::new(0),
+                rn: Reg::new(0),
+                op2: Op2T::Reg(Reg::new(0), ShiftT::None),
+            },
+            Family::Dp(op) => {
+                if ops.is_empty() {
+                    return err(line, "missing operands");
+                }
+                if op.is_test() {
+                    let rn = parse_reg(&ops[0], line)?;
+                    Item::Dp {
+                        cond: spec.cond,
+                        op,
+                        s: true,
+                        rd: Reg::new(0),
+                        rn,
+                        op2: parse_op2(&ops[1..], line)?,
+                    }
+                } else if op.is_unary() {
+                    let rd = parse_reg(&ops[0], line)?;
+                    Item::Dp {
+                        cond: spec.cond,
+                        op,
+                        s: spec.s,
+                        rd,
+                        rn: Reg::new(0),
+                        op2: parse_op2(&ops[1..], line)?,
+                    }
+                } else {
+                    if ops.len() < 3 {
+                        return err(line, "three-operand instruction needs rd, rn, op2");
+                    }
+                    let rd = parse_reg(&ops[0], line)?;
+                    let rn = parse_reg(&ops[1], line)?;
+                    Item::Dp { cond: spec.cond, op, s: spec.s, rd, rn, op2: parse_op2(&ops[2..], line)? }
+                }
+            }
+            Family::Mul { acc } => {
+                let need = if acc { 4 } else { 3 };
+                if ops.len() != need {
+                    return err(line, format!("expected {need} operands"));
+                }
+                Item::Mul {
+                    cond: spec.cond,
+                    acc,
+                    s: spec.s,
+                    rd: parse_reg(&ops[0], line)?,
+                    rm: parse_reg(&ops[1], line)?,
+                    rs: parse_reg(&ops[2], line)?,
+                    rn: if acc { parse_reg(&ops[3], line)? } else { Reg::new(0) },
+                }
+            }
+            Family::MulLong { signed, acc } => {
+                if ops.len() != 4 {
+                    return err(line, "expected rdlo, rdhi, rm, rs");
+                }
+                Item::MulLong {
+                    cond: spec.cond,
+                    signed,
+                    acc,
+                    s: spec.s,
+                    rdlo: parse_reg(&ops[0], line)?,
+                    rdhi: parse_reg(&ops[1], line)?,
+                    rm: parse_reg(&ops[2], line)?,
+                    rs: parse_reg(&ops[3], line)?,
+                }
+            }
+            Family::Mem { load } => {
+                if ops.len() < 2 {
+                    return err(line, "load/store needs rd and an address");
+                }
+                let rd = parse_reg(&ops[0], line)?;
+                let addr = parse_addr(&ops[1..], line)?;
+                if !load && matches!(spec.size, MemSize::Sb | MemSize::Sh) {
+                    return err(line, "signed stores do not exist");
+                }
+                Item::Mem { cond: spec.cond, load, size: spec.size, rd, addr }
+            }
+            Family::Block { load } => {
+                if ops.len() != 2 {
+                    return err(line, "block transfer needs rn{!}, {list}");
+                }
+                let (rn_str, wb) = match ops[0].strip_suffix('!') {
+                    Some(s) => (s, true),
+                    None => (ops[0].as_str(), false),
+                };
+                Item::Block {
+                    cond: spec.cond,
+                    load,
+                    pre: spec.block_mode.0,
+                    up: spec.block_mode.1,
+                    wb,
+                    rn: parse_reg(rn_str, line)?,
+                    list: parse_reglist(&ops[1], line)?,
+                }
+            }
+            Family::Push => Item::Block {
+                cond: spec.cond,
+                load: false,
+                pre: true,
+                up: false,
+                wb: true,
+                rn: Reg::SP,
+                list: parse_reglist(ops.first().map(String::as_str).unwrap_or(""), line)?,
+            },
+            Family::Pop => Item::Block {
+                cond: spec.cond,
+                load: true,
+                pre: false,
+                up: true,
+                wb: true,
+                rn: Reg::SP,
+                list: parse_reglist(ops.first().map(String::as_str).unwrap_or(""), line)?,
+            },
+            Family::Branch { link } => {
+                if ops.len() != 1 {
+                    return err(line, "branch needs one target");
+                }
+                Item::Branch { cond: spec.cond, link, target: parse_expr(&ops[0], line)? }
+            }
+            Family::Swi => {
+                if ops.len() != 1 {
+                    return err(line, "swi needs one operand");
+                }
+                let arg = ops[0].strip_prefix('#').unwrap_or(&ops[0]);
+                Item::Swi { cond: spec.cond, imm: parse_expr(arg, line)? }
+            }
+            Family::Adr => {
+                if ops.len() != 2 {
+                    return err(line, "adr needs rd, label");
+                }
+                Item::Adr {
+                    cond: spec.cond,
+                    rd: parse_reg(&ops[0], line)?,
+                    target: parse_expr(&ops[1], line)?,
+                }
+            }
+        };
+        asm.push(line, item);
+    }
+    asm.flush_pool(src.lines().count().max(1));
+
+    // ---- Pass 2: resolve and emit ----------------------------------------
+    let labels = asm.labels.clone();
+    let total = (asm.offset - base) as usize;
+    let mut bytes = vec![0u8; total];
+
+    let emit_word = |bytes: &mut Vec<u8>, addr: u32, w: u32| {
+        let at = (addr - base) as usize;
+        bytes[at..at + 4].copy_from_slice(&w.to_le_bytes());
+    };
+
+    for (line, addr, item) in &asm.items {
+        let line = *line;
+        let addr = *addr;
+        let ev = |e: &Expr| e.eval(&labels, addr, line);
+        match item {
+            Item::Space(n, fill) => {
+                let at = (addr - base) as usize;
+                bytes[at..at + *n as usize].fill(*fill);
+            }
+            Item::Bytes(b) => {
+                let at = (addr - base) as usize;
+                bytes[at..at + b.len()].copy_from_slice(b);
+            }
+            Item::Byte(exprs) => {
+                for (i, e) in exprs.iter().enumerate() {
+                    bytes[(addr - base) as usize + i] = ev(e)? as u8;
+                }
+            }
+            Item::Half(exprs) => {
+                for (i, e) in exprs.iter().enumerate() {
+                    let at = (addr - base) as usize + 2 * i;
+                    bytes[at..at + 2].copy_from_slice(&(ev(e)? as u16).to_le_bytes());
+                }
+            }
+            Item::Word(exprs) => {
+                for (i, e) in exprs.iter().enumerate() {
+                    emit_word(&mut bytes, addr + 4 * i as u32, ev(e)? as u32);
+                }
+            }
+            Item::Pool(slots) => {
+                for (k, &slot) in slots.iter().enumerate() {
+                    let v = asm.literals[slot].1.eval(&labels, addr, line)? as u32;
+                    emit_word(&mut bytes, addr + 4 * k as u32, v);
+                }
+            }
+            Item::LitLoad { cond, rd, slot } => {
+                let pool = asm.lit_addr[*slot].expect("pool laid out in pass 1");
+                let delta = i64::from(pool) - i64::from(addr) - 8;
+                let (up, mag) = if delta >= 0 { (true, delta) } else { (false, -delta) };
+                if mag > 4095 {
+                    return err(line, format!("literal pool out of range ({delta} bytes)"));
+                }
+                let instr = Instr::Mem {
+                    cond: *cond,
+                    load: true,
+                    byte: false,
+                    pre: true,
+                    up,
+                    wb: false,
+                    rn: Reg::PC,
+                    rd: *rd,
+                    off: MemOff::Imm(mag as u16),
+                };
+                emit_word(&mut bytes, addr, encode(instr));
+            }
+            Item::Adr { cond, rd, target } => {
+                let t = ev(target)?;
+                let delta = t - i64::from(addr) - 8;
+                let (op, mag) = if delta >= 0 { (DpOp::Add, delta) } else { (DpOp::Sub, -delta) };
+                let op2 = Op2::imm(mag as u32).ok_or_else(|| AsmError {
+                    line,
+                    msg: format!("adr displacement {delta} not encodable"),
+                })?;
+                let instr =
+                    Instr::Dp { cond: *cond, op, s: false, rn: Reg::PC, rd: *rd, op2 };
+                emit_word(&mut bytes, addr, encode(instr));
+            }
+            Item::Branch { cond, link, target } => {
+                let t = ev(target)?;
+                let delta = t - i64::from(addr) - 8;
+                if delta % 4 != 0 {
+                    return err(line, "branch target not word-aligned");
+                }
+                if !(-(1 << 25)..(1 << 25)).contains(&delta) {
+                    return err(line, "branch out of range");
+                }
+                let instr = Instr::Branch { cond: *cond, link: *link, offset: delta as i32 };
+                emit_word(&mut bytes, addr, encode(instr));
+            }
+            Item::Swi { cond, imm } => {
+                let v = ev(imm)?;
+                if !(0..(1 << 24)).contains(&v) {
+                    return err(line, "swi number out of range");
+                }
+                emit_word(&mut bytes, addr, encode(Instr::Swi { cond: *cond, imm: v as u32 }));
+            }
+            Item::Dp { cond, op, s, rd, rn, op2 } => {
+                let op2 = match op2 {
+                    Op2T::Imm(e) => {
+                        let v = ev(e)? as u32;
+                        match Op2::imm(v) {
+                            Some(imm) => imm,
+                            None => {
+                                return err(
+                                    line,
+                                    format!("immediate {v:#x} not encodable as rotated 8-bit"),
+                                )
+                            }
+                        }
+                    }
+                    Op2T::Reg(rm, shift) => Op2::Reg { rm: *rm, shift: resolve_shift(shift, &ev, line)? },
+                };
+                let instr =
+                    Instr::Dp { cond: *cond, op: *op, s: *s, rn: *rn, rd: *rd, op2 };
+                emit_word(&mut bytes, addr, encode(instr));
+            }
+            Item::Mul { cond, acc, s, rd, rm, rs, rn } => {
+                let instr = Instr::Mul {
+                    cond: *cond,
+                    acc: *acc,
+                    s: *s,
+                    rd: *rd,
+                    rn: *rn,
+                    rs: *rs,
+                    rm: *rm,
+                };
+                emit_word(&mut bytes, addr, encode(instr));
+            }
+            Item::MulLong { cond, signed, acc, s, rdlo, rdhi, rm, rs } => {
+                let instr = Instr::MulLong {
+                    cond: *cond,
+                    signed: *signed,
+                    acc: *acc,
+                    s: *s,
+                    rdhi: *rdhi,
+                    rdlo: *rdlo,
+                    rs: *rs,
+                    rm: *rm,
+                };
+                emit_word(&mut bytes, addr, encode(instr));
+            }
+            Item::Mem { cond, load, size, rd, addr: at } => {
+                let w = encode_mem(*cond, *load, *size, *rd, at, &ev, line)?;
+                emit_word(&mut bytes, addr, w);
+            }
+            Item::Block { cond, load, pre, up, wb, rn, list } => {
+                let instr = Instr::Block {
+                    cond: *cond,
+                    load: *load,
+                    pre: *pre,
+                    up: *up,
+                    wb: *wb,
+                    rn: *rn,
+                    list: *list,
+                };
+                emit_word(&mut bytes, addr, encode(instr));
+            }
+        }
+    }
+
+    let words: Vec<u32> = bytes
+        .chunks(4)
+        .map(|c| {
+            let mut b = [0u8; 4];
+            b[..c.len()].copy_from_slice(c);
+            u32::from_le_bytes(b)
+        })
+        .collect();
+
+    let entry = match &asm.entry {
+        Some(name) => match labels.get(name) {
+            Some(&v) => v as u32,
+            None => return err(1, format!("entry label {name:?} undefined")),
+        },
+        None => base,
+    };
+
+    Ok(Program {
+        words,
+        base,
+        entry,
+        labels: labels.into_iter().map(|(k, v)| (k, v as u32)).collect(),
+    })
+}
+
+fn resolve_shift(
+    shift: &ShiftT,
+    ev: &impl Fn(&Expr) -> Result<i64, AsmError>,
+    line: usize,
+) -> Result<Shift, AsmError> {
+    Ok(match shift {
+        ShiftT::None => Shift::NONE,
+        ShiftT::Rrx => Shift::Imm { ty: ShiftTy::Ror, amount: 0 },
+        ShiftT::Reg(ty, rs) => Shift::Reg { ty: *ty, rs: *rs },
+        ShiftT::Imm(ty, e) => {
+            let v = ev(e)?;
+            let amount = match (ty, v) {
+                (ShiftTy::Lsl, 0..=31) => v as u8,
+                (ShiftTy::Lsr | ShiftTy::Asr, 1..=31) => v as u8,
+                (ShiftTy::Lsr | ShiftTy::Asr, 32) => 0, // encoded as 0
+                (ShiftTy::Ror, 1..=31) => v as u8,
+                _ => return err(line, format!("shift amount {v} out of range for {}", ty.mnemonic())),
+            };
+            Shift::Imm { ty: *ty, amount }
+        }
+    })
+}
+
+fn encode_mem(
+    cond: Cond,
+    load: bool,
+    size: MemSize,
+    rd: Reg,
+    addr: &AddrT,
+    ev: &impl Fn(&Expr) -> Result<i64, AsmError>,
+    line: usize,
+) -> Result<u32, AsmError> {
+    let (rn, off, pre, wb) = match addr {
+        AddrT::Pre { rn, off, wb } => (*rn, off, true, *wb),
+        AddrT::Post { rn, off } => (*rn, off, false, false),
+    };
+    match size {
+        MemSize::W | MemSize::B => {
+            let (up, moff) = match off {
+                OffT::Imm(e) => {
+                    let v = ev(e)?;
+                    let (up, mag) = if v >= 0 { (true, v) } else { (false, -v) };
+                    if mag > 4095 {
+                        return err(line, format!("offset {v} exceeds 12 bits"));
+                    }
+                    (up, MemOff::Imm(mag as u16))
+                }
+                OffT::Reg { rm, neg, shift } => {
+                    let (ty, amount) = match shift {
+                        None => (ShiftTy::Lsl, 0u8),
+                        Some((ty, e)) => {
+                            let v = ev(e)?;
+                            if !(0..=31).contains(&v) {
+                                return err(line, "address shift amount out of range");
+                            }
+                            (*ty, v as u8)
+                        }
+                    };
+                    (!neg, MemOff::Reg { rm: *rm, ty, amount })
+                }
+            };
+            Ok(encode(Instr::Mem {
+                cond,
+                load,
+                byte: size == MemSize::B,
+                pre,
+                up,
+                wb,
+                rn,
+                rd,
+                off: moff,
+            }))
+        }
+        MemSize::H | MemSize::Sb | MemSize::Sh => {
+            let kind = match size {
+                MemSize::H => HKind::U16,
+                MemSize::Sb => HKind::S8,
+                _ => HKind::S16,
+            };
+            let (up, hoff) = match off {
+                OffT::Imm(e) => {
+                    let v = ev(e)?;
+                    let (up, mag) = if v >= 0 { (true, v) } else { (false, -v) };
+                    if mag > 255 {
+                        return err(line, format!("halfword offset {v} exceeds 8 bits"));
+                    }
+                    (up, HOff::Imm(mag as u8))
+                }
+                OffT::Reg { rm, neg, shift } => {
+                    if shift.is_some() {
+                        return err(line, "halfword transfers cannot shift the offset register");
+                    }
+                    (!neg, HOff::Reg(*rm))
+                }
+            };
+            Ok(encode(Instr::MemH { cond, load, kind, pre, up, wb, rn, rd, off: hoff }))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::decode;
+
+    fn words(src: &str) -> Vec<u32> {
+        assemble(src).expect("assembles").words
+    }
+
+    #[test]
+    fn basic_mov_swi() {
+        let w = words("mov r0, #42\nswi #0\n");
+        assert_eq!(w.len(), 2);
+        assert_eq!(w[0], 0xE3A0_002A);
+        assert_eq!(w[1], 0xEF00_0000);
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        let w = words("; leading comment\n\n  mov r0, #1 @ trailing\n\nswi #0");
+        assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    fn labels_and_branches() {
+        let p = assemble("start: mov r0, #0\nloop: add r0, r0, #1\n cmp r0, #5\n bne loop\n swi #0").unwrap();
+        assert_eq!(p.label("start"), Some(0));
+        assert_eq!(p.label("loop"), Some(4));
+        // bne at address 12 targets 4: offset = 4 - 12 - 8 = -16.
+        match decode(p.words[3]) {
+            Instr::Branch { offset, .. } => assert_eq!(offset, -16),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn condition_and_s_suffixes_both_orders() {
+        let a = words("addeqs r0, r1, #1\nswi #0")[0];
+        let b = words("addseq r0, r1, #1\nswi #0")[0];
+        assert_eq!(a, b);
+        match decode(a) {
+            Instr::Dp { cond: Cond::Eq, s: true, op: DpOp::Add, .. } => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn branch_cond_disambiguation() {
+        // bls = b + ls, bleq = bl + eq, ble = b + le, bls vs bl+s.
+        match decode(words("bls t\nt: swi #0")[0]) {
+            Instr::Branch { cond: Cond::Ls, link: false, .. } => {}
+            other => panic!("{other:?}"),
+        }
+        match decode(words("bleq t\nt: swi #0")[0]) {
+            Instr::Branch { cond: Cond::Eq, link: true, .. } => {}
+            other => panic!("{other:?}"),
+        }
+        match decode(words("ble t\nt: swi #0")[0]) {
+            Instr::Branch { cond: Cond::Le, link: false, .. } => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn shifted_operands() {
+        match decode(words("mov r0, r1, lsl #3\nswi #0")[0]) {
+            Instr::Dp { op2: Op2::Reg { shift: Shift::Imm { ty: ShiftTy::Lsl, amount: 3 }, .. }, .. } => {}
+            other => panic!("{other:?}"),
+        }
+        match decode(words("add r0, r1, r2, lsr r3\nswi #0")[0]) {
+            Instr::Dp { op2: Op2::Reg { shift: Shift::Reg { ty: ShiftTy::Lsr, rs }, .. }, .. } => {
+                assert_eq!(rs, Reg::new(3));
+            }
+            other => panic!("{other:?}"),
+        }
+        match decode(words("mov r0, r1, rrx\nswi #0")[0]) {
+            Instr::Dp { op2: Op2::Reg { shift: Shift::Imm { ty: ShiftTy::Ror, amount: 0 }, .. }, .. } => {}
+            other => panic!("{other:?}"),
+        }
+        // asr #32 encodes as amount 0.
+        match decode(words("mov r0, r1, asr #32\nswi #0")[0]) {
+            Instr::Dp { op2: Op2::Reg { shift: Shift::Imm { ty: ShiftTy::Asr, amount: 0 }, .. }, .. } => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn addressing_modes() {
+        // Pre-indexed with writeback.
+        match decode(words("ldr r0, [r1, #4]!\nswi #0")[0]) {
+            Instr::Mem { pre: true, wb: true, up: true, off: MemOff::Imm(4), .. } => {}
+            other => panic!("{other:?}"),
+        }
+        // Negative offset.
+        match decode(words("ldr r0, [r1, #-8]\nswi #0")[0]) {
+            Instr::Mem { pre: true, up: false, off: MemOff::Imm(8), .. } => {}
+            other => panic!("{other:?}"),
+        }
+        // Post-indexed immediate.
+        match decode(words("str r0, [r1], #4\nswi #0")[0]) {
+            Instr::Mem { pre: false, load: false, off: MemOff::Imm(4), .. } => {}
+            other => panic!("{other:?}"),
+        }
+        // Register offset with shift.
+        match decode(words("ldr r0, [r1, r2, lsl #2]\nswi #0")[0]) {
+            Instr::Mem { off: MemOff::Reg { ty: ShiftTy::Lsl, amount: 2, .. }, .. } => {}
+            other => panic!("{other:?}"),
+        }
+        // Negative register offset.
+        match decode(words("ldr r0, [r1, -r2]\nswi #0")[0]) {
+            Instr::Mem { up: false, off: MemOff::Reg { .. }, .. } => {}
+            other => panic!("{other:?}"),
+        }
+        // Halfword.
+        match decode(words("ldrh r0, [r1, #2]\nswi #0")[0]) {
+            Instr::MemH { kind: HKind::U16, off: HOff::Imm(2), .. } => {}
+            other => panic!("{other:?}"),
+        }
+        match decode(words("ldrsb r0, [r1]\nswi #0")[0]) {
+            Instr::MemH { kind: HKind::S8, .. } => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn block_transfers_and_aliases() {
+        let ia = words("ldmia r0!, {r1, r2}\nswi #0")[0];
+        let fd = words("ldmfd r0!, {r1, r2}\nswi #0")[0];
+        assert_eq!(ia, fd, "ldmfd is ldmia");
+        let db = words("stmdb sp!, {r0-r3, lr}\nswi #0")[0];
+        let fd2 = words("stmfd sp!, {r0-r3, lr}\nswi #0")[0];
+        assert_eq!(db, fd2, "stmfd is stmdb");
+        match decode(db) {
+            Instr::Block { pre: true, up: false, wb: true, list, .. } => {
+                assert_eq!(list, 0b0100_0000_0000_1111);
+            }
+            other => panic!("{other:?}"),
+        }
+        let push = words("push {r4, lr}\nswi #0")[0];
+        let stm = words("stmdb sp!, {r4, lr}\nswi #0")[0];
+        assert_eq!(push, stm);
+        let pop = words("pop {r4, pc}\nswi #0")[0];
+        let ldm = words("ldmia sp!, {r4, pc}\nswi #0")[0];
+        assert_eq!(pop, ldm);
+    }
+
+    #[test]
+    fn literal_pool() {
+        let p = assemble("ldr r0, =0x12345678\nldr r1, =0x12345678\nldr r2, =label\nswi #0\nlabel: .word 7").unwrap();
+        // Two distinct literals (0x12345678 deduplicated), pool at end.
+        let n = p.words.len();
+        assert_eq!(p.words[n - 2], 0x1234_5678);
+        assert_eq!(p.words[n - 1], p.label("label").unwrap());
+        // First instruction loads pc-relative.
+        match decode(p.words[0]) {
+            Instr::Mem { rn, load: true, .. } => assert_eq!(rn, Reg::PC),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn adr_pseudo() {
+        let p = assemble("adr r0, data\nswi #0\ndata: .word 9").unwrap();
+        match decode(p.words[0]) {
+            Instr::Dp { op: DpOp::Add, rn, .. } => assert_eq!(rn, Reg::PC),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn data_directives_and_alignment() {
+        let p = assemble(
+            ".byte 1, 2, 3\n.align\n.word 0xAABBCCDD\n.half 0x1122\nstr1: .asciz \"ok\"\n.align 4\nend_: .word end_",
+        )
+        .unwrap();
+        assert_eq!(p.words[0] & 0x00FF_FFFF, 0x0003_0201);
+        assert_eq!(p.words[1], 0xAABB_CCDD);
+        // .half + "ok\0" packed then aligned; final word holds its own addr.
+        let end = p.label("end_").unwrap();
+        assert_eq!(end % 4, 0);
+        assert_eq!(p.words[(end / 4) as usize], end);
+    }
+
+    #[test]
+    fn equ_and_expressions() {
+        let p = assemble(".equ N, 10\nmov r0, #N\nmov r1, #(N*2+4)\nswi #0").unwrap();
+        assert_eq!(p.words[0], words("mov r0, #10\nswi #0")[0]);
+        assert_eq!(p.words[1], words("mov r1, #24\nswi #0")[0]);
+    }
+
+    #[test]
+    fn entry_directive() {
+        let p = assemble(".entry main\nhelper: swi #0\nmain: mov r0, #1\nswi #0").unwrap();
+        assert_eq!(p.entry, p.label("main").unwrap());
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble("mov r0, #1\nbogus r1, r2\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.msg.contains("bogus"));
+
+        let e = assemble("mov r0, #0x101\n").unwrap_err();
+        assert!(e.msg.contains("not encodable"));
+
+        let e = assemble("b nowhere\n").unwrap_err();
+        assert!(e.msg.contains("undefined symbol"));
+
+        let e = assemble("ldr r0, [r1, #5000]\n").unwrap_err();
+        assert!(e.msg.contains("exceeds 12 bits"));
+
+        let e = assemble("strsb r0, [r1]\n").unwrap_err();
+        assert!(e.msg.contains("signed stores"));
+    }
+
+    #[test]
+    fn multiplies() {
+        match decode(words("mul r0, r1, r2\nswi #0")[0]) {
+            Instr::Mul { acc: false, rd, rm, rs, .. } => {
+                assert_eq!((rd, rm, rs), (Reg::new(0), Reg::new(1), Reg::new(2)));
+            }
+            other => panic!("{other:?}"),
+        }
+        match decode(words("mla r0, r1, r2, r3\nswi #0")[0]) {
+            Instr::Mul { acc: true, rn, .. } => assert_eq!(rn, Reg::new(3)),
+            other => panic!("{other:?}"),
+        }
+        match decode(words("umull r0, r1, r2, r3\nswi #0")[0]) {
+            Instr::MulLong { signed: false, acc: false, rdlo, rdhi, .. } => {
+                assert_eq!((rdlo, rdhi), (Reg::new(0), Reg::new(1)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,304 @@
+//! Instruction decoding: 32-bit ARM machine word → [`Instr`].
+//!
+//! Covers the ARMv4 integer subset (see [`crate::instr`]); PSR transfers,
+//! coprocessor instructions, BX and other extensions decode to
+//! [`Instr::Undefined`], which the simulators report as an error if
+//! executed.
+
+use crate::instr::{HKind, HOff, Instr, MemOff, Op2, Shift};
+use crate::types::{Cond, Reg, ShiftTy};
+
+#[inline]
+fn reg(w: u32, at: u32) -> Reg {
+    Reg::new(((w >> at) & 0xF) as u8)
+}
+
+#[inline]
+fn bit(w: u32, n: u32) -> bool {
+    (w >> n) & 1 != 0
+}
+
+/// Decodes one machine word.
+pub fn decode(w: u32) -> Instr {
+    let cond = Cond::from_bits(w >> 28);
+
+    // SWI: cccc 1111 ...
+    if (w & 0x0F00_0000) == 0x0F00_0000 {
+        return Instr::Swi { cond, imm: w & 0x00FF_FFFF };
+    }
+
+    match (w >> 25) & 0b111 {
+        0b101 => {
+            // Branch: sign-extend the 24-bit word offset, convert to bytes.
+            let field = (w & 0x00FF_FFFF) as i32;
+            let offset = (field << 8) >> 6; // sign extend then *4
+            Instr::Branch { cond, link: bit(w, 24), offset }
+        }
+        0b100 => Instr::Block {
+            cond,
+            load: bit(w, 20),
+            pre: bit(w, 24),
+            up: bit(w, 23),
+            wb: bit(w, 21),
+            rn: reg(w, 16),
+            list: (w & 0xFFFF) as u16,
+        },
+        0b010 | 0b011 => {
+            // Single data transfer. Register-offset form with bit 4 set is
+            // architecturally undefined space.
+            if bit(w, 25) && bit(w, 4) {
+                return Instr::Undefined(w);
+            }
+            let off = if bit(w, 25) {
+                MemOff::Reg {
+                    rm: reg(w, 0),
+                    ty: ShiftTy::from_bits((w >> 5) & 3),
+                    amount: ((w >> 7) & 0x1F) as u8,
+                }
+            } else {
+                MemOff::Imm((w & 0xFFF) as u16)
+            };
+            Instr::Mem {
+                cond,
+                load: bit(w, 20),
+                byte: bit(w, 22),
+                pre: bit(w, 24),
+                up: bit(w, 23),
+                wb: bit(w, 21),
+                rn: reg(w, 16),
+                rd: reg(w, 12),
+                off,
+            }
+        }
+        0b000 => {
+            // Multiply: 0000 00AS dddd nnnn ssss 1001 mmmm
+            if (w & 0x0FC0_00F0) == 0x0000_0090 {
+                return Instr::Mul {
+                    cond,
+                    acc: bit(w, 21),
+                    s: bit(w, 20),
+                    rd: reg(w, 16),
+                    rn: reg(w, 12),
+                    rs: reg(w, 8),
+                    rm: reg(w, 0),
+                };
+            }
+            // Multiply long: 0000 1UAS hhhh llll ssss 1001 mmmm
+            if (w & 0x0F80_00F0) == 0x0080_0090 {
+                return Instr::MulLong {
+                    cond,
+                    signed: bit(w, 22),
+                    acc: bit(w, 21),
+                    s: bit(w, 20),
+                    rdhi: reg(w, 16),
+                    rdlo: reg(w, 12),
+                    rs: reg(w, 8),
+                    rm: reg(w, 0),
+                };
+            }
+            // Halfword / signed transfer: bit7 and bit4 set, SH != 00.
+            if bit(w, 7) && bit(w, 4) {
+                let sh = (w >> 5) & 3;
+                if sh != 0 {
+                    let load = bit(w, 20);
+                    let kind = match sh {
+                        1 => HKind::U16,
+                        2 => HKind::S8,
+                        _ => HKind::S16,
+                    };
+                    if !load && kind != HKind::U16 {
+                        // STRD/LDRD encodings (ARMv5E) — not in our subset.
+                        return Instr::Undefined(w);
+                    }
+                    let off = if bit(w, 22) {
+                        HOff::Imm((((w >> 4) & 0xF0) | (w & 0xF)) as u8)
+                    } else {
+                        if (w >> 8) & 0xF != 0 {
+                            return Instr::Undefined(w);
+                        }
+                        HOff::Reg(reg(w, 0))
+                    };
+                    return Instr::MemH {
+                        cond,
+                        load,
+                        kind,
+                        pre: bit(w, 24),
+                        up: bit(w, 23),
+                        wb: bit(w, 21),
+                        rn: reg(w, 16),
+                        rd: reg(w, 12),
+                        off,
+                    };
+                }
+                // SWP and other 1001-pattern leftovers.
+                return Instr::Undefined(w);
+            }
+            decode_dp(w, cond)
+        }
+        0b001 => decode_dp(w, cond),
+        _ => Instr::Undefined(w),
+    }
+}
+
+fn decode_dp(w: u32, cond: Cond) -> Instr {
+    let op = crate::instr::DpOp::from_bits(w >> 21);
+    let s = bit(w, 20);
+    // Test ops with S=0 occupy the PSR-transfer space (MRS/MSR/BX).
+    if op.is_test() && !s {
+        return Instr::Undefined(w);
+    }
+    let op2 = if bit(w, 25) {
+        Op2::Imm { imm8: (w & 0xFF) as u8, rot4: ((w >> 8) & 0xF) as u8 }
+    } else {
+        let rm = reg(w, 0);
+        let ty = ShiftTy::from_bits((w >> 5) & 3);
+        let shift = if bit(w, 4) {
+            if bit(w, 7) {
+                return Instr::Undefined(w);
+            }
+            Shift::Reg { ty, rs: reg(w, 8) }
+        } else {
+            Shift::Imm { ty, amount: ((w >> 7) & 0x1F) as u8 }
+        };
+        Op2::Reg { rm, shift }
+    };
+    Instr::Dp { cond, op, s, rn: reg(w, 16), rd: reg(w, 12), op2 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+    use crate::instr::DpOp;
+
+    fn r(n: u8) -> Reg {
+        Reg::new(n)
+    }
+
+    #[test]
+    fn decodes_known_words() {
+        assert_eq!(
+            decode(0xE3A0_0000),
+            Instr::Dp {
+                cond: Cond::Al,
+                op: DpOp::Mov,
+                s: false,
+                rn: r(0),
+                rd: r(0),
+                op2: Op2::Imm { imm8: 0, rot4: 0 },
+            }
+        );
+        assert_eq!(
+            decode(0xE591_0004),
+            Instr::Mem {
+                cond: Cond::Al,
+                load: true,
+                byte: false,
+                pre: true,
+                up: true,
+                wb: false,
+                rn: r(1),
+                rd: r(0),
+                off: MemOff::Imm(4),
+            }
+        );
+        assert_eq!(decode(0xEF00_0000), Instr::Swi { cond: Cond::Al, imm: 0 });
+        // bne back by 3 words: offset field 0xFFFFFB -> -20 bytes... check:
+        // field = -5 words => bytes -20.
+        match decode(0x1AFF_FFFB) {
+            Instr::Branch { cond: Cond::Ne, link: false, offset } => {
+                assert_eq!(offset, -20);
+            }
+            other => panic!("bad decode: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn branch_offset_sign_extension() {
+        // Max positive field.
+        match decode(0xEA7F_FFFF) {
+            Instr::Branch { offset, .. } => assert_eq!(offset, (0x7F_FFFF) << 2),
+            other => panic!("{other:?}"),
+        }
+        // Most negative field.
+        match decode(0xEA80_0000) {
+            Instr::Branch { offset, .. } => assert_eq!(offset, -(1 << 25)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn psr_space_is_undefined() {
+        // MRS r0, cpsr = e10f0000 → test op (TST) with S=0.
+        assert!(matches!(decode(0xE10F_0000), Instr::Undefined(_)));
+        // MSR cpsr, r0 = e129f000.
+        assert!(matches!(decode(0xE129_F000), Instr::Undefined(_)));
+        // BX lr = e12fff1e.
+        assert!(matches!(decode(0xE12F_FF1E), Instr::Undefined(_)));
+    }
+
+    #[test]
+    fn swp_is_undefined() {
+        // swp r0, r1, [r2] = e1020091
+        assert!(matches!(decode(0xE102_0091), Instr::Undefined(_)));
+    }
+
+    #[test]
+    fn coprocessor_space_is_undefined_or_swi() {
+        // cdp p1,... (1110 space) — 0xEE000000
+        assert!(matches!(decode(0xEE00_0100), Instr::Undefined(_)));
+    }
+
+    #[test]
+    fn register_offset_with_bit4_is_undefined() {
+        // ldr with register offset and bit4 set.
+        assert!(matches!(decode(0xE791_0011), Instr::Undefined(_)));
+    }
+
+    #[test]
+    fn encode_decode_spot_roundtrips() {
+        let samples = [
+            Instr::Dp {
+                cond: Cond::Ne,
+                op: DpOp::Bic,
+                s: true,
+                rn: r(5),
+                rd: r(6),
+                op2: Op2::Reg { rm: r(7), shift: Shift::Imm { ty: ShiftTy::Asr, amount: 9 } },
+            },
+            Instr::MemH {
+                cond: Cond::Al,
+                load: true,
+                kind: HKind::S16,
+                pre: false,
+                up: false,
+                wb: false,
+                rn: r(2),
+                rd: r(3),
+                off: HOff::Reg(r(4)),
+            },
+            Instr::Block {
+                cond: Cond::Gt,
+                load: true,
+                pre: true,
+                up: true,
+                wb: true,
+                rn: r(0),
+                list: 0xAAAA,
+            },
+            Instr::MulLong {
+                cond: Cond::Al,
+                signed: true,
+                acc: true,
+                s: true,
+                rdhi: r(3),
+                rdlo: r(2),
+                rs: r(1),
+                rm: r(0),
+            },
+        ];
+        for i in samples {
+            assert_eq!(decode(encode(i)), i, "roundtrip of {i}");
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! Instruction encoding: [`Instr`] → 32-bit ARM machine word.
+
+use crate::instr::{HOff, Instr, MemOff, Op2, Shift};
+use crate::types::Reg;
+
+#[inline]
+fn rbits(r: Reg) -> u32 {
+    u32::from(r.num())
+}
+
+fn encode_shift(shift: Shift, rm: Reg) -> u32 {
+    match shift {
+        Shift::Imm { ty, amount } => {
+            (u32::from(amount) << 7) | (ty.bits() << 5) | rbits(rm)
+        }
+        Shift::Reg { ty, rs } => {
+            (rbits(rs) << 8) | (ty.bits() << 5) | (1 << 4) | rbits(rm)
+        }
+    }
+}
+
+/// Encodes an instruction to its machine word.
+///
+/// # Panics
+///
+/// Panics on [`Instr::Undefined`] (it has no canonical encoding beyond the
+/// word it was decoded from — re-emit that word instead) and on branch
+/// offsets that do not fit in 26 signed bits or are not word-aligned.
+pub fn encode(instr: Instr) -> u32 {
+    match instr {
+        Instr::Dp { cond, op, s, rn, rd, op2 } => {
+            let base = (cond.bits() << 28)
+                | (op.bits() << 21)
+                | (u32::from(s) << 20)
+                | (rbits(rn) << 16)
+                | (rbits(rd) << 12);
+            match op2 {
+                Op2::Imm { imm8, rot4 } => {
+                    base | (1 << 25) | (u32::from(rot4) << 8) | u32::from(imm8)
+                }
+                Op2::Reg { rm, shift } => base | encode_shift(shift, rm),
+            }
+        }
+        Instr::Mul { cond, acc, s, rd, rn, rs, rm } => {
+            (cond.bits() << 28)
+                | (u32::from(acc) << 21)
+                | (u32::from(s) << 20)
+                | (rbits(rd) << 16)
+                | (rbits(rn) << 12)
+                | (rbits(rs) << 8)
+                | (0b1001 << 4)
+                | rbits(rm)
+        }
+        Instr::MulLong { cond, signed, acc, s, rdhi, rdlo, rs, rm } => {
+            (cond.bits() << 28)
+                | (1 << 23)
+                | (u32::from(signed) << 22)
+                | (u32::from(acc) << 21)
+                | (u32::from(s) << 20)
+                | (rbits(rdhi) << 16)
+                | (rbits(rdlo) << 12)
+                | (rbits(rs) << 8)
+                | (0b1001 << 4)
+                | rbits(rm)
+        }
+        Instr::Mem { cond, load, byte, pre, up, wb, rn, rd, off } => {
+            let base = (cond.bits() << 28)
+                | (0b01 << 26)
+                | (u32::from(pre) << 24)
+                | (u32::from(up) << 23)
+                | (u32::from(byte) << 22)
+                | (u32::from(wb) << 21)
+                | (u32::from(load) << 20)
+                | (rbits(rn) << 16)
+                | (rbits(rd) << 12);
+            match off {
+                MemOff::Imm(v) => {
+                    debug_assert!(v < 4096);
+                    base | u32::from(v)
+                }
+                MemOff::Reg { rm, ty, amount } => {
+                    base | (1 << 25)
+                        | (u32::from(amount) << 7)
+                        | (ty.bits() << 5)
+                        | rbits(rm)
+                }
+            }
+        }
+        Instr::MemH { cond, load, kind, pre, up, wb, rn, rd, off } => {
+            let sh = kind as u32;
+            let base = (cond.bits() << 28)
+                | (u32::from(pre) << 24)
+                | (u32::from(up) << 23)
+                | (u32::from(wb) << 21)
+                | (u32::from(load) << 20)
+                | (rbits(rn) << 16)
+                | (rbits(rd) << 12)
+                | (1 << 7)
+                | (sh << 5)
+                | (1 << 4);
+            match off {
+                HOff::Imm(v) => {
+                    base | (1 << 22)
+                        | ((u32::from(v) >> 4) << 8)
+                        | (u32::from(v) & 0xF)
+                }
+                HOff::Reg(rm) => base | rbits(rm),
+            }
+        }
+        Instr::Block { cond, load, pre, up, wb, rn, list } => {
+            (cond.bits() << 28)
+                | (0b100 << 25)
+                | (u32::from(pre) << 24)
+                | (u32::from(up) << 23)
+                | (u32::from(wb) << 21)
+                | (u32::from(load) << 20)
+                | (rbits(rn) << 16)
+                | u32::from(list)
+        }
+        Instr::Branch { cond, link, offset } => {
+            assert!(offset % 4 == 0, "branch offset must be word-aligned: {offset}");
+            assert!(
+                (-(1 << 25)..(1 << 25)).contains(&offset),
+                "branch offset out of range: {offset}"
+            );
+            let field = ((offset >> 2) as u32) & 0x00FF_FFFF;
+            (cond.bits() << 28) | (0b101 << 25) | (u32::from(link) << 24) | field
+        }
+        Instr::Swi { cond, imm } => {
+            debug_assert!(imm < (1 << 24));
+            (cond.bits() << 28) | (0b1111 << 24) | (imm & 0x00FF_FFFF)
+        }
+        Instr::Undefined(w) => {
+            panic!("cannot encode an undefined instruction (word {w:#010x})")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{DpOp, HKind};
+    use crate::types::{Cond, ShiftTy};
+
+    fn r(n: u8) -> Reg {
+        Reg::new(n)
+    }
+
+    // Reference encodings cross-checked against GNU as output.
+    #[test]
+    fn known_words() {
+        // mov r0, #0  => e3a00000
+        let i = Instr::Dp {
+            cond: Cond::Al,
+            op: DpOp::Mov,
+            s: false,
+            rn: r(0),
+            rd: r(0),
+            op2: Op2::imm(0).unwrap(),
+        };
+        assert_eq!(encode(i), 0xE3A0_0000);
+
+        // adds r1, r2, r3  => e0921003
+        let i = Instr::Dp {
+            cond: Cond::Al,
+            op: DpOp::Add,
+            s: true,
+            rn: r(2),
+            rd: r(1),
+            op2: Op2::reg(r(3)),
+        };
+        assert_eq!(encode(i), 0xE092_1003);
+
+        // ldr r0, [r1, #4]  => e5910004
+        let i = Instr::Mem {
+            cond: Cond::Al,
+            load: true,
+            byte: false,
+            pre: true,
+            up: true,
+            wb: false,
+            rn: r(1),
+            rd: r(0),
+            off: MemOff::Imm(4),
+        };
+        assert_eq!(encode(i), 0xE591_0004);
+
+        // b .+8 (offset 0 field)  => ea000000
+        let i = Instr::Branch { cond: Cond::Al, link: false, offset: 0 };
+        assert_eq!(encode(i), 0xEA00_0000);
+
+        // bl .-4 (offset field = -3)... offset byte -12 => fffffffd
+        let i = Instr::Branch { cond: Cond::Al, link: true, offset: -12 };
+        assert_eq!(encode(i), 0xEBFF_FFFD);
+
+        // swi 0x123456 => ef123456
+        let i = Instr::Swi { cond: Cond::Al, imm: 0x123456 };
+        assert_eq!(encode(i), 0xEF12_3456);
+
+        // mul r0, r1, r2 => e0000291
+        let i = Instr::Mul {
+            cond: Cond::Al,
+            acc: false,
+            s: false,
+            rd: r(0),
+            rn: r(0),
+            rs: r(2),
+            rm: r(1),
+        };
+        assert_eq!(encode(i), 0xE000_0291);
+
+        // umull r0, r1, r2, r3 => e0810392
+        let i = Instr::MulLong {
+            cond: Cond::Al,
+            signed: false,
+            acc: false,
+            s: false,
+            rdhi: r(1),
+            rdlo: r(0),
+            rs: r(3),
+            rm: r(2),
+        };
+        assert_eq!(encode(i), 0xE081_0392);
+
+        // stmdb sp!, {r0, lr}  => e92d4001
+        let i = Instr::Block {
+            cond: Cond::Al,
+            load: false,
+            pre: true,
+            up: false,
+            wb: true,
+            rn: Reg::SP,
+            list: (1 << 14) | 1,
+        };
+        assert_eq!(encode(i), 0xE92D_4001);
+
+        // ldrh r0, [r1, #2] => e1d100b2
+        let i = Instr::MemH {
+            cond: Cond::Al,
+            load: true,
+            kind: HKind::U16,
+            pre: true,
+            up: true,
+            wb: false,
+            rn: r(1),
+            rd: r(0),
+            off: HOff::Imm(2),
+        };
+        assert_eq!(encode(i), 0xE1D1_00B2);
+
+        // mov r0, r1, lsl r2 => e1a00211
+        let i = Instr::Dp {
+            cond: Cond::Al,
+            op: DpOp::Mov,
+            s: false,
+            rn: r(0),
+            rd: r(0),
+            op2: Op2::Reg { rm: r(1), shift: Shift::Reg { ty: ShiftTy::Lsl, rs: r(2) } },
+        };
+        assert_eq!(encode(i), 0xE1A0_0211);
+    }
+
+    #[test]
+    #[should_panic(expected = "word-aligned")]
+    fn misaligned_branch_panics() {
+        let _ = encode(Instr::Branch { cond: Cond::Al, link: false, offset: 2 });
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot encode")]
+    fn undefined_panics() {
+        let _ = encode(Instr::Undefined(0));
+    }
+}

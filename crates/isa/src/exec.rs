@@ -1,0 +1,180 @@
+//! Shared execution semantics: the ALU, flag computation, extension rules
+//! and block-transfer address math.
+//!
+//! Both the functional simulator ([`crate::iss`]) and the cycle-accurate
+//! models use these helpers, so architectural results are identical by
+//! construction — any co-simulation mismatch points at a *timing model*
+//! bug, not a semantics divergence.
+
+use crate::instr::{DpOp, HKind};
+
+/// Adds `a + b + carry`, returning `(result, carry_out, overflow)`.
+///
+/// Subtraction is performed by adding the complement (`a + !b + 1`), which
+/// yields ARM's not-borrow carry convention directly.
+#[inline]
+pub fn adc(a: u32, b: u32, carry: bool) -> (u32, bool, bool) {
+    let r64 = u64::from(a) + u64::from(b) + u64::from(carry);
+    let r = r64 as u32;
+    let carry_out = r64 > u64::from(u32::MAX);
+    let overflow = ((a ^ r) & (b ^ r)) >> 31 != 0;
+    (r, carry_out, overflow)
+}
+
+/// Computes a data-processing operation.
+///
+/// Returns the result and, for arithmetic ops, the `(carry, overflow)`
+/// pair. Logical ops return `None` — they take C from the shifter and
+/// leave V unchanged.
+#[inline]
+pub fn alu(op: DpOp, a: u32, b: u32, carry_in: bool) -> (u32, Option<(bool, bool)>) {
+    match op {
+        DpOp::And | DpOp::Tst => (a & b, None),
+        DpOp::Eor | DpOp::Teq => (a ^ b, None),
+        DpOp::Orr => (a | b, None),
+        DpOp::Mov => (b, None),
+        DpOp::Bic => (a & !b, None),
+        DpOp::Mvn => (!b, None),
+        DpOp::Add | DpOp::Cmn => {
+            let (r, c, v) = adc(a, b, false);
+            (r, Some((c, v)))
+        }
+        DpOp::Adc => {
+            let (r, c, v) = adc(a, b, carry_in);
+            (r, Some((c, v)))
+        }
+        DpOp::Sub | DpOp::Cmp => {
+            let (r, c, v) = adc(a, !b, true);
+            (r, Some((c, v)))
+        }
+        DpOp::Sbc => {
+            let (r, c, v) = adc(a, !b, carry_in);
+            (r, Some((c, v)))
+        }
+        DpOp::Rsb => {
+            let (r, c, v) = adc(b, !a, true);
+            (r, Some((c, v)))
+        }
+        DpOp::Rsc => {
+            let (r, c, v) = adc(b, !a, carry_in);
+            (r, Some((c, v)))
+        }
+    }
+}
+
+/// Extends a loaded halfword/byte per the transfer kind.
+#[inline]
+pub fn extend(kind: HKind, raw: u32) -> u32 {
+    match kind {
+        HKind::U16 => raw & 0xFFFF,
+        HKind::S8 => raw as u8 as i8 as i32 as u32,
+        HKind::S16 => raw as u16 as i16 as i32 as u32,
+    }
+}
+
+/// Computes the first transfer address and the written-back base for a
+/// block transfer of `count` registers.
+///
+/// Registers always transfer in ascending register order from the lowest
+/// address; the four addressing modes only move the window.
+#[inline]
+pub fn block_bounds(pre: bool, up: bool, base: u32, count: u32) -> (u32, u32) {
+    let bytes = count * 4;
+    match (pre, up) {
+        // IA: increment after.
+        (false, true) => (base, base.wrapping_add(bytes)),
+        // IB: increment before.
+        (true, true) => (base.wrapping_add(4), base.wrapping_add(bytes)),
+        // DA: decrement after.
+        (false, false) => (base.wrapping_sub(bytes).wrapping_add(4), base.wrapping_sub(bytes)),
+        // DB: decrement before.
+        (true, false) => (base.wrapping_sub(bytes), base.wrapping_sub(bytes)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adder_carry_and_overflow() {
+        assert_eq!(adc(1, 2, false), (3, false, false));
+        assert_eq!(adc(u32::MAX, 1, false), (0, true, false));
+        assert_eq!(adc(0x7FFF_FFFF, 1, false), (0x8000_0000, false, true));
+        assert_eq!(adc(0x8000_0000, 0x8000_0000, false), (0, true, true));
+    }
+
+    #[test]
+    fn sub_carry_is_not_borrow() {
+        // 5 - 3: no borrow -> C set.
+        let (r, f) = alu(DpOp::Sub, 5, 3, false);
+        assert_eq!(r, 2);
+        assert_eq!(f, Some((true, false)));
+        // 3 - 5: borrow -> C clear.
+        let (r, f) = alu(DpOp::Sub, 3, 5, false);
+        assert_eq!(r, (-2i32) as u32);
+        assert_eq!(f, Some((false, false)));
+    }
+
+    #[test]
+    fn sbc_uses_carry_in() {
+        // SBC with C=0 subtracts an extra 1.
+        let (r, _) = alu(DpOp::Sbc, 10, 3, false);
+        assert_eq!(r, 6);
+        let (r, _) = alu(DpOp::Sbc, 10, 3, true);
+        assert_eq!(r, 7);
+    }
+
+    #[test]
+    fn rsb_reverses() {
+        let (r, f) = alu(DpOp::Rsb, 3, 10, false);
+        assert_eq!(r, 7);
+        assert_eq!(f.unwrap().0, true, "10 - 3 has no borrow");
+    }
+
+    #[test]
+    fn sub_overflow() {
+        // INT_MIN - 1 overflows.
+        let (r, f) = alu(DpOp::Sub, 0x8000_0000, 1, false);
+        assert_eq!(r, 0x7FFF_FFFF);
+        assert_eq!(f.unwrap().1, true);
+    }
+
+    #[test]
+    fn logical_ops_have_no_arith_flags() {
+        assert_eq!(alu(DpOp::And, 0b1100, 0b1010, true), (0b1000, None));
+        assert_eq!(alu(DpOp::Eor, 0b1100, 0b1010, true), (0b0110, None));
+        assert_eq!(alu(DpOp::Orr, 0b1100, 0b1010, true), (0b1110, None));
+        assert_eq!(alu(DpOp::Bic, 0b1100, 0b1010, true), (0b0100, None));
+        assert_eq!(alu(DpOp::Mov, 7, 9, true), (9, None));
+        assert_eq!(alu(DpOp::Mvn, 7, 0, true), (u32::MAX, None));
+    }
+
+    #[test]
+    fn extensions() {
+        assert_eq!(extend(HKind::U16, 0xFFFF_8001), 0x8001);
+        assert_eq!(extend(HKind::S16, 0x8001), 0xFFFF_8001);
+        assert_eq!(extend(HKind::S16, 0x7001), 0x7001);
+        assert_eq!(extend(HKind::S8, 0x80), 0xFFFF_FF80);
+        assert_eq!(extend(HKind::S8, 0x7F), 0x7F);
+    }
+
+    #[test]
+    fn block_addressing_modes() {
+        // 3 registers from base 0x100.
+        assert_eq!(block_bounds(false, true, 0x100, 3), (0x100, 0x10C)); // IA
+        assert_eq!(block_bounds(true, true, 0x100, 3), (0x104, 0x10C)); // IB
+        assert_eq!(block_bounds(false, false, 0x100, 3), (0xF8, 0xF4)); // DA
+        assert_eq!(block_bounds(true, false, 0x100, 3), (0xF4, 0xF4)); // DB
+    }
+
+    #[test]
+    fn push_pop_symmetry() {
+        // stmdb sp!, {..3 regs..}; ldmia sp!, {..3 regs..} restores sp.
+        let sp0 = 0x1000;
+        let (push_start, sp1) = block_bounds(true, false, sp0, 3);
+        let (pop_start, sp2) = block_bounds(false, true, sp1, 3);
+        assert_eq!(push_start, pop_start, "pop reads what push wrote");
+        assert_eq!(sp2, sp0, "stack pointer restored");
+    }
+}

@@ -1,0 +1,743 @@
+//! The functional instruction-set simulator (ISS).
+//!
+//! Executes ARM programs with architectural accuracy but no timing. Used as
+//! the *gold model* for co-simulation: every cycle-accurate simulator in
+//! this workspace must produce exactly the same architectural results
+//! (registers, memory, output, exit code) as the ISS. This is also the
+//! "fast functional simulator" the paper names as future work, extracted
+//! from the same instruction semantics ([`crate::exec`]).
+
+use std::error::Error;
+use std::fmt;
+
+use memsys::Memory;
+
+use crate::decode::decode;
+use crate::exec::{alu, block_bounds, extend};
+use crate::instr::{HKind, HOff, Instr, MemOff, Op2, Shift};
+use crate::program::{Program, DEFAULT_STACK_TOP};
+use crate::syscall::{dispatch, SysAction};
+use crate::types::{shift_imm, shift_reg, Psr, Reg};
+
+/// A fault raised by the ISS.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IssError {
+    /// An undefined instruction was executed.
+    Undefined {
+        /// PC of the faulting instruction.
+        pc: u32,
+        /// The raw word.
+        word: u32,
+    },
+}
+
+impl fmt::Display for IssError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IssError::Undefined { pc, word } => {
+                write!(f, "undefined instruction {word:#010x} at pc {pc:#x}")
+            }
+        }
+    }
+}
+
+impl Error for IssError {}
+
+/// Why a [`Iss::run`] call returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunStatus {
+    /// The program called `swi #0`; the exit code is in
+    /// [`Iss::exit_code`].
+    Exited,
+    /// The instruction budget ran out first.
+    Limit,
+}
+
+/// Dynamic instruction-mix counters (used to characterize workloads).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InstrMix {
+    /// Data-processing instructions.
+    pub dp: u64,
+    /// Multiplies (including long multiplies).
+    pub mul: u64,
+    /// Loads (single and per-register block loads count once per
+    /// instruction).
+    pub load: u64,
+    /// Stores.
+    pub store: u64,
+    /// Block transfers.
+    pub block: u64,
+    /// Branches.
+    pub branch: u64,
+    /// Taken branches (including every executed `b`/`bl`).
+    pub taken: u64,
+    /// System calls.
+    pub swi: u64,
+    /// Condition-failed (annulled) instructions.
+    pub skipped: u64,
+}
+
+impl InstrMix {
+    /// Total executed instructions (including annulled ones).
+    pub fn total(&self) -> u64 {
+        self.dp + self.mul + self.load + self.store + self.block + self.branch + self.swi
+            + self.skipped
+    }
+}
+
+/// The functional simulator.
+///
+/// # Examples
+///
+/// ```
+/// use arm_isa::asm::assemble;
+/// use arm_isa::iss::Iss;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let program = assemble(
+///     "mov r0, #6
+///      mov r1, #7
+///      mul r0, r1, r0
+///      swi #0",
+/// )?;
+/// let mut iss = Iss::from_program(&program);
+/// iss.run(1000)?;
+/// assert_eq!(iss.exit_code(), 42);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Iss<M> {
+    /// Register file; `regs[15]` is the PC of the *next* fetch.
+    pub regs: [u32; 16],
+    /// Status flags.
+    pub cpsr: Psr,
+    /// Memory.
+    pub mem: M,
+    halted: bool,
+    exit_code: u32,
+    output: Vec<u8>,
+    mix: InstrMix,
+    decode_cache: Vec<Option<Instr>>,
+}
+
+impl Iss<memsys::FlatMem> {
+    /// Builds an ISS with the program loaded, PC at the entry point and SP
+    /// at the top of memory.
+    pub fn from_program(program: &Program) -> Self {
+        let mem = program.to_memory();
+        let mut iss = Iss::new(mem, program.entry);
+        iss.regs[13] = DEFAULT_STACK_TOP;
+        iss.enable_decode_cache(program.base + program.size_bytes() + 4096);
+        iss
+    }
+}
+
+impl<M: Memory> Iss<M> {
+    /// Creates an ISS over `mem`, starting at `entry`.
+    pub fn new(mem: M, entry: u32) -> Self {
+        let mut regs = [0u32; 16];
+        regs[15] = entry;
+        Iss {
+            regs,
+            cpsr: Psr::new(),
+            mem,
+            halted: false,
+            exit_code: 0,
+            output: Vec::new(),
+            mix: InstrMix::default(),
+            decode_cache: Vec::new(),
+        }
+    }
+
+    /// Enables the decode cache for addresses below `text_limit`.
+    pub fn enable_decode_cache(&mut self, text_limit: u32) {
+        self.decode_cache = vec![None; (text_limit as usize).div_ceil(4)];
+    }
+
+    /// True once the program has exited.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// The exit code passed to `swi #0`.
+    pub fn exit_code(&self) -> u32 {
+        self.exit_code
+    }
+
+    /// Bytes written through the output system calls.
+    pub fn output(&self) -> &[u8] {
+        &self.output
+    }
+
+    /// Instruction-mix counters.
+    pub fn mix(&self) -> &InstrMix {
+        &self.mix
+    }
+
+    /// Total executed instructions.
+    pub fn instr_count(&self) -> u64 {
+        self.mix.total()
+    }
+
+    #[inline]
+    fn rr(&self, r: Reg, pc: u32) -> u32 {
+        if r.is_pc() {
+            pc.wrapping_add(8)
+        } else {
+            self.regs[r.index()]
+        }
+    }
+
+    /// Executes one instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IssError::Undefined`] when the word at PC does not decode.
+    pub fn step(&mut self) -> Result<(), IssError> {
+        debug_assert!(!self.halted, "stepping a halted ISS");
+        let pc = self.regs[15];
+        let word = self.mem.read32(pc);
+        let instr = {
+            let idx = (pc >> 2) as usize;
+            match self.decode_cache.get(idx) {
+                Some(Some(i)) => *i,
+                Some(None) => {
+                    let i = decode(word);
+                    self.decode_cache[idx] = Some(i);
+                    i
+                }
+                None => decode(word),
+            }
+        };
+
+        if let Instr::Undefined(w) = instr {
+            return Err(IssError::Undefined { pc, word: w });
+        }
+
+        if !instr.cond().passes(self.cpsr) {
+            self.mix.skipped += 1;
+            self.regs[15] = pc.wrapping_add(4);
+            return Ok(());
+        }
+
+        let mut next_pc = pc.wrapping_add(4);
+        match instr {
+            Instr::Dp { op, s, rn, rd, op2, .. } => {
+                self.mix.dp += 1;
+                let c_in = self.cpsr.c();
+                let (b, shifter_c) = match op2 {
+                    Op2::Imm { imm8, rot4 } => crate::types::expand_imm(imm8, rot4, c_in),
+                    Op2::Reg { rm, shift } => {
+                        let v = self.rr(rm, pc);
+                        match shift {
+                            Shift::Imm { ty, amount } => {
+                                shift_imm(ty, v, u32::from(amount), c_in)
+                            }
+                            Shift::Reg { ty, rs } => {
+                                shift_reg(ty, v, self.rr(rs, pc), c_in)
+                            }
+                        }
+                    }
+                };
+                let a = self.rr(rn, pc);
+                let (result, arith) = alu(op, a, b, c_in);
+                if s {
+                    match arith {
+                        Some((c, v)) => self.cpsr.set_nzcv(result >> 31 != 0, result == 0, c, v),
+                        None => self.cpsr.set_nzc(result, shifter_c),
+                    }
+                }
+                if !op.is_test() {
+                    if rd.is_pc() {
+                        next_pc = result & !3;
+                    } else {
+                        self.regs[rd.index()] = result;
+                    }
+                }
+            }
+            Instr::Mul { acc, s, rd, rn, rs, rm, .. } => {
+                self.mix.mul += 1;
+                let mut result = self.rr(rm, pc).wrapping_mul(self.rr(rs, pc));
+                if acc {
+                    result = result.wrapping_add(self.rr(rn, pc));
+                }
+                self.regs[rd.index()] = result;
+                if s {
+                    self.cpsr.set_nz(result);
+                }
+            }
+            Instr::MulLong { signed, acc, s, rdhi, rdlo, rs, rm, .. } => {
+                self.mix.mul += 1;
+                let a = self.rr(rm, pc);
+                let b = self.rr(rs, pc);
+                let mut product = if signed {
+                    (i64::from(a as i32) * i64::from(b as i32)) as u64
+                } else {
+                    u64::from(a) * u64::from(b)
+                };
+                if acc {
+                    let acc64 = (u64::from(self.rr(rdhi, pc)) << 32) | u64::from(self.rr(rdlo, pc));
+                    product = product.wrapping_add(acc64);
+                }
+                self.regs[rdlo.index()] = product as u32;
+                self.regs[rdhi.index()] = (product >> 32) as u32;
+                if s {
+                    self.cpsr.set_nzcv(
+                        product >> 63 != 0,
+                        product == 0,
+                        self.cpsr.c(),
+                        self.cpsr.v(),
+                    );
+                }
+            }
+            Instr::Mem { load, byte, pre, up, wb, rn, rd, off, .. } => {
+                let base = self.rr(rn, pc);
+                let off_val = match off {
+                    MemOff::Imm(v) => u32::from(v),
+                    MemOff::Reg { rm, ty, amount } => {
+                        shift_imm(ty, self.rr(rm, pc), u32::from(amount), self.cpsr.c()).0
+                    }
+                };
+                let indexed =
+                    if up { base.wrapping_add(off_val) } else { base.wrapping_sub(off_val) };
+                let addr = if pre { indexed } else { base };
+                if wb || !pre {
+                    self.regs[rn.index()] = indexed;
+                }
+                if load {
+                    self.mix.load += 1;
+                    let value =
+                        if byte { u32::from(self.mem.read8(addr)) } else { self.mem.read32(addr) };
+                    if rd.is_pc() {
+                        next_pc = value & !3;
+                    } else {
+                        self.regs[rd.index()] = value;
+                    }
+                } else {
+                    self.mix.store += 1;
+                    let value = self.rr(rd, pc);
+                    if byte {
+                        self.mem.write8(addr, value as u8);
+                    } else {
+                        self.mem.write32(addr, value);
+                    }
+                }
+            }
+            Instr::MemH { load, kind, pre, up, wb, rn, rd, off, .. } => {
+                let base = self.rr(rn, pc);
+                let off_val = match off {
+                    HOff::Imm(v) => u32::from(v),
+                    HOff::Reg(rm) => self.rr(rm, pc),
+                };
+                let indexed =
+                    if up { base.wrapping_add(off_val) } else { base.wrapping_sub(off_val) };
+                let addr = if pre { indexed } else { base };
+                if wb || !pre {
+                    self.regs[rn.index()] = indexed;
+                }
+                if load {
+                    self.mix.load += 1;
+                    let raw = match kind {
+                        HKind::S8 => u32::from(self.mem.read8(addr)),
+                        _ => u32::from(self.mem.read16(addr)),
+                    };
+                    self.regs[rd.index()] = extend(kind, raw);
+                } else {
+                    self.mix.store += 1;
+                    self.mem.write16(addr, self.rr(rd, pc) as u16);
+                }
+            }
+            Instr::Block { load, pre, up, wb, rn, list, .. } => {
+                self.mix.block += 1;
+                let count = list.count_ones();
+                let base = self.rr(rn, pc);
+                let (start, new_base) = block_bounds(pre, up, base, count);
+                let mut addr = start;
+                if !load && wb {
+                    // STM writes the base early; storing the (updated) base
+                    // register itself stores the original value only if it
+                    // is the first in the list — we store originals always
+                    // by reading before updating.
+                }
+                let mut loaded_pc = None;
+                for i in 0..16u8 {
+                    if (list >> i) & 1 == 0 {
+                        continue;
+                    }
+                    if load {
+                        let v = self.mem.read32(addr);
+                        if i == 15 {
+                            loaded_pc = Some(v & !3);
+                        } else {
+                            self.regs[usize::from(i)] = v;
+                        }
+                    } else {
+                        self.mem.write32(addr, self.rr(Reg::new(i), pc));
+                    }
+                    addr = addr.wrapping_add(4);
+                }
+                if wb {
+                    // LDM that includes the base: the loaded value wins.
+                    let base_loaded = load && (list >> rn.num()) & 1 == 1;
+                    if !base_loaded {
+                        self.regs[rn.index()] = new_base;
+                    }
+                }
+                if let Some(t) = loaded_pc {
+                    next_pc = t;
+                }
+            }
+            Instr::Branch { link, offset, .. } => {
+                self.mix.branch += 1;
+                self.mix.taken += 1;
+                if link {
+                    self.regs[14] = pc.wrapping_add(4);
+                }
+                next_pc = pc.wrapping_add(8).wrapping_add(offset as u32);
+            }
+            Instr::Swi { imm, .. } => {
+                self.mix.swi += 1;
+                match dispatch(imm, self.regs[0], &mut self.output) {
+                    SysAction::Exit(code) => {
+                        self.halted = true;
+                        self.exit_code = code;
+                    }
+                    SysAction::Continue => {}
+                }
+            }
+            Instr::Undefined(_) => unreachable!("checked above"),
+        }
+
+        self.regs[15] = next_pc;
+        Ok(())
+    }
+
+    /// Runs until exit or until `max_instrs` instructions have executed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`IssError`] from [`Iss::step`].
+    pub fn run(&mut self, max_instrs: u64) -> Result<RunStatus, IssError> {
+        let limit = self.instr_count() + max_instrs;
+        while !self.halted && self.instr_count() < limit {
+            self.step()?;
+        }
+        Ok(if self.halted { RunStatus::Exited } else { RunStatus::Limit })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+    use crate::instr::DpOp;
+    use crate::types::Cond;
+    use memsys::FlatMem;
+
+    fn r(n: u8) -> Reg {
+        Reg::new(n)
+    }
+
+    fn run_words(words: &[u32]) -> Iss<FlatMem> {
+        let mut mem = FlatMem::new(64 * 1024);
+        mem.load_words(0, words);
+        let mut iss = Iss::new(mem, 0);
+        iss.regs[13] = 60 * 1024;
+        iss.run(100_000).expect("no faults");
+        assert!(iss.halted(), "program must exit");
+        iss
+    }
+
+    fn swi_exit() -> u32 {
+        encode(Instr::Swi { cond: Cond::Al, imm: 0 })
+    }
+
+    #[test]
+    fn mov_add_exit() {
+        let iss = run_words(&[
+            // mov r0, #40 ; add r0, r0, #2 ; swi #0
+            encode(Instr::Dp {
+                cond: Cond::Al,
+                op: DpOp::Mov,
+                s: false,
+                rn: r(0),
+                rd: r(0),
+                op2: Op2::imm(40).unwrap(),
+            }),
+            encode(Instr::Dp {
+                cond: Cond::Al,
+                op: DpOp::Add,
+                s: false,
+                rn: r(0),
+                rd: r(0),
+                op2: Op2::imm(2).unwrap(),
+            }),
+            swi_exit(),
+        ]);
+        assert_eq!(iss.exit_code(), 42);
+        assert_eq!(iss.mix().dp, 2);
+        assert_eq!(iss.mix().swi, 1);
+    }
+
+    #[test]
+    fn conditional_execution_annuls() {
+        // movs r0, #0 ; movne r1, #1 ; moveq r2, #2 ; swi #0
+        let iss = run_words(&[
+            encode(Instr::Dp {
+                cond: Cond::Al,
+                op: DpOp::Mov,
+                s: true,
+                rn: r(0),
+                rd: r(0),
+                op2: Op2::imm(0).unwrap(),
+            }),
+            encode(Instr::Dp {
+                cond: Cond::Ne,
+                op: DpOp::Mov,
+                s: false,
+                rn: r(0),
+                rd: r(1),
+                op2: Op2::imm(1).unwrap(),
+            }),
+            encode(Instr::Dp {
+                cond: Cond::Eq,
+                op: DpOp::Mov,
+                s: false,
+                rn: r(0),
+                rd: r(2),
+                op2: Op2::imm(2).unwrap(),
+            }),
+            swi_exit(),
+        ]);
+        assert_eq!(iss.regs[1], 0, "movne annulled (Z set)");
+        assert_eq!(iss.regs[2], 2);
+        assert_eq!(iss.mix().skipped, 1);
+    }
+
+    #[test]
+    fn pc_reads_as_plus_eight() {
+        // mov r0, pc ; swi #0  — r0 must be 0 + 8.
+        let iss = run_words(&[
+            encode(Instr::Dp {
+                cond: Cond::Al,
+                op: DpOp::Mov,
+                s: false,
+                rn: r(0),
+                rd: r(0),
+                op2: Op2::reg(Reg::PC),
+            }),
+            swi_exit(),
+        ]);
+        assert_eq!(iss.exit_code(), 8);
+    }
+
+    #[test]
+    fn store_load_roundtrip_and_writeback() {
+        // mov r1, #0x100 ; mov r0, #77 ; str r0, [r1], #4 ; ldr r2, [r1, #-4] ; swi 0
+        let iss = run_words(&[
+            encode(Instr::Dp {
+                cond: Cond::Al,
+                op: DpOp::Mov,
+                s: false,
+                rn: r(0),
+                rd: r(1),
+                op2: Op2::imm(0x100).unwrap(),
+            }),
+            encode(Instr::Dp {
+                cond: Cond::Al,
+                op: DpOp::Mov,
+                s: false,
+                rn: r(0),
+                rd: r(0),
+                op2: Op2::imm(77).unwrap(),
+            }),
+            encode(Instr::Mem {
+                cond: Cond::Al,
+                load: false,
+                byte: false,
+                pre: false,
+                up: true,
+                wb: false,
+                rn: r(1),
+                rd: r(0),
+                off: MemOff::Imm(4),
+            }),
+            encode(Instr::Mem {
+                cond: Cond::Al,
+                load: true,
+                byte: false,
+                pre: true,
+                up: false,
+                wb: false,
+                rn: r(1),
+                rd: r(2),
+                off: MemOff::Imm(4),
+            }),
+            swi_exit(),
+        ]);
+        assert_eq!(iss.regs[1], 0x104, "post-index wrote back");
+        assert_eq!(iss.regs[2], 77);
+        assert_eq!(iss.mix().load, 1);
+        assert_eq!(iss.mix().store, 1);
+    }
+
+    #[test]
+    fn branch_with_link_and_return() {
+        // 0: bl 8       (lr = 4)
+        // 4: swi #0
+        // 8: mov r0, #9
+        // c: mov pc, lr
+        let iss = run_words(&[
+            encode(Instr::Branch { cond: Cond::Al, link: true, offset: 0 }), // to 0+8+0=8
+            swi_exit(),
+            encode(Instr::Dp {
+                cond: Cond::Al,
+                op: DpOp::Mov,
+                s: false,
+                rn: r(0),
+                rd: r(0),
+                op2: Op2::imm(9).unwrap(),
+            }),
+            encode(Instr::Dp {
+                cond: Cond::Al,
+                op: DpOp::Mov,
+                s: false,
+                rn: r(0),
+                rd: Reg::PC,
+                op2: Op2::reg(Reg::LR),
+            }),
+        ]);
+        assert_eq!(iss.exit_code(), 9);
+        assert_eq!(iss.mix().branch, 1);
+    }
+
+    #[test]
+    fn block_push_pop() {
+        // mov r0,#1; mov r1,#2; stmdb sp!,{r0,r1}; mov r0,#0; mov r1,#0;
+        // ldmia sp!,{r0,r1}; swi 0 — r0/r1 restored, checks exit r0=1.
+        let iss = run_words(&[
+            encode(Instr::Dp {
+                cond: Cond::Al,
+                op: DpOp::Mov,
+                s: false,
+                rn: r(0),
+                rd: r(0),
+                op2: Op2::imm(1).unwrap(),
+            }),
+            encode(Instr::Dp {
+                cond: Cond::Al,
+                op: DpOp::Mov,
+                s: false,
+                rn: r(0),
+                rd: r(1),
+                op2: Op2::imm(2).unwrap(),
+            }),
+            encode(Instr::Block {
+                cond: Cond::Al,
+                load: false,
+                pre: true,
+                up: false,
+                wb: true,
+                rn: Reg::SP,
+                list: 0b11,
+            }),
+            encode(Instr::Dp {
+                cond: Cond::Al,
+                op: DpOp::Mov,
+                s: false,
+                rn: r(0),
+                rd: r(0),
+                op2: Op2::imm(0).unwrap(),
+            }),
+            encode(Instr::Dp {
+                cond: Cond::Al,
+                op: DpOp::Mov,
+                s: false,
+                rn: r(0),
+                rd: r(1),
+                op2: Op2::imm(0).unwrap(),
+            }),
+            encode(Instr::Block {
+                cond: Cond::Al,
+                load: true,
+                pre: false,
+                up: true,
+                wb: true,
+                rn: Reg::SP,
+                list: 0b11,
+            }),
+            swi_exit(),
+        ]);
+        assert_eq!(iss.exit_code(), 1);
+        assert_eq!(iss.regs[1], 2);
+        assert_eq!(iss.regs[13], 60 * 1024, "sp restored");
+    }
+
+    #[test]
+    fn undefined_instruction_faults() {
+        let mut mem = FlatMem::new(1024);
+        mem.load_words(0, &[0xE12F_FF1E]); // bx lr
+        let mut iss = Iss::new(mem, 0);
+        let err = iss.run(10).unwrap_err();
+        assert_eq!(err, IssError::Undefined { pc: 0, word: 0xE12F_FF1E });
+    }
+
+    #[test]
+    fn flags_from_subs_drive_branches() {
+        // Loop: r0 = 3; subs r0, r0, #1; bne loop; swi 0 — executes sub 3x.
+        let iss = run_words(&[
+            encode(Instr::Dp {
+                cond: Cond::Al,
+                op: DpOp::Mov,
+                s: false,
+                rn: r(0),
+                rd: r(0),
+                op2: Op2::imm(3).unwrap(),
+            }),
+            encode(Instr::Dp {
+                cond: Cond::Al,
+                op: DpOp::Sub,
+                s: true,
+                rn: r(0),
+                rd: r(0),
+                op2: Op2::imm(1).unwrap(),
+            }),
+            encode(Instr::Branch { cond: Cond::Ne, link: false, offset: -12 }),
+            swi_exit(),
+        ]);
+        assert_eq!(iss.exit_code(), 0);
+        assert_eq!(iss.mix().dp, 1 + 3);
+        // bne executed 3 times: taken twice, annulled once.
+        assert_eq!(iss.mix().branch, 2);
+        assert_eq!(iss.mix().skipped, 1);
+    }
+
+    #[test]
+    fn long_multiply() {
+        // r0 = 0x10000; umull r2, r3, r0, r0 → r3:r2 = 2^32 → r2=0, r3=1.
+        let iss = run_words(&[
+            encode(Instr::Dp {
+                cond: Cond::Al,
+                op: DpOp::Mov,
+                s: false,
+                rn: r(0),
+                rd: r(0),
+                op2: Op2::Imm { imm8: 1, rot4: 8 }, // 1 ror 16 = 0x10000
+            }),
+            encode(Instr::MulLong {
+                cond: Cond::Al,
+                signed: false,
+                acc: false,
+                s: false,
+                rdhi: r(3),
+                rdlo: r(2),
+                rs: r(0),
+                rm: r(0),
+            }),
+            swi_exit(),
+        ]);
+        assert_eq!(iss.regs[2], 0);
+        assert_eq!(iss.regs[3], 1);
+    }
+}

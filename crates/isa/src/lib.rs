@@ -1,0 +1,60 @@
+//! # arm-isa — the ARMv4 (ARM7) instruction set
+//!
+//! The instruction-set substrate for the RCPN reproduction. Both processors
+//! evaluated in the paper (StrongARM SA-110 and Intel XScale) execute the
+//! ARM7 instruction set; this crate provides everything the simulators need
+//! to run real programs:
+//!
+//! * [`instr`] — a symbolic instruction representation with a full
+//!   disassembler ([`std::fmt::Display`]).
+//! * [`encode`] / [`decode`] — binary machine-code conversion, covering the
+//!   ARMv4 integer subset (data processing, multiply and long multiply,
+//!   word/byte and halfword/signed transfers, block transfers, branches,
+//!   software interrupts).
+//! * [`asm`] — a two-pass assembler (labels, expressions, literal pools)
+//!   used to build the benchmark kernels from source.
+//! * [`exec`] — shared ALU/flag/addressing semantics, used by every
+//!   simulator so architectural behavior is identical by construction.
+//! * [`iss`] — the functional instruction-set simulator: the gold model for
+//!   co-simulation tests and the paper's "fast functional simulator"
+//!   future-work direction.
+//! * [`syscall`] — the tiny semihosting interface (exit/putc/...) shared by
+//!   all simulators.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use arm_isa::asm::assemble;
+//! use arm_isa::iss::Iss;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = assemble(
+//!     "    mov r0, #0
+//!          mov r1, #5
+//!     sum: add r0, r0, r1
+//!          subs r1, r1, #1
+//!          bne sum
+//!          swi #0",
+//! )?;
+//! let mut iss = Iss::from_program(&program);
+//! iss.run(10_000)?;
+//! assert_eq!(iss.exit_code(), 15); // 5+4+3+2+1
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod asm;
+pub mod decode;
+pub mod encode;
+pub mod exec;
+pub mod instr;
+pub mod iss;
+pub mod program;
+pub mod syscall;
+pub mod types;
+
+pub use decode::decode;
+pub use encode::encode;
+pub use instr::Instr;
+pub use program::Program;
+pub use types::{Cond, Psr, Reg, ShiftTy};

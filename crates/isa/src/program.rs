@@ -1,0 +1,83 @@
+//! Program images: the output of the assembler, loadable into simulated
+//! memory.
+
+use std::collections::BTreeMap;
+
+use memsys::FlatMem;
+
+/// Default memory size given to programs (1 MiB: code + data + stack).
+pub const DEFAULT_MEM_BYTES: u32 = 1 << 20;
+
+/// Initial stack pointer (top of the default memory, 8-byte aligned).
+pub const DEFAULT_STACK_TOP: u32 = DEFAULT_MEM_BYTES - 8;
+
+/// An assembled program.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// The image, one word per entry, loaded at [`Program::base`].
+    pub words: Vec<u32>,
+    /// Load address of `words[0]`.
+    pub base: u32,
+    /// Entry point (defaults to `base`).
+    pub entry: u32,
+    /// Label table (name → address), for tests and debugging.
+    pub labels: BTreeMap<String, u32>,
+}
+
+impl Program {
+    /// Size of the image in bytes.
+    pub fn size_bytes(&self) -> u32 {
+        (self.words.len() * 4) as u32
+    }
+
+    /// Address of a label.
+    pub fn label(&self, name: &str) -> Option<u32> {
+        self.labels.get(name).copied()
+    }
+
+    /// Creates a memory of [`DEFAULT_MEM_BYTES`] with the image loaded.
+    pub fn to_memory(&self) -> FlatMem {
+        let mut mem = FlatMem::new(DEFAULT_MEM_BYTES as usize);
+        self.load_into(&mut mem);
+        mem
+    }
+
+    /// Loads the image into an existing memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image does not fit (see [`FlatMem::load_words`]).
+    pub fn load_into(&self, mem: &mut FlatMem) {
+        mem.load_words(self.base, &self.words);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsys::Memory;
+
+    #[test]
+    fn load_places_words_at_base() {
+        let p = Program {
+            words: vec![0xE3A0_0000, 0xEF00_0000],
+            base: 0x40,
+            entry: 0x40,
+            labels: BTreeMap::new(),
+        };
+        assert_eq!(p.size_bytes(), 8);
+        let mut mem = p.to_memory();
+        assert_eq!(mem.read32(0x40), 0xE3A0_0000);
+        assert_eq!(mem.read32(0x44), 0xEF00_0000);
+        assert_eq!(mem.read32(0x48), 0);
+    }
+
+    #[test]
+    fn label_lookup() {
+        let mut labels = BTreeMap::new();
+        labels.insert("loop".to_string(), 0x10);
+        let p = Program { words: vec![], base: 0, entry: 0, labels };
+        assert_eq!(p.label("loop"), Some(0x10));
+        assert_eq!(p.label("nope"), None);
+    }
+}

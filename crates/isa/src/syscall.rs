@@ -1,0 +1,87 @@
+//! The SWI (software interrupt) interface shared by all simulators.
+//!
+//! The paper's benchmarks "use very few simple system calls (mainly for IO)
+//! that should be translated into host operating system calls in the
+//! simulator". Our kernels follow the same discipline: exit with a checksum
+//! and optionally emit bytes. Every simulator (functional, RCPN
+//! cycle-accurate, baseline) dispatches through this module so behavior is
+//! identical everywhere.
+
+/// `swi #0` — terminate; `r0` is the exit code (kernels return checksums).
+pub const SWI_EXIT: u32 = 0;
+/// `swi #1` — write the low byte of `r0` to the output stream.
+pub const SWI_PUTC: u32 = 1;
+/// `swi #2` — write `r0` as unsigned decimal plus a newline.
+pub const SWI_PUTU: u32 = 2;
+/// `swi #3` — write `r0` as eight hex digits plus a newline.
+pub const SWI_PUTX: u32 = 3;
+
+/// The effect of a system call on the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SysAction {
+    /// Continue executing.
+    Continue,
+    /// Stop; the program exited with this code.
+    Exit(u32),
+}
+
+/// Dispatches a system call.
+///
+/// `imm` is the SWI comment field, `r0` the first argument register, and
+/// `out` the simulator's output stream. Unknown calls are ignored (treated
+/// as no-ops), matching a forgiving semihosting environment.
+pub fn dispatch(imm: u32, r0: u32, out: &mut Vec<u8>) -> SysAction {
+    match imm {
+        SWI_EXIT => SysAction::Exit(r0),
+        SWI_PUTC => {
+            out.push(r0 as u8);
+            SysAction::Continue
+        }
+        SWI_PUTU => {
+            out.extend_from_slice(r0.to_string().as_bytes());
+            out.push(b'\n');
+            SysAction::Continue
+        }
+        SWI_PUTX => {
+            out.extend_from_slice(format!("{r0:08x}").as_bytes());
+            out.push(b'\n');
+            SysAction::Continue
+        }
+        _ => SysAction::Continue,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_returns_code() {
+        let mut out = Vec::new();
+        assert_eq!(dispatch(SWI_EXIT, 0xC0DE, &mut out), SysAction::Exit(0xC0DE));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn putc_appends() {
+        let mut out = Vec::new();
+        assert_eq!(dispatch(SWI_PUTC, u32::from(b'h'), &mut out), SysAction::Continue);
+        dispatch(SWI_PUTC, u32::from(b'i'), &mut out);
+        assert_eq!(out, b"hi");
+    }
+
+    #[test]
+    fn putu_and_putx_format() {
+        let mut out = Vec::new();
+        dispatch(SWI_PUTU, 1234, &mut out);
+        dispatch(SWI_PUTX, 0xBEEF, &mut out);
+        assert_eq!(out, b"1234\n0000beef\n");
+    }
+
+    #[test]
+    fn unknown_swi_is_a_noop() {
+        let mut out = Vec::new();
+        assert_eq!(dispatch(99, 5, &mut out), SysAction::Continue);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,607 @@
+//! Basic ARM data types: registers, condition codes, the status register,
+//! and the barrel shifter.
+//!
+//! Semantics follow the ARM Architecture Reference Manual for ARMv4
+//! (the ARM7/StrongARM/XScale generation), restricted to user mode.
+
+use std::fmt;
+
+/// An ARM general-purpose register, `r0`–`r15`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The stack pointer, `r13`.
+    pub const SP: Reg = Reg(13);
+    /// The link register, `r14`.
+    pub const LR: Reg = Reg(14);
+    /// The program counter, `r15`.
+    pub const PC: Reg = Reg(15);
+
+    /// Creates a register from its number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 15`.
+    #[inline]
+    pub fn new(n: u8) -> Self {
+        assert!(n < 16, "register number out of range: {n}");
+        Reg(n)
+    }
+
+    /// The register number, 0–15.
+    #[inline]
+    pub fn num(self) -> u8 {
+        self.0
+    }
+
+    /// The register number as an index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// True if this is the program counter.
+    #[inline]
+    pub fn is_pc(self) -> bool {
+        self.0 == 15
+    }
+
+    /// Parses a register name: `r0`-`r15`, `sp`, `lr`, `pc`, `fp` (r11),
+    /// `ip` (r12), `sl` (r10).
+    pub fn parse(name: &str) -> Option<Reg> {
+        let lower = name.to_ascii_lowercase();
+        match lower.as_str() {
+            "sp" => return Some(Reg(13)),
+            "lr" => return Some(Reg(14)),
+            "pc" => return Some(Reg(15)),
+            "fp" => return Some(Reg(11)),
+            "ip" => return Some(Reg(12)),
+            "sl" => return Some(Reg(10)),
+            _ => {}
+        }
+        let rest = lower.strip_prefix('r')?;
+        let n: u8 = rest.parse().ok()?;
+        if n < 16 {
+            Some(Reg(n))
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            13 => write!(f, "sp"),
+            14 => write!(f, "lr"),
+            15 => write!(f, "pc"),
+            n => write!(f, "r{n}"),
+        }
+    }
+}
+
+/// An ARM condition code (the top four bits of every instruction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Cond {
+    /// Equal (Z).
+    Eq = 0,
+    /// Not equal (!Z).
+    Ne = 1,
+    /// Carry set / unsigned higher-or-same (C).
+    Cs = 2,
+    /// Carry clear / unsigned lower (!C).
+    Cc = 3,
+    /// Minus / negative (N).
+    Mi = 4,
+    /// Plus / positive-or-zero (!N).
+    Pl = 5,
+    /// Overflow (V).
+    Vs = 6,
+    /// No overflow (!V).
+    Vc = 7,
+    /// Unsigned higher (C && !Z).
+    Hi = 8,
+    /// Unsigned lower-or-same (!C || Z).
+    Ls = 9,
+    /// Signed greater-or-equal (N == V).
+    Ge = 10,
+    /// Signed less (N != V).
+    Lt = 11,
+    /// Signed greater (!Z && N == V).
+    Gt = 12,
+    /// Signed less-or-equal (Z || N != V).
+    Le = 13,
+    /// Always.
+    Al = 14,
+    /// Never (ARMv4: unpredictable; decoded but never executed).
+    Nv = 15,
+}
+
+impl Cond {
+    /// All condition codes, indexable by encoding.
+    pub const ALL: [Cond; 16] = [
+        Cond::Eq,
+        Cond::Ne,
+        Cond::Cs,
+        Cond::Cc,
+        Cond::Mi,
+        Cond::Pl,
+        Cond::Vs,
+        Cond::Vc,
+        Cond::Hi,
+        Cond::Ls,
+        Cond::Ge,
+        Cond::Lt,
+        Cond::Gt,
+        Cond::Le,
+        Cond::Al,
+        Cond::Nv,
+    ];
+
+    /// Builds a condition from its 4-bit encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits > 15`.
+    #[inline]
+    pub fn from_bits(bits: u32) -> Cond {
+        Cond::ALL[bits as usize]
+    }
+
+    /// The 4-bit encoding.
+    #[inline]
+    pub fn bits(self) -> u32 {
+        self as u32
+    }
+
+    /// Evaluates the condition against the status flags.
+    #[inline]
+    pub fn passes(self, f: Psr) -> bool {
+        match self {
+            Cond::Eq => f.z(),
+            Cond::Ne => !f.z(),
+            Cond::Cs => f.c(),
+            Cond::Cc => !f.c(),
+            Cond::Mi => f.n(),
+            Cond::Pl => !f.n(),
+            Cond::Vs => f.v(),
+            Cond::Vc => !f.v(),
+            Cond::Hi => f.c() && !f.z(),
+            Cond::Ls => !f.c() || f.z(),
+            Cond::Ge => f.n() == f.v(),
+            Cond::Lt => f.n() != f.v(),
+            Cond::Gt => !f.z() && f.n() == f.v(),
+            Cond::Le => f.z() || f.n() != f.v(),
+            Cond::Al => true,
+            Cond::Nv => false,
+        }
+    }
+
+    /// Parses a condition suffix (`""` means always).
+    pub fn parse(s: &str) -> Option<Cond> {
+        Some(match s {
+            "" | "al" => Cond::Al,
+            "eq" => Cond::Eq,
+            "ne" => Cond::Ne,
+            "cs" | "hs" => Cond::Cs,
+            "cc" | "lo" => Cond::Cc,
+            "mi" => Cond::Mi,
+            "pl" => Cond::Pl,
+            "vs" => Cond::Vs,
+            "vc" => Cond::Vc,
+            "hi" => Cond::Hi,
+            "ls" => Cond::Ls,
+            "ge" => Cond::Ge,
+            "lt" => Cond::Lt,
+            "gt" => Cond::Gt,
+            "le" => Cond::Le,
+            _ => return None,
+        })
+    }
+
+    /// The assembly suffix (empty for always).
+    pub fn suffix(self) -> &'static str {
+        match self {
+            Cond::Eq => "eq",
+            Cond::Ne => "ne",
+            Cond::Cs => "cs",
+            Cond::Cc => "cc",
+            Cond::Mi => "mi",
+            Cond::Pl => "pl",
+            Cond::Vs => "vs",
+            Cond::Vc => "vc",
+            Cond::Hi => "hi",
+            Cond::Ls => "ls",
+            Cond::Ge => "ge",
+            Cond::Lt => "lt",
+            Cond::Gt => "gt",
+            Cond::Le => "le",
+            Cond::Al => "",
+            Cond::Nv => "nv",
+        }
+    }
+}
+
+/// The program status register, reduced to the NZCV flags (user mode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Psr {
+    bits: u32,
+}
+
+impl Psr {
+    const N: u32 = 1 << 31;
+    const Z: u32 = 1 << 30;
+    const C: u32 = 1 << 29;
+    const V: u32 = 1 << 28;
+
+    /// A PSR with all flags clear.
+    pub fn new() -> Self {
+        Psr::default()
+    }
+
+    /// Negative flag.
+    #[inline]
+    pub fn n(self) -> bool {
+        self.bits & Self::N != 0
+    }
+
+    /// Zero flag.
+    #[inline]
+    pub fn z(self) -> bool {
+        self.bits & Self::Z != 0
+    }
+
+    /// Carry flag.
+    #[inline]
+    pub fn c(self) -> bool {
+        self.bits & Self::C != 0
+    }
+
+    /// Overflow flag.
+    #[inline]
+    pub fn v(self) -> bool {
+        self.bits & Self::V != 0
+    }
+
+    /// Sets all four flags at once.
+    #[inline]
+    pub fn set_nzcv(&mut self, n: bool, z: bool, c: bool, v: bool) {
+        self.bits = (u32::from(n) << 31)
+            | (u32::from(z) << 30)
+            | (u32::from(c) << 29)
+            | (u32::from(v) << 28);
+    }
+
+    /// Sets N and Z from a result, preserving C and V.
+    #[inline]
+    pub fn set_nz(&mut self, result: u32) {
+        self.bits = (self.bits & (Self::C | Self::V))
+            | (result & Self::N)
+            | (u32::from(result == 0) << 30);
+    }
+
+    /// Sets N and Z from a result and C from the shifter carry, preserving V.
+    #[inline]
+    pub fn set_nzc(&mut self, result: u32, carry: bool) {
+        self.bits = (self.bits & Self::V)
+            | (result & Self::N)
+            | (u32::from(result == 0) << 30)
+            | (u32::from(carry) << 29);
+    }
+
+    /// The raw PSR bits (flags in \[31:28\]).
+    #[inline]
+    pub fn bits(self) -> u32 {
+        self.bits
+    }
+
+    /// Builds a PSR from raw bits (only the flag bits are kept).
+    #[inline]
+    pub fn from_bits(bits: u32) -> Self {
+        Psr { bits: bits & (Self::N | Self::Z | Self::C | Self::V) }
+    }
+}
+
+impl fmt::Display for Psr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}{}{}",
+            if self.n() { 'N' } else { 'n' },
+            if self.z() { 'Z' } else { 'z' },
+            if self.c() { 'C' } else { 'c' },
+            if self.v() { 'V' } else { 'v' },
+        )
+    }
+}
+
+/// Barrel shifter operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum ShiftTy {
+    /// Logical shift left.
+    Lsl = 0,
+    /// Logical shift right.
+    Lsr = 1,
+    /// Arithmetic shift right.
+    Asr = 2,
+    /// Rotate right (amount 0 encodes RRX for immediate shifts).
+    Ror = 3,
+}
+
+impl ShiftTy {
+    /// Builds from the 2-bit encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits > 3`.
+    #[inline]
+    pub fn from_bits(bits: u32) -> ShiftTy {
+        match bits {
+            0 => ShiftTy::Lsl,
+            1 => ShiftTy::Lsr,
+            2 => ShiftTy::Asr,
+            3 => ShiftTy::Ror,
+            _ => panic!("shift type out of range: {bits}"),
+        }
+    }
+
+    /// The 2-bit encoding.
+    #[inline]
+    pub fn bits(self) -> u32 {
+        self as u32
+    }
+
+    /// The mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            ShiftTy::Lsl => "lsl",
+            ShiftTy::Lsr => "lsr",
+            ShiftTy::Asr => "asr",
+            ShiftTy::Ror => "ror",
+        }
+    }
+}
+
+#[inline]
+fn bit(v: u32, n: u32) -> bool {
+    (v >> n) & 1 != 0
+}
+
+/// Applies an immediate-encoded shift (`amount` in 0..=31, where 0 has the
+/// special meanings defined by the architecture). Returns the shifted value
+/// and the shifter carry-out.
+#[inline]
+pub fn shift_imm(ty: ShiftTy, value: u32, amount: u32, carry_in: bool) -> (u32, bool) {
+    debug_assert!(amount < 32);
+    match ty {
+        ShiftTy::Lsl => {
+            if amount == 0 {
+                (value, carry_in)
+            } else {
+                (value << amount, bit(value, 32 - amount))
+            }
+        }
+        ShiftTy::Lsr => {
+            if amount == 0 {
+                // LSR #0 encodes LSR #32.
+                (0, bit(value, 31))
+            } else {
+                (value >> amount, bit(value, amount - 1))
+            }
+        }
+        ShiftTy::Asr => {
+            if amount == 0 {
+                // ASR #0 encodes ASR #32.
+                let fill = if bit(value, 31) { u32::MAX } else { 0 };
+                (fill, bit(value, 31))
+            } else {
+                (((value as i32) >> amount) as u32, bit(value, amount - 1))
+            }
+        }
+        ShiftTy::Ror => {
+            if amount == 0 {
+                // ROR #0 encodes RRX.
+                ((u32::from(carry_in) << 31) | (value >> 1), bit(value, 0))
+            } else {
+                (value.rotate_right(amount), bit(value, amount - 1))
+            }
+        }
+    }
+}
+
+/// Applies a register-specified shift (`amount` is the low byte of Rs; any
+/// value up to 255 is architecturally defined). Returns the shifted value
+/// and the shifter carry-out.
+#[inline]
+pub fn shift_reg(ty: ShiftTy, value: u32, amount: u32, carry_in: bool) -> (u32, bool) {
+    let amount = amount & 0xFF;
+    if amount == 0 {
+        return (value, carry_in);
+    }
+    match ty {
+        ShiftTy::Lsl => match amount {
+            1..=31 => (value << amount, bit(value, 32 - amount)),
+            32 => (0, bit(value, 0)),
+            _ => (0, false),
+        },
+        ShiftTy::Lsr => match amount {
+            1..=31 => (value >> amount, bit(value, amount - 1)),
+            32 => (0, bit(value, 31)),
+            _ => (0, false),
+        },
+        ShiftTy::Asr => {
+            if amount < 32 {
+                (((value as i32) >> amount) as u32, bit(value, amount - 1))
+            } else {
+                let fill = if bit(value, 31) { u32::MAX } else { 0 };
+                (fill, bit(value, 31))
+            }
+        }
+        ShiftTy::Ror => {
+            let rot = amount & 31;
+            if rot == 0 {
+                (value, bit(value, 31))
+            } else {
+                (value.rotate_right(rot), bit(value, rot - 1))
+            }
+        }
+    }
+}
+
+/// Computes the value and carry of an immediate operand (`imm8` rotated
+/// right by `2 * rot4`).
+#[inline]
+pub fn expand_imm(imm8: u8, rot4: u8, carry_in: bool) -> (u32, bool) {
+    let value = u32::from(imm8).rotate_right(2 * u32::from(rot4));
+    let carry = if rot4 == 0 { carry_in } else { bit(value, 31) };
+    (value, carry)
+}
+
+/// Finds an (imm8, rot4) encoding for `value`, if one exists.
+pub fn encode_imm(value: u32) -> Option<(u8, u8)> {
+    for rot4 in 0..16u8 {
+        let v = value.rotate_left(2 * u32::from(rot4));
+        if v <= 0xFF {
+            return Some((v as u8, rot4));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_parse_and_display() {
+        assert_eq!(Reg::parse("r0"), Some(Reg::new(0)));
+        assert_eq!(Reg::parse("R7"), Some(Reg::new(7)));
+        assert_eq!(Reg::parse("sp"), Some(Reg::SP));
+        assert_eq!(Reg::parse("lr"), Some(Reg::LR));
+        assert_eq!(Reg::parse("pc"), Some(Reg::PC));
+        assert_eq!(Reg::parse("fp"), Some(Reg::new(11)));
+        assert_eq!(Reg::parse("r16"), None);
+        assert_eq!(Reg::parse("x0"), None);
+        assert_eq!(Reg::new(3).to_string(), "r3");
+        assert_eq!(Reg::PC.to_string(), "pc");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn reg_out_of_range_panics() {
+        let _ = Reg::new(16);
+    }
+
+    #[test]
+    fn cond_roundtrip() {
+        for (i, &c) in Cond::ALL.iter().enumerate() {
+            assert_eq!(c.bits(), i as u32);
+            assert_eq!(Cond::from_bits(i as u32), c);
+            if c != Cond::Al && c != Cond::Nv {
+                assert_eq!(Cond::parse(c.suffix()), Some(c));
+            }
+        }
+        assert_eq!(Cond::parse(""), Some(Cond::Al));
+        assert_eq!(Cond::parse("hs"), Some(Cond::Cs));
+        assert_eq!(Cond::parse("lo"), Some(Cond::Cc));
+        assert_eq!(Cond::parse("xx"), None);
+    }
+
+    #[test]
+    fn cond_evaluation_matrix() {
+        let mut f = Psr::new();
+        f.set_nzcv(false, true, true, false); // Z and C
+        assert!(Cond::Eq.passes(f));
+        assert!(!Cond::Ne.passes(f));
+        assert!(Cond::Cs.passes(f));
+        assert!(!Cond::Hi.passes(f), "hi needs C && !Z");
+        assert!(Cond::Ls.passes(f));
+        assert!(Cond::Ge.passes(f), "N==V");
+        assert!(!Cond::Lt.passes(f));
+        assert!(!Cond::Gt.passes(f));
+        assert!(Cond::Le.passes(f));
+        assert!(Cond::Al.passes(f));
+        assert!(!Cond::Nv.passes(f));
+
+        f.set_nzcv(true, false, false, true); // N and V
+        assert!(Cond::Mi.passes(f));
+        assert!(Cond::Vs.passes(f));
+        assert!(Cond::Ge.passes(f), "N==V==1");
+        assert!(Cond::Gt.passes(f));
+    }
+
+    #[test]
+    fn psr_setters() {
+        let mut f = Psr::new();
+        f.set_nz(0);
+        assert!(f.z() && !f.n());
+        f.set_nz(0x8000_0000);
+        assert!(f.n() && !f.z());
+        f.set_nzcv(false, false, true, true);
+        f.set_nz(1);
+        assert!(f.c() && f.v(), "set_nz preserves C and V");
+        f.set_nzc(0, false);
+        assert!(f.z() && !f.c() && f.v(), "set_nzc preserves V only");
+        assert_eq!(f.to_string(), "nZcV");
+    }
+
+    #[test]
+    fn shifter_lsl() {
+        assert_eq!(shift_imm(ShiftTy::Lsl, 1, 0, true), (1, true), "LSL #0 passes carry");
+        assert_eq!(shift_imm(ShiftTy::Lsl, 1, 4, false), (16, false));
+        assert_eq!(shift_imm(ShiftTy::Lsl, 0x8000_0001, 1, false), (2, true));
+        assert_eq!(shift_reg(ShiftTy::Lsl, 1, 32, false), (0, true));
+        assert_eq!(shift_reg(ShiftTy::Lsl, 1, 33, true), (0, false));
+        assert_eq!(shift_reg(ShiftTy::Lsl, 5, 0, true), (5, true));
+        assert_eq!(shift_reg(ShiftTy::Lsl, 5, 256, true), (5, true), "only low byte counts");
+    }
+
+    #[test]
+    fn shifter_lsr() {
+        assert_eq!(shift_imm(ShiftTy::Lsr, 0x8000_0000, 0, false), (0, true), "LSR #0 = #32");
+        assert_eq!(shift_imm(ShiftTy::Lsr, 9, 1, false), (4, true));
+        assert_eq!(shift_reg(ShiftTy::Lsr, 0x8000_0000, 32, false), (0, true));
+        assert_eq!(shift_reg(ShiftTy::Lsr, 0x8000_0000, 40, true), (0, false));
+    }
+
+    #[test]
+    fn shifter_asr() {
+        assert_eq!(shift_imm(ShiftTy::Asr, 0x8000_0000, 0, false), (u32::MAX, true));
+        assert_eq!(shift_imm(ShiftTy::Asr, 0x7FFF_FFFF, 0, true), (0, false));
+        assert_eq!(shift_imm(ShiftTy::Asr, 0xFFFF_FFF0, 2, false), (0xFFFF_FFFC, false));
+        assert_eq!(shift_reg(ShiftTy::Asr, 0x8000_0000, 100, false), (u32::MAX, true));
+    }
+
+    #[test]
+    fn shifter_ror_and_rrx() {
+        assert_eq!(shift_imm(ShiftTy::Ror, 3, 0, true), (0x8000_0001, true), "ROR #0 = RRX");
+        assert_eq!(shift_imm(ShiftTy::Ror, 3, 0, false), (1, true));
+        assert_eq!(shift_imm(ShiftTy::Ror, 1, 1, false), (0x8000_0000, true));
+        assert_eq!(shift_reg(ShiftTy::Ror, 0x8000_0000, 32, false), (0x8000_0000, true));
+        assert_eq!(shift_reg(ShiftTy::Ror, 0xF, 4, false), (0xF000_0000, true));
+    }
+
+    #[test]
+    fn imm_encode_expand_roundtrip() {
+        for value in [0u32, 1, 0xFF, 0x100, 0xFF00, 0xFF000000, 0xF000000F, 104] {
+            let (imm8, rot4) = encode_imm(value).expect("encodable");
+            let (v, _) = expand_imm(imm8, rot4, false);
+            assert_eq!(v, value);
+        }
+        assert_eq!(encode_imm(0x101), None);
+        assert_eq!(encode_imm(0xFFFF), None);
+    }
+
+    #[test]
+    fn imm_carry_rule() {
+        // rot == 0: carry passes through; rot != 0: carry = bit 31 of value.
+        assert_eq!(expand_imm(0xFF, 0, true).1, true);
+        assert_eq!(expand_imm(0xFF, 0, false).1, false);
+        let (v, c) = expand_imm(0xFF, 2, false);
+        assert_eq!(v, 0xF000_000F);
+        assert!(c, "bit 31 set");
+    }
+}

@@ -1,0 +1,320 @@
+//! Property-based tests: every encodable instruction decodes back to
+//! itself, and the disassembly of (most of) the subset re-assembles to the
+//! same machine word.
+
+use arm_isa::decode::decode;
+use arm_isa::encode::encode;
+use arm_isa::instr::{DpOp, HKind, HOff, Instr, MemOff, Op2, Shift};
+use arm_isa::types::{Cond, Reg, ShiftTy};
+use proptest::prelude::*;
+
+fn any_cond() -> impl Strategy<Value = Cond> {
+    // Exclude NV: its encoding space hosts extensions on later
+    // architectures and our assembler never emits it.
+    (0u32..15).prop_map(Cond::from_bits)
+}
+
+fn any_reg() -> impl Strategy<Value = Reg> {
+    (0u8..16).prop_map(Reg::new)
+}
+
+fn any_shift_ty() -> impl Strategy<Value = ShiftTy> {
+    (0u32..4).prop_map(ShiftTy::from_bits)
+}
+
+fn any_shift() -> impl Strategy<Value = Shift> {
+    prop_oneof![
+        (any_shift_ty(), 0u8..32).prop_map(|(ty, amount)| Shift::Imm { ty, amount }),
+        (any_shift_ty(), any_reg()).prop_map(|(ty, rs)| Shift::Reg { ty, rs }),
+    ]
+}
+
+fn any_op2() -> impl Strategy<Value = Op2> {
+    prop_oneof![
+        (any_u8(), 0u8..16).prop_map(|(imm8, rot4)| Op2::Imm { imm8, rot4 }),
+        (any_reg(), any_shift()).prop_map(|(rm, shift)| Op2::Reg { rm, shift }),
+    ]
+}
+
+fn any_u8() -> impl Strategy<Value = u8> {
+    any::<u8>()
+}
+
+fn any_dp() -> impl Strategy<Value = Instr> {
+    (any_cond(), 0u32..16, any::<bool>(), any_reg(), any_reg(), any_op2()).prop_map(
+        |(cond, opb, s, rn, rd, op2)| {
+            let op = DpOp::from_bits(opb);
+            // Canonical constraints for a clean roundtrip:
+            // test ops always set S and encode rd=0.
+            let (s, rd) = if op.is_test() { (true, Reg::new(0)) } else { (s, rd) };
+            Instr::Dp { cond, op, s, rn, rd, op2 }
+        },
+    )
+}
+
+fn any_mul() -> impl Strategy<Value = Instr> {
+    (any_cond(), any::<bool>(), any::<bool>(), any_reg(), any_reg(), any_reg(), any_reg())
+        .prop_map(|(cond, acc, s, rd, rn, rs, rm)| Instr::Mul { cond, acc, s, rd, rn, rs, rm })
+}
+
+fn any_mul_long() -> impl Strategy<Value = Instr> {
+    (
+        any_cond(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any_reg(),
+        any_reg(),
+        any_reg(),
+        any_reg(),
+    )
+        .prop_map(|(cond, signed, acc, s, rdhi, rdlo, rs, rm)| Instr::MulLong {
+            cond,
+            signed,
+            acc,
+            s,
+            rdhi,
+            rdlo,
+            rs,
+            rm,
+        })
+}
+
+fn any_mem() -> impl Strategy<Value = Instr> {
+    let off = prop_oneof![
+        (0u16..4096).prop_map(MemOff::Imm),
+        (any_reg(), any_shift_ty(), 0u8..32)
+            .prop_map(|(rm, ty, amount)| MemOff::Reg { rm, ty, amount }),
+    ];
+    (
+        any_cond(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any_reg(),
+        any_reg(),
+        off,
+    )
+        .prop_map(|(cond, load, byte, pre, up, wb, rn, rd, off)| Instr::Mem {
+            cond,
+            load,
+            byte,
+            pre,
+            up,
+            wb,
+            rn,
+            rd,
+            off,
+        })
+}
+
+fn any_memh() -> impl Strategy<Value = Instr> {
+    let off = prop_oneof![any_u8().prop_map(HOff::Imm), any_reg().prop_map(HOff::Reg)];
+    (
+        any_cond(),
+        prop_oneof![
+            (Just(true), prop_oneof![Just(HKind::U16), Just(HKind::S8), Just(HKind::S16)]),
+            (Just(false), Just(HKind::U16)),
+        ],
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any_reg(),
+        any_reg(),
+        off,
+    )
+        .prop_map(|(cond, (load, kind), pre, up, wb, rn, rd, off)| Instr::MemH {
+            cond,
+            load,
+            kind,
+            pre,
+            up,
+            wb,
+            rn,
+            rd,
+            off,
+        })
+}
+
+fn any_block() -> impl Strategy<Value = Instr> {
+    (
+        any_cond(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any_reg(),
+        1u16..=u16::MAX,
+    )
+        .prop_map(|(cond, load, pre, up, wb, rn, list)| Instr::Block {
+            cond,
+            load,
+            pre,
+            up,
+            wb,
+            rn,
+            list,
+        })
+}
+
+fn any_branch() -> impl Strategy<Value = Instr> {
+    (any_cond(), any::<bool>(), -(1i32 << 23)..(1i32 << 23)).prop_map(|(cond, link, words)| {
+        Instr::Branch { cond, link, offset: words * 4 }
+    })
+}
+
+fn any_swi() -> impl Strategy<Value = Instr> {
+    (any_cond(), 0u32..(1 << 24)).prop_map(|(cond, imm)| Instr::Swi { cond, imm })
+}
+
+fn any_instr() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        any_dp(),
+        any_mul(),
+        any_mul_long(),
+        any_mem(),
+        any_memh(),
+        any_block(),
+        any_branch(),
+        any_swi(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2048))]
+
+    /// decode(encode(i)) == i for every well-formed instruction.
+    #[test]
+    fn encode_decode_roundtrip(instr in any_instr()) {
+        let word = encode(instr);
+        let back = decode(word);
+        prop_assert_eq!(back, instr, "word {:#010x}", word);
+    }
+
+    /// The decoder never panics on arbitrary words.
+    #[test]
+    fn decode_total(word in any::<u32>()) {
+        let _ = decode(word);
+    }
+
+    /// Decoding then re-encoding a decodable word reproduces the word
+    /// (the decoder is injective on the defined subset).
+    #[test]
+    fn decode_encode_stability(word in any::<u32>()) {
+        let instr = decode(word);
+        if !matches!(instr, Instr::Undefined(_)) {
+            // A few encodings are non-canonical (e.g. MLA rn with acc=0 is
+            // ignored by the semantics but present in the word); restrict
+            // to canonical ones by re-encoding the decoded form twice.
+            let once = encode(instr);
+            let twice = encode(decode(once));
+            prop_assert_eq!(once, twice);
+        }
+    }
+}
+
+/// Disassemble → re-assemble: the printed form of common instructions is
+/// accepted by the assembler and produces the same word.
+#[test]
+fn disassembly_reassembles() {
+    use arm_isa::asm::assemble;
+    let samples: Vec<Instr> = vec![
+        Instr::Dp {
+            cond: Cond::Al,
+            op: DpOp::Add,
+            s: true,
+            rn: Reg::new(1),
+            rd: Reg::new(0),
+            op2: Op2::imm(100).unwrap(),
+        },
+        Instr::Dp {
+            cond: Cond::Ne,
+            op: DpOp::Mov,
+            s: false,
+            rn: Reg::new(0),
+            rd: Reg::new(3),
+            op2: Op2::Reg {
+                rm: Reg::new(4),
+                shift: Shift::Imm { ty: ShiftTy::Lsr, amount: 7 },
+            },
+        },
+        Instr::Dp {
+            cond: Cond::Al,
+            op: DpOp::Cmp,
+            s: true,
+            rn: Reg::new(2),
+            rd: Reg::new(0),
+            op2: Op2::reg(Reg::new(9)),
+        },
+        Instr::Mul {
+            cond: Cond::Al,
+            acc: true,
+            s: false,
+            rd: Reg::new(1),
+            rn: Reg::new(2),
+            rs: Reg::new(3),
+            rm: Reg::new(4),
+        },
+        Instr::MulLong {
+            cond: Cond::Al,
+            signed: true,
+            acc: false,
+            s: false,
+            rdhi: Reg::new(5),
+            rdlo: Reg::new(4),
+            rs: Reg::new(2),
+            rm: Reg::new(1),
+        },
+        Instr::Mem {
+            cond: Cond::Al,
+            load: true,
+            byte: true,
+            pre: true,
+            up: false,
+            wb: true,
+            rn: Reg::new(6),
+            rd: Reg::new(7),
+            off: MemOff::Imm(33),
+        },
+        Instr::Mem {
+            cond: Cond::Al,
+            load: false,
+            byte: false,
+            pre: false,
+            up: true,
+            wb: false,
+            rn: Reg::new(1),
+            rd: Reg::new(2),
+            off: MemOff::Reg { rm: Reg::new(3), ty: ShiftTy::Lsl, amount: 2 },
+        },
+        Instr::MemH {
+            cond: Cond::Al,
+            load: true,
+            kind: HKind::S16,
+            pre: true,
+            up: true,
+            wb: false,
+            rn: Reg::new(1),
+            rd: Reg::new(0),
+            off: HOff::Imm(6),
+        },
+        Instr::Block {
+            cond: Cond::Al,
+            load: false,
+            pre: true,
+            up: false,
+            wb: true,
+            rn: Reg::SP,
+            list: 0b1000_0000_1111_0000,
+        },
+        Instr::Swi { cond: Cond::Al, imm: 17 },
+    ];
+    for instr in samples {
+        let text = format!("{instr}\n");
+        let program = assemble(&text)
+            .unwrap_or_else(|e| panic!("disassembly {text:?} failed to assemble: {e}"));
+        assert_eq!(program.words[0], encode(instr), "text {text:?}");
+    }
+}

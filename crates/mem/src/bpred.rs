@@ -1,0 +1,276 @@
+//! Branch predictors.
+//!
+//! The fetch sources of the processor models consult a predictor to decide
+//! the next PC; the branch sub-nets update it at resolution and squash on a
+//! mispredict. Three classic designs are provided:
+//!
+//! * [`NotTaken`] — static predict-not-taken (the SA-110 has no dynamic
+//!   predictor; StrongARM models use this).
+//! * [`Bimodal`] — a table of 2-bit saturating counters.
+//! * [`Btb`] — a direct-mapped branch target buffer over a bimodal
+//!   direction table (the XScale has a 128-entry BTB).
+
+/// Direction predictor interface.
+pub trait DirPredictor {
+    /// Predicts whether the branch at `pc` is taken.
+    fn predict(&mut self, pc: u32) -> bool;
+    /// Trains the predictor with the resolved outcome.
+    fn update(&mut self, pc: u32, taken: bool);
+}
+
+/// Static predict-not-taken.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NotTaken;
+
+impl DirPredictor for NotTaken {
+    fn predict(&mut self, _pc: u32) -> bool {
+        false
+    }
+    fn update(&mut self, _pc: u32, _taken: bool) {}
+}
+
+/// A table of 2-bit saturating counters indexed by PC.
+///
+/// # Examples
+///
+/// ```
+/// use memsys::bpred::{Bimodal, DirPredictor};
+///
+/// let mut p = Bimodal::new(64);
+/// p.update(0x100, true);
+/// p.update(0x100, true);
+/// assert!(p.predict(0x100), "two taken outcomes saturate towards taken");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Bimodal {
+    table: Vec<u8>,
+    mask: u32,
+}
+
+impl Bimodal {
+    /// Creates a predictor with `entries` counters (power of two),
+    /// initialized to weakly-not-taken.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two.
+    pub fn new(entries: u32) -> Self {
+        assert!(entries.is_power_of_two(), "entries must be a power of two");
+        Bimodal { table: vec![1; entries as usize], mask: entries - 1 }
+    }
+
+    #[inline]
+    fn idx(&self, pc: u32) -> usize {
+        ((pc >> 2) & self.mask) as usize
+    }
+}
+
+impl DirPredictor for Bimodal {
+    #[inline]
+    fn predict(&mut self, pc: u32) -> bool {
+        self.table[self.idx(pc)] >= 2
+    }
+
+    #[inline]
+    fn update(&mut self, pc: u32, taken: bool) {
+        let i = self.idx(pc);
+        let c = &mut self.table[i];
+        if taken {
+            *c = (*c + 1).min(3);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+    }
+}
+
+/// Prediction statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BpredStats {
+    /// Lookups performed.
+    pub lookups: u64,
+    /// Resolved branches that matched the prediction.
+    pub correct: u64,
+    /// Resolved branches that mispredicted.
+    pub mispredicts: u64,
+}
+
+impl BpredStats {
+    /// Prediction accuracy in [0, 1]; 1.0 before any resolution.
+    pub fn accuracy(&self) -> f64 {
+        let resolved = self.correct + self.mispredicts;
+        if resolved == 0 {
+            1.0
+        } else {
+            self.correct as f64 / resolved as f64
+        }
+    }
+}
+
+/// Direct-mapped branch target buffer combined with a bimodal direction
+/// table, as in the XScale front end.
+#[derive(Debug, Clone)]
+pub struct Btb {
+    tags: Vec<u32>,
+    targets: Vec<u32>,
+    dir: Bimodal,
+    mask: u32,
+    stats: BpredStats,
+}
+
+impl Btb {
+    /// Creates a BTB with `entries` slots (power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two.
+    pub fn new(entries: u32) -> Self {
+        assert!(entries.is_power_of_two(), "entries must be a power of two");
+        Btb {
+            tags: vec![u32::MAX; entries as usize],
+            targets: vec![0; entries as usize],
+            dir: Bimodal::new(entries),
+            mask: entries - 1,
+            stats: BpredStats::default(),
+        }
+    }
+
+    /// The XScale's 128-entry configuration.
+    pub fn xscale() -> Self {
+        Btb::new(128)
+    }
+
+    #[inline]
+    fn idx(&self, pc: u32) -> usize {
+        ((pc >> 2) & self.mask) as usize
+    }
+
+    /// Predicts the target of the branch at `pc`: `Some(target)` when the
+    /// BTB hits and the direction table says taken, otherwise `None`
+    /// (predict fall-through).
+    pub fn predict_target(&mut self, pc: u32) -> Option<u32> {
+        self.stats.lookups += 1;
+        let i = self.idx(pc);
+        if self.tags[i] == pc && self.dir.predict(pc) {
+            Some(self.targets[i])
+        } else {
+            None
+        }
+    }
+
+    /// Trains the BTB with a resolved branch. `predicted` is what the fetch
+    /// engine acted on (`None` = fall-through), used for accuracy stats.
+    pub fn update(&mut self, pc: u32, taken: bool, target: u32, predicted: Option<u32>) {
+        let actual = if taken { Some(target) } else { None };
+        if actual == predicted {
+            self.stats.correct += 1;
+        } else {
+            self.stats.mispredicts += 1;
+        }
+        self.dir.update(pc, taken);
+        if taken {
+            let i = self.idx(pc);
+            self.tags[i] = pc;
+            self.targets[i] = target;
+        }
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &BpredStats {
+        &self.stats
+    }
+
+    /// Clears all state and statistics.
+    pub fn reset(&mut self) {
+        self.tags.fill(u32::MAX);
+        self.targets.fill(0);
+        self.dir = Bimodal::new(self.mask + 1);
+        self.stats = BpredStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn not_taken_never_predicts_taken() {
+        let mut p = NotTaken;
+        for pc in [0u32, 4, 0x1000] {
+            assert!(!p.predict(pc));
+            p.update(pc, true);
+            assert!(!p.predict(pc));
+        }
+    }
+
+    #[test]
+    fn bimodal_learns_and_hysteresis_holds() {
+        let mut p = Bimodal::new(16);
+        assert!(!p.predict(0));
+        p.update(0, true);
+        p.update(0, true);
+        assert!(p.predict(0));
+        // One not-taken does not flip a saturated counter.
+        p.update(0, true); // saturate at 3
+        p.update(0, false);
+        assert!(p.predict(0), "hysteresis");
+        p.update(0, false);
+        assert!(!p.predict(0));
+    }
+
+    #[test]
+    fn bimodal_entries_alias_by_design() {
+        let mut p = Bimodal::new(4);
+        // pcs 0 and 16 (>>2 = 0 and 4) alias with a 4-entry table.
+        p.update(0, true);
+        p.update(0, true);
+        assert!(p.predict(16), "aliasing is part of the model");
+    }
+
+    #[test]
+    fn btb_predicts_target_after_training() {
+        let mut b = Btb::new(16);
+        assert_eq!(b.predict_target(0x100), None, "cold");
+        b.update(0x100, true, 0x200, None); // mispredict, trains
+        b.update(0x100, true, 0x200, None);
+        assert_eq!(b.predict_target(0x100), Some(0x200));
+        assert!(b.stats().mispredicts >= 2);
+    }
+
+    #[test]
+    fn btb_falls_through_when_direction_says_not_taken() {
+        let mut b = Btb::new(16);
+        b.update(0x40, true, 0x80, None);
+        b.update(0x40, true, 0x80, None);
+        assert_eq!(b.predict_target(0x40), Some(0x80));
+        b.update(0x40, false, 0x80, Some(0x80));
+        b.update(0x40, false, 0x80, Some(0x80));
+        assert_eq!(b.predict_target(0x40), None);
+    }
+
+    #[test]
+    fn accuracy_tracks_outcomes() {
+        let mut b = Btb::new(16);
+        b.update(0, true, 8, Some(8)); // correct
+        b.update(0, true, 8, None); // wrong
+        assert_eq!(b.stats().correct, 1);
+        assert_eq!(b.stats().mispredicts, 1);
+        assert!((b.stats().accuracy() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn loop_branch_is_learned_well() {
+        // A backward loop branch taken 9 of 10 times.
+        let mut b = Btb::new(64);
+        let mut correct = 0;
+        let total = 200;
+        for i in 0..total {
+            let taken = i % 10 != 9;
+            let pred = b.predict_target(0x500);
+            if (pred.is_some()) == taken {
+                correct += 1;
+            }
+            b.update(0x500, taken, 0x480, pred);
+        }
+        assert!(correct as f64 / total as f64 > 0.75, "correct={correct}/{total}");
+    }
+}

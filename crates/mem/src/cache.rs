@@ -1,0 +1,265 @@
+//! Set-associative timing caches.
+//!
+//! The cache is a *timing-only* model: it tracks tags and replacement state
+//! to decide hit/miss and returns an access latency, while the data itself
+//! lives in the backing [`crate::FlatMem`]. This is the standard structure
+//! for cycle-accurate simulators (SimpleScalar models its caches the same
+//! way) and is exactly what the RCPN LoadStore sub-net needs: `t.delay =
+//! mem.delay(addr)` (paper, Figure 5).
+
+/// Cache geometry and latencies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Number of sets (must be a power of two).
+    pub sets: u32,
+    /// Associativity.
+    pub ways: u32,
+    /// Line size in bytes (must be a power of two).
+    pub line_bytes: u32,
+    /// Latency of a hit, in cycles (≥ 1).
+    pub hit_latency: u32,
+    /// Latency of a miss, in cycles.
+    pub miss_latency: u32,
+}
+
+impl CacheConfig {
+    /// A 32-set, 32-way, 32-byte-line cache — the XScale 32 KB geometry.
+    pub fn xscale_32k() -> Self {
+        CacheConfig { sets: 32, ways: 32, line_bytes: 32, hit_latency: 1, miss_latency: 30 }
+    }
+
+    /// A 512-set, 32-way, 32-byte-line… SA-110 uses a 16 KB 32-way I-cache;
+    /// modeled here as 16 sets × 32 ways × 32 B.
+    pub fn strongarm_16k() -> Self {
+        CacheConfig { sets: 16, ways: 32, line_bytes: 32, hit_latency: 1, miss_latency: 24 }
+    }
+
+    /// A small direct-mapped cache, useful in tests.
+    pub fn tiny() -> Self {
+        CacheConfig { sets: 4, ways: 1, line_bytes: 16, hit_latency: 1, miss_latency: 10 }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u32 {
+        self.sets * self.ways * self.line_bytes
+    }
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig::xscale_32k()
+    }
+}
+
+/// Hit/miss counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit ratio in [0, 1]; 1.0 when there were no accesses.
+    pub fn hit_ratio(&self) -> f64 {
+        if self.accesses() == 0 {
+            1.0
+        } else {
+            self.hits as f64 / self.accesses() as f64
+        }
+    }
+}
+
+/// A set-associative LRU timing cache.
+///
+/// # Examples
+///
+/// ```
+/// use memsys::cache::{Cache, CacheConfig};
+///
+/// let mut c = Cache::new(CacheConfig::tiny());
+/// let miss = c.access(0x100);          // cold miss
+/// let hit = c.access(0x104);           // same line
+/// assert!(miss > hit);
+/// assert_eq!(c.stats().misses, 1);
+/// assert_eq!(c.stats().hits, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    /// `sets * ways` tags; `u32::MAX` marks an empty way.
+    tags: Vec<u32>,
+    /// Per-way LRU stamps (monotone counter).
+    stamps: Vec<u64>,
+    clock: u64,
+    stats: CacheStats,
+    set_mask: u32,
+    line_shift: u32,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` or `line_bytes` is not a power of two, or if
+    /// `ways == 0`.
+    pub fn new(cfg: CacheConfig) -> Self {
+        assert!(cfg.sets.is_power_of_two(), "sets must be a power of two");
+        assert!(cfg.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(cfg.ways > 0, "cache needs at least one way");
+        let n = (cfg.sets * cfg.ways) as usize;
+        Cache {
+            set_mask: cfg.sets - 1,
+            line_shift: cfg.line_bytes.trailing_zeros(),
+            tags: vec![u32::MAX; n],
+            stamps: vec![0; n],
+            clock: 0,
+            stats: CacheStats::default(),
+            cfg,
+        }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Performs one access and returns its latency in cycles.
+    ///
+    /// On a miss the line is filled (allocate-on-miss for both reads and
+    /// writes — a simplification adequate for timing studies).
+    pub fn access(&mut self, addr: u32) -> u32 {
+        self.clock += 1;
+        let line = addr >> self.line_shift;
+        let set = (line & self.set_mask) as usize;
+        let tag = line >> self.cfg.sets.trailing_zeros();
+        let base = set * self.cfg.ways as usize;
+        let ways = &self.tags[base..base + self.cfg.ways as usize];
+
+        if let Some(w) = ways.iter().position(|&t| t == tag) {
+            self.stamps[base + w] = self.clock;
+            self.stats.hits += 1;
+            return self.cfg.hit_latency;
+        }
+
+        // Miss: fill the least-recently-used way.
+        let victim = (0..self.cfg.ways as usize)
+            .min_by_key(|&w| self.stamps[base + w])
+            .expect("ways > 0");
+        self.tags[base + victim] = tag;
+        self.stamps[base + victim] = self.clock;
+        self.stats.misses += 1;
+        self.cfg.miss_latency
+    }
+
+    /// True if `addr` is currently resident (no state change, no stats).
+    pub fn probe(&self, addr: u32) -> bool {
+        let line = addr >> self.line_shift;
+        let set = (line & self.set_mask) as usize;
+        let tag = line >> self.cfg.sets.trailing_zeros();
+        let base = set * self.cfg.ways as usize;
+        self.tags[base..base + self.cfg.ways as usize].contains(&tag)
+    }
+
+    /// Empties the cache and clears statistics.
+    pub fn reset(&mut self) {
+        self.tags.fill(u32::MAX);
+        self.stamps.fill(0);
+        self.clock = 0;
+        self.stats = CacheStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = Cache::new(CacheConfig::tiny());
+        assert_eq!(c.access(0), 10);
+        assert_eq!(c.access(4), 1, "same 16-byte line");
+        assert_eq!(c.access(15), 1);
+        assert_eq!(c.access(16), 10, "next line misses");
+        assert_eq!(c.stats().hits, 2);
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn direct_mapped_conflict_eviction() {
+        // tiny(): 4 sets x 1 way x 16B lines; addresses 0 and 64 share set 0.
+        let mut c = Cache::new(CacheConfig::tiny());
+        c.access(0);
+        c.access(64);
+        assert!(!c.probe(0), "line 0 was evicted by the conflicting line");
+        assert_eq!(c.access(0), 10, "conflict miss");
+    }
+
+    #[test]
+    fn lru_keeps_recently_used_lines() {
+        let cfg = CacheConfig { sets: 1, ways: 2, line_bytes: 16, hit_latency: 1, miss_latency: 9 };
+        let mut c = Cache::new(cfg);
+        c.access(0); // A
+        c.access(16); // B
+        c.access(0); // A again: B is now LRU
+        c.access(32); // C evicts B
+        assert!(c.probe(0), "A stays");
+        assert!(!c.probe(16), "B evicted");
+        assert!(c.probe(32));
+    }
+
+    #[test]
+    fn hit_ratio_converges_on_a_loop() {
+        let mut c = Cache::new(CacheConfig::default());
+        // A 1 KB working set looped 100 times fits a 32 KB cache.
+        for _ in 0..100 {
+            for a in (0..1024).step_by(4) {
+                c.access(a);
+            }
+        }
+        assert!(c.stats().hit_ratio() > 0.99);
+    }
+
+    #[test]
+    fn probe_does_not_change_state() {
+        let mut c = Cache::new(CacheConfig::tiny());
+        c.access(0);
+        let s = *c.stats();
+        assert!(c.probe(0));
+        assert!(!c.probe(0x1000));
+        assert_eq!(*c.stats(), s);
+    }
+
+    #[test]
+    fn reset_empties() {
+        let mut c = Cache::new(CacheConfig::tiny());
+        c.access(0);
+        c.reset();
+        assert!(!c.probe(0));
+        assert_eq!(c.stats().accesses(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_geometry_panics() {
+        let _ = Cache::new(CacheConfig { sets: 3, ways: 1, line_bytes: 16, hit_latency: 1, miss_latency: 2 });
+    }
+
+    #[test]
+    fn capacity_math() {
+        assert_eq!(CacheConfig::xscale_32k().capacity(), 32 * 1024);
+        assert_eq!(CacheConfig::strongarm_16k().capacity(), 16 * 1024);
+    }
+}

@@ -1,0 +1,237 @@
+//! # memsys — memory subsystem for the RCPN processor models
+//!
+//! RCPN transitions "can directly reference non-pipeline units such as
+//! branch predictor, memory, cache etc." (paper, Section 3). This crate
+//! provides those units:
+//!
+//! * [`Memory`] / [`FlatMem`] — byte-addressable little-endian storage,
+//!   as seen by an ARM core.
+//! * [`cache::Cache`] — a set-associative timing cache (LRU) producing the
+//!   data-dependent delays used by the LoadStore sub-nets.
+//! * [`bpred`] — branch predictors (not-taken, bimodal, BTB) for the fetch
+//!   engines.
+//!
+//! All components are deterministic and allocation-free on their hot paths.
+
+pub mod bpred;
+pub mod cache;
+
+/// Byte-addressable memory as seen by the simulated core (little-endian).
+///
+/// Methods take `&mut self` so implementations can keep access statistics.
+/// Misaligned word/halfword accesses are forced to alignment (addresses are
+/// masked), matching the simplest ARM7 behavior.
+pub trait Memory {
+    /// Reads one byte.
+    fn read8(&mut self, addr: u32) -> u8;
+    /// Writes one byte.
+    fn write8(&mut self, addr: u32, value: u8);
+
+    /// Reads a halfword (little-endian, address masked to alignment).
+    fn read16(&mut self, addr: u32) -> u16 {
+        let a = addr & !1;
+        u16::from(self.read8(a)) | (u16::from(self.read8(a + 1)) << 8)
+    }
+
+    /// Writes a halfword.
+    fn write16(&mut self, addr: u32, value: u16) {
+        let a = addr & !1;
+        self.write8(a, value as u8);
+        self.write8(a + 1, (value >> 8) as u8);
+    }
+
+    /// Reads a word (little-endian, address masked to alignment).
+    fn read32(&mut self, addr: u32) -> u32 {
+        let a = addr & !3;
+        u32::from(self.read16(a)) | (u32::from(self.read16(a + 2)) << 16)
+    }
+
+    /// Writes a word.
+    fn write32(&mut self, addr: u32, value: u32) {
+        let a = addr & !3;
+        self.write16(a, value as u16);
+        self.write16(a + 2, (value >> 16) as u16);
+    }
+}
+
+/// Flat RAM with bounds accounting.
+///
+/// Reads outside the allocated range return poison bytes and count into
+/// [`FlatMem::oob_accesses`]; writes outside are dropped and counted.
+/// Simulated programs are expected never to trigger either — integration
+/// tests assert the counter stays zero.
+///
+/// # Examples
+///
+/// ```
+/// use memsys::{FlatMem, Memory};
+///
+/// let mut m = FlatMem::new(1024);
+/// m.write32(0x10, 0x11223344);
+/// assert_eq!(m.read32(0x10), 0x11223344);
+/// assert_eq!(m.read8(0x10), 0x44, "little-endian");
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlatMem {
+    data: Vec<u8>,
+    oob: u64,
+}
+
+impl FlatMem {
+    /// Allocates `size` bytes of zeroed memory starting at address 0.
+    pub fn new(size: usize) -> Self {
+        FlatMem { data: vec![0; size], oob: 0 }
+    }
+
+    /// Memory size in bytes.
+    pub fn size(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Number of out-of-bounds accesses observed.
+    pub fn oob_accesses(&self) -> u64 {
+        self.oob
+    }
+
+    /// Copies `bytes` into memory at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range does not fit — loading an image that does not
+    /// fit is a setup bug, not a simulated fault.
+    pub fn load(&mut self, addr: u32, bytes: &[u8]) {
+        let start = addr as usize;
+        let end = start + bytes.len();
+        assert!(end <= self.data.len(), "image [{start:#x}..{end:#x}) exceeds memory");
+        self.data[start..end].copy_from_slice(bytes);
+    }
+
+    /// Copies words into memory at `addr` (little-endian).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range does not fit.
+    pub fn load_words(&mut self, addr: u32, words: &[u32]) {
+        for (i, w) in words.iter().enumerate() {
+            let a = addr as usize + i * 4;
+            assert!(a + 4 <= self.data.len(), "image exceeds memory");
+            self.data[a..a + 4].copy_from_slice(&w.to_le_bytes());
+        }
+    }
+
+    /// Zeroes all memory and clears the out-of-bounds counter.
+    pub fn reset(&mut self) {
+        self.data.fill(0);
+        self.oob = 0;
+    }
+}
+
+impl Memory for FlatMem {
+    #[inline]
+    fn read8(&mut self, addr: u32) -> u8 {
+        match self.data.get(addr as usize) {
+            Some(&b) => b,
+            None => {
+                self.oob += 1;
+                0xEF
+            }
+        }
+    }
+
+    #[inline]
+    fn write8(&mut self, addr: u32, value: u8) {
+        match self.data.get_mut(addr as usize) {
+            Some(b) => *b = value,
+            None => self.oob += 1,
+        }
+    }
+
+    #[inline]
+    fn read32(&mut self, addr: u32) -> u32 {
+        let a = (addr & !3) as usize;
+        if a + 4 <= self.data.len() {
+            u32::from_le_bytes([self.data[a], self.data[a + 1], self.data[a + 2], self.data[a + 3]])
+        } else {
+            self.oob += 1;
+            0xDEAD_BEEF
+        }
+    }
+
+    #[inline]
+    fn write32(&mut self, addr: u32, value: u32) {
+        let a = (addr & !3) as usize;
+        if a + 4 <= self.data.len() {
+            self.data[a..a + 4].copy_from_slice(&value.to_le_bytes());
+        } else {
+            self.oob += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_roundtrip_and_endianness() {
+        let mut m = FlatMem::new(64);
+        m.write32(0, 0xA1B2C3D4);
+        assert_eq!(m.read8(0), 0xD4);
+        assert_eq!(m.read8(3), 0xA1);
+        assert_eq!(m.read16(0), 0xC3D4);
+        assert_eq!(m.read16(2), 0xA1B2);
+        assert_eq!(m.read32(0), 0xA1B2C3D4);
+    }
+
+    #[test]
+    fn halfword_write() {
+        let mut m = FlatMem::new(64);
+        m.write16(4, 0xBEEF);
+        assert_eq!(m.read32(4), 0x0000BEEF);
+        m.write16(6, 0xDEAD);
+        assert_eq!(m.read32(4), 0xDEADBEEF);
+    }
+
+    #[test]
+    fn misaligned_word_access_is_masked() {
+        let mut m = FlatMem::new(64);
+        m.write32(8, 0x12345678);
+        assert_eq!(m.read32(9), m.read32(8));
+        assert_eq!(m.read32(11), m.read32(8));
+    }
+
+    #[test]
+    fn out_of_bounds_counts_and_returns_poison() {
+        let mut m = FlatMem::new(16);
+        assert_eq!(m.read32(1024), 0xDEAD_BEEF);
+        m.write32(1024, 1);
+        m.write8(1_000_000, 1);
+        assert_eq!(m.oob_accesses(), 3);
+    }
+
+    #[test]
+    fn load_words_places_an_image() {
+        let mut m = FlatMem::new(64);
+        m.load_words(8, &[1, 2, 3]);
+        assert_eq!(m.read32(8), 1);
+        assert_eq!(m.read32(12), 2);
+        assert_eq!(m.read32(16), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds memory")]
+    fn load_past_end_panics() {
+        let mut m = FlatMem::new(8);
+        m.load(4, &[0; 8]);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut m = FlatMem::new(16);
+        m.write32(0, 5);
+        let _ = m.read32(100);
+        m.reset();
+        assert_eq!(m.read32(0), 0);
+        assert_eq!(m.oob_accesses(), 0);
+    }
+}

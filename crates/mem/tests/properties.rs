@@ -1,0 +1,70 @@
+//! Property-based tests for the memory subsystem: cache bookkeeping and
+//! memory read/write laws hold for arbitrary access streams.
+
+use memsys::cache::{Cache, CacheConfig};
+use memsys::{FlatMem, Memory};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Reading back a written word always returns the written value, and
+    /// byte-level reads decompose it little-endian.
+    #[test]
+    fn write_read_word(addr in 0u32..4000, value in any::<u32>()) {
+        let mut m = FlatMem::new(4096 + 8);
+        m.write32(addr, value);
+        let a = addr & !3;
+        prop_assert_eq!(m.read32(a), value);
+        for k in 0..4 {
+            prop_assert_eq!(u32::from(m.read8(a + k)), (value >> (8 * k)) & 0xFF);
+        }
+        prop_assert_eq!(m.oob_accesses(), 0);
+    }
+
+    /// Cache accounting: hits + misses equals accesses; immediately
+    /// repeated accesses always hit; the returned latency is exactly the
+    /// configured hit or miss latency.
+    #[test]
+    fn cache_accounting(addrs in proptest::collection::vec(0u32..0x2000, 1..200)) {
+        let cfg = CacheConfig { sets: 8, ways: 2, line_bytes: 32, hit_latency: 1, miss_latency: 13 };
+        let mut c = Cache::new(cfg);
+        for &a in &addrs {
+            let lat = c.access(a);
+            prop_assert!(lat == 1 || lat == 13, "latency must be hit or miss");
+            prop_assert!(c.probe(a), "just-accessed line must be resident");
+            prop_assert_eq!(c.access(a), 1, "immediate re-access hits");
+        }
+        prop_assert_eq!(c.stats().accesses(), 2 * addrs.len() as u64);
+        prop_assert!(c.stats().hits >= addrs.len() as u64, "at least the re-accesses hit");
+    }
+
+    /// A working set that fits in the cache converges to all-hits.
+    #[test]
+    fn small_working_set_converges(seed in 0u32..1000) {
+        let cfg = CacheConfig::tiny(); // 4 sets x 1 way x 16B = 64 bytes
+        let mut c = Cache::new(cfg);
+        // Four addresses, one per set: all fit simultaneously.
+        let base = (seed % 16) * 4;
+        let addrs = [base, base + 16, base + 32, base + 48];
+        for _ in 0..10 {
+            for &a in &addrs {
+                c.access(a);
+            }
+        }
+        // After the first sweep, everything hits.
+        prop_assert!(c.stats().hits >= 36, "hits = {}", c.stats().hits);
+    }
+
+    /// Bimodal predictor saturates: after four identical outcomes it
+    /// always predicts that outcome.
+    #[test]
+    fn bimodal_saturates(pc in 0u32..0x1000, taken in any::<bool>()) {
+        use memsys::bpred::{Bimodal, DirPredictor};
+        let mut p = Bimodal::new(64);
+        for _ in 0..4 {
+            p.update(pc, taken);
+        }
+        prop_assert_eq!(p.predict(pc), taken);
+    }
+}

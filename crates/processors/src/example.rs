@@ -1,0 +1,476 @@
+//! The representative out-of-order-completion processor of the paper's
+//! Figures 4 and 5, reproduced literally, on a miniature ISA.
+//!
+//! Block diagram (Figure 4a): fetch `F` feeds latch `L1`; decode moves
+//! instructions to `L2`; from there ALU instructions execute in `E` and
+//! write back from latch `L3` (`We`), loads/stores access memory in `M`
+//! and write back from `L4` (`Wm`), and branches resolve in `B`. A
+//! feedback path forwards `L3` results — used, exactly as the paper
+//! assumes, *only for the first source operand `s1` of ALU instructions*.
+//! Branches stall fetch by depositing a **reservation token** into `L1`
+//! (Figure 5's dotted arcs).
+//!
+//! The three operation classes mirror Figure 4(b):
+//!
+//! ```text
+//! Branch    { offset: Register | Constant }
+//! ALU       { op: Add | Sub | Mul | ...; d, s1: Register; s2: Register | Constant }
+//! LoadStore { L: true | false; r: Register; addr: Register | Constant }
+//! ```
+
+use rcpn::builder::ModelBuilder;
+use rcpn::engine::Engine;
+use rcpn::ids::{OpClassId, PlaceId, RegId};
+use rcpn::model::Machine;
+use rcpn::reg::{Operand, RegisterFile};
+use rcpn::token::InstrData;
+
+/// ALU operation of the toy ISA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AluOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Bitwise exclusive or.
+    Xor,
+}
+
+impl AluOp {
+    fn apply(self, a: u32, b: u32) -> u32 {
+        match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::Mul => a.wrapping_mul(b),
+            AluOp::Xor => a ^ b,
+        }
+    }
+}
+
+/// A register-or-constant symbol (Figure 4b's `{Register | Constant}`).
+#[derive(Debug, Clone, Copy)]
+pub enum ToySrc {
+    /// Register number.
+    Reg(u8),
+    /// Immediate constant.
+    Const(u32),
+}
+
+/// One instruction of the toy ISA.
+#[derive(Debug, Clone)]
+pub enum ToyInstr {
+    /// `d = op(s1, s2)`.
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Destination register.
+        d: u8,
+        /// First source register (the forwarded operand).
+        s1: u8,
+        /// Second source: register or constant.
+        s2: ToySrc,
+    },
+    /// Load (`l = true`) or store of register `r` at `addr`.
+    LoadStore {
+        /// True for loads.
+        l: bool,
+        /// Data register.
+        r: u8,
+        /// Address operand.
+        addr: ToySrc,
+    },
+    /// Relative branch by `offset` instructions (always taken).
+    Branch {
+        /// Displacement, in instructions, applied after the fall-through
+        /// fetch advance.
+        offset: i32,
+    },
+}
+
+/// Token payload: the decoded instruction with resolved operand symbols.
+#[derive(Debug, Clone)]
+pub struct ToyTok {
+    class: OpClassId,
+    op: AluOp,
+    load: bool,
+    offset: i32,
+    d: Operand,
+    s1: Operand,
+    s2: Operand,
+    addr: Operand,
+}
+
+impl InstrData for ToyTok {
+    fn op_class(&self) -> OpClassId {
+        self.class
+    }
+}
+
+/// Machine resources: a small word-addressed memory with data-dependent
+/// latency, the fetch index and the program.
+#[derive(Debug)]
+pub struct ToyRes {
+    /// Data memory (word addressed).
+    pub mem: Vec<u32>,
+    /// Fetch index into the program.
+    pub pc: i64,
+    /// The program.
+    pub program: Vec<ToyInstr>,
+    /// Memory accesses that paid the slow latency.
+    pub slow_accesses: u64,
+}
+
+impl ToyRes {
+    /// The paper's `mem.delay(addr)`: low addresses are fast (cache-like),
+    /// the rest pay a miss-like latency.
+    pub fn delay(&self, addr: u32) -> u32 {
+        if addr < 16 {
+            1
+        } else {
+            5
+        }
+    }
+}
+
+fn operand(src: ToySrc, n_regs: usize) -> Operand {
+    match src {
+        ToySrc::Reg(r) => {
+            assert!((r as usize) < n_regs, "register r{r} out of range");
+            Operand::reg(RegId::from_index(r as usize))
+        }
+        ToySrc::Const(c) => Operand::imm(c),
+    }
+}
+
+/// Builds the Figure 4/5 processor over `program` with `n_regs` registers
+/// and `mem` as the initial data memory.
+///
+/// # Panics
+///
+/// Panics if the model fails validation or an instruction names a register
+/// `>= n_regs`.
+pub fn build(program: Vec<ToyInstr>, n_regs: usize, mem: Vec<u32>) -> Engine<ToyTok, ToyRes> {
+    let mut b = ModelBuilder::<ToyTok, ToyRes>::new();
+
+    let s_l1 = b.stage("L1", 1);
+    let s_l2 = b.stage("L2", 1);
+    let s_l3 = b.stage("L3", 1);
+    let s_l4 = b.stage("L4", 1);
+    let l1 = b.place("L1", s_l1);
+    let l2a = b.place("L2a", s_l2); // ALU instructions in L2
+    let l2b = b.place("L2b", s_l2); // branches in L2
+    let l2m = b.place("L2m", s_l2); // loads/stores in L2
+    // The writeback port drains the E-output buffer after two cycles; the
+    // feedback path exists to cover exactly that window (the paper's
+    // technical report carries the latency details; the mechanism is the
+    // figure's).
+    let l3 = b.place_with_delay("L3", s_l3, 2);
+    let l4 = b.place("L4", s_l4);
+    let end = b.end_place();
+
+    let (alu, _) = b.class_net("ALU");
+    let (ldst, _) = b.class_net("LoadStore");
+    let (br, _) = b.class_net("Branch");
+
+    // --- ALU sub-net (Figure 5, with the two priority arcs) ---------------
+    b.transition(alu, "D_alu")
+        .from(l1)
+        .to(l2a)
+        .priority(0)
+        .guard(|m, t: &ToyTok| {
+            t.s1.can_read(&m.regs) && t.s2.can_read(&m.regs) && t.d.can_write(&m.regs)
+        })
+        .action(|m, t, fx| {
+            t.s1.read(&m.regs);
+            t.s2.read(&m.regs);
+            let tok = fx.token();
+            t.d.reserve_write(&mut m.regs, tok, PlaceId::from_index(0));
+        })
+        .done();
+    // Priority 1: "the second arc verifies that the writer instruction of
+    // operand s1 is in the state L3 and then reads it."
+    b.transition(alu, "D_alu_fwd")
+        .from(l1)
+        .to(l2a)
+        .priority(1)
+        .reads_state(l3)
+        .guard(move |m, t: &ToyTok| {
+            t.s1.can_read_in(&m.regs, l3) && t.s2.can_read(&m.regs) && t.d.can_write(&m.regs)
+        })
+        .action(|m, t, fx| {
+            t.s1.read_fwd(&m.regs);
+            t.s2.read(&m.regs);
+            let tok = fx.token();
+            t.d.reserve_write(&mut m.regs, tok, PlaceId::from_index(0));
+        })
+        .done();
+    b.transition(alu, "E")
+        .from(l2a)
+        .to(l3)
+        .action(|m, t, fx| {
+            let v = t.op.apply(t.s1.value(), t.s2.value());
+            let tok = fx.token();
+            t.d.set(&mut m.regs, tok, v);
+        })
+        .done();
+    b.transition(alu, "We")
+        .from(l3)
+        .to(end)
+        .action(|m, t, fx| {
+            let tok = fx.token();
+            t.d.writeback(&mut m.regs, tok);
+        })
+        .done();
+
+    // --- LoadStore sub-net (Figure 5's M with the token delay) -------------
+    b.transition(ldst, "D_ls")
+        .from(l1)
+        .to(l2m)
+        .guard(|m, t: &ToyTok| {
+            t.addr.can_read(&m.regs)
+                && if t.load { t.d.can_write(&m.regs) } else { t.d.can_read(&m.regs) }
+        })
+        .action(|m, t, fx| {
+            t.addr.read(&m.regs);
+            let tok = fx.token();
+            if t.load {
+                t.d.reserve_write(&mut m.regs, tok, PlaceId::from_index(0));
+            } else {
+                t.d.read(&m.regs);
+            }
+        })
+        .done();
+    b.transition(ldst, "M")
+        .from(l2m)
+        .to(l4)
+        .action(|m, t, fx| {
+            let addr = t.addr.value();
+            let delay = m.res.delay(addr);
+            if delay > 1 {
+                m.res.slow_accesses += 1;
+            }
+            // "t.delay = mem.delay(addr)" — the data-dependent token delay.
+            fx.set_token_delay(delay);
+            let len = m.res.mem.len();
+            let idx = addr as usize % len;
+            if t.load {
+                let v = m.res.mem[idx];
+                let tok = fx.token();
+                t.d.set(&mut m.regs, tok, v);
+            } else {
+                m.res.mem[idx] = t.d.value();
+            }
+        })
+        .done();
+    b.transition(ldst, "Wm")
+        .from(l4)
+        .to(end)
+        .action(|m, t, fx| {
+            if t.load {
+                let tok = fx.token();
+                t.d.writeback(&mut m.regs, tok);
+            }
+        })
+        .done();
+
+    // --- Branch sub-net (reservation token stalls fetch one cycle) ---------
+    // "When a branch instruction is issued, it stalls the fetch unit by
+    // occupying latch L1 with a reservation token ... in the next cycle,
+    // this token is consumed and the fetch unit is un-stalled."
+    b.transition(br, "D_br")
+        .from(l1)
+        .to(l2b)
+        .reserve(l1, 1)
+        .guard(|m, t: &ToyTok| t.addr.can_read(&m.regs))
+        .action(|m, t, _fx| t.addr.read(&m.regs))
+        .done();
+    b.transition(br, "B")
+        .from(l2b)
+        .to(end)
+        .action(|m, t, _fx| {
+            m.res.pc += i64::from(t.offset);
+        })
+        .done();
+
+    // --- Instruction-independent sub-net ------------------------------------
+    let n_regs_src = n_regs;
+    b.source("F")
+        .to(l1)
+        .produce(move |m, _fx| {
+            let pc = m.res.pc;
+            if pc < 0 || pc as usize >= m.res.program.len() {
+                return None;
+            }
+            let instr = m.res.program[pc as usize].clone();
+            m.res.pc = pc + 1;
+            Some(match instr {
+                ToyInstr::Alu { op, d, s1, s2 } => ToyTok {
+                    class: OpClassId::from_index(0),
+                    op,
+                    load: false,
+                    offset: 0,
+                    d: operand(ToySrc::Reg(d), n_regs_src),
+                    s1: operand(ToySrc::Reg(s1), n_regs_src),
+                    s2: operand(s2, n_regs_src),
+                    addr: Operand::Absent,
+                },
+                ToyInstr::LoadStore { l, r, addr } => ToyTok {
+                    class: OpClassId::from_index(1),
+                    op: AluOp::Add,
+                    load: l,
+                    offset: 0,
+                    d: operand(ToySrc::Reg(r), n_regs_src),
+                    s1: Operand::Absent,
+                    s2: Operand::Absent,
+                    addr: operand(addr, n_regs_src),
+                },
+                ToyInstr::Branch { offset } => ToyTok {
+                    class: OpClassId::from_index(2),
+                    op: AluOp::Add,
+                    load: false,
+                    offset,
+                    d: Operand::Absent,
+                    s1: Operand::Absent,
+                    s2: Operand::Absent,
+                    addr: Operand::imm(0),
+                },
+            })
+        })
+        .done();
+
+    let model = b.build().expect("figure 4/5 model validates");
+    let mut rf = RegisterFile::new();
+    rf.add_bank("r", n_regs);
+    let machine = Machine::new(rf, ToyRes { mem, pc: 0, program, slow_accesses: 0 });
+    Engine::new(model, machine)
+}
+
+/// Runs a toy program until the pipeline drains (or `max_cycles`); returns
+/// (cycles, final registers, final memory).
+pub fn run_program(
+    program: Vec<ToyInstr>,
+    n_regs: usize,
+    mem: Vec<u32>,
+    max_cycles: u64,
+) -> (u64, Vec<u32>, Vec<u32>) {
+    let mut engine = build(program, n_regs, mem);
+    let mut idle = 0;
+    while engine.cycle() < max_cycles && idle < 3 {
+        engine.step();
+        if engine.live_tokens() == 0 {
+            idle += 1;
+        } else {
+            idle = 0;
+        }
+    }
+    let regs: Vec<u32> =
+        (0..n_regs).map(|i| engine.machine().regs.value_of(RegId::from_index(i))).collect();
+    let mem = engine.machine().res.mem.clone();
+    (engine.cycle(), regs, mem)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn straightline_alu_program_computes() {
+        // r1 = r0 + 5; r2 = r1 * 3; r3 = r2 - 2
+        let program = vec![
+            ToyInstr::Alu { op: AluOp::Add, d: 1, s1: 0, s2: ToySrc::Const(5) },
+            ToyInstr::Alu { op: AluOp::Mul, d: 2, s1: 1, s2: ToySrc::Const(3) },
+            ToyInstr::Alu { op: AluOp::Sub, d: 3, s1: 2, s2: ToySrc::Const(2) },
+        ];
+        let (_cycles, regs, _) = run_program(program, 4, vec![0; 32], 100);
+        assert_eq!(regs[1], 5);
+        assert_eq!(regs[2], 15);
+        assert_eq!(regs[3], 13);
+    }
+
+    #[test]
+    fn forwarding_path_is_used_for_s1() {
+        let program = vec![
+            ToyInstr::Alu { op: AluOp::Add, d: 1, s1: 0, s2: ToySrc::Const(7) },
+            ToyInstr::Alu { op: AluOp::Add, d: 2, s1: 1, s2: ToySrc::Const(1) },
+        ];
+        let mut engine = build(program, 4, vec![0; 32]);
+        for _ in 0..50 {
+            engine.step();
+        }
+        let fwd = engine.model().find_transition("D_alu_fwd").unwrap();
+        assert!(engine.stats().fires_of(fwd) > 0, "forwarding transition fired");
+        assert_eq!(engine.machine().regs.value_of(RegId::from_index(2)), 8);
+    }
+
+    #[test]
+    fn load_store_roundtrip_with_variable_delay() {
+        let program = vec![
+            ToyInstr::Alu { op: AluOp::Add, d: 0, s1: 0, s2: ToySrc::Const(42) },
+            ToyInstr::LoadStore { l: false, r: 0, addr: ToySrc::Const(20) },
+            ToyInstr::LoadStore { l: true, r: 2, addr: ToySrc::Const(20) },
+        ];
+        let (_c, regs, mem) = run_program(program, 4, vec![0; 32], 200);
+        assert_eq!(mem[20], 42);
+        assert_eq!(regs[2], 42);
+    }
+
+    #[test]
+    fn branch_skips_and_stalls_fetch() {
+        let program = vec![
+            ToyInstr::Branch { offset: 1 },
+            ToyInstr::Alu { op: AluOp::Add, d: 1, s1: 0, s2: ToySrc::Const(99) }, // skipped
+            ToyInstr::Alu { op: AluOp::Add, d: 2, s1: 0, s2: ToySrc::Const(1) },
+        ];
+        let mut engine = build(program, 4, vec![0; 32]);
+        for _ in 0..60 {
+            engine.step();
+        }
+        assert_eq!(engine.machine().regs.value_of(RegId::from_index(1)), 0, "skipped");
+        assert_eq!(engine.machine().regs.value_of(RegId::from_index(2)), 1);
+        assert!(engine.stats().reservations >= 1, "branch reserved L1");
+    }
+
+    #[test]
+    fn out_of_order_completion_alu_passes_slow_load() {
+        // A slow load followed by an independent ALU op: the ALU result
+        // retires first (out-of-order completion, Figure 4's headline).
+        let program = vec![
+            ToyInstr::LoadStore { l: true, r: 1, addr: ToySrc::Const(20) }, // slow
+            ToyInstr::Alu { op: AluOp::Add, d: 2, s1: 0, s2: ToySrc::Const(3) },
+        ];
+        let mut engine = build(program, 4, vec![7; 32]);
+        let mut alu_done_at = 0u64;
+        let mut load_done_at = 0u64;
+        for _ in 0..60 {
+            engine.step();
+            let m = engine.machine();
+            if alu_done_at == 0 && m.regs.value_of(RegId::from_index(2)) == 3 {
+                alu_done_at = engine.cycle();
+            }
+            if load_done_at == 0 && m.regs.value_of(RegId::from_index(1)) == 7 {
+                load_done_at = engine.cycle();
+            }
+        }
+        assert!(alu_done_at > 0 && load_done_at > 0, "both must complete");
+        assert!(
+            alu_done_at < load_done_at,
+            "ALU (cycle {alu_done_at}) must complete before the slow load ({load_done_at})"
+        );
+        assert!(engine.machine().res.slow_accesses >= 1);
+    }
+
+    #[test]
+    fn model_mirrors_figure_five_structure() {
+        let engine = build(vec![], 4, vec![0; 32]);
+        let m = engine.model();
+        assert_eq!(m.subnet_count(), 3, "three instruction sub-nets");
+        assert_eq!(m.source_count(), 1, "one instruction-independent source");
+        // L3 is the only two-list place — the paper's exact claim for this
+        // pipeline ("only very few places ... like state L3").
+        let a = m.analysis();
+        assert!(a.is_two_list(m.find_place("L3").unwrap()));
+        assert_eq!(a.two_list_count(), 1, "exactly L3");
+    }
+}

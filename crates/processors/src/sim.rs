@@ -1,0 +1,144 @@
+//! A convenience wrapper around the generated cycle-accurate engines.
+
+use arm_isa::program::Program;
+use rcpn::engine::{Engine, RunOutcome};
+use rcpn::ids::RegId;
+
+use crate::armtok::ArmTok;
+use crate::res::{ArmRes, SimConfig};
+
+/// Which processor model a [`CaSim`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcModel {
+    /// The five-stage StrongARM SA-110.
+    StrongArm,
+    /// The superpipelined Intel XScale.
+    XScale,
+}
+
+/// Result of driving a simulation to completion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimResult {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Architectural instructions completed.
+    pub instrs: u64,
+    /// Exit code, if the program called `swi #0`.
+    pub exit: Option<u32>,
+    /// Fault message, if the simulation faulted.
+    pub fault: Option<String>,
+}
+
+impl SimResult {
+    /// Cycles per instruction.
+    pub fn cpi(&self) -> f64 {
+        if self.instrs == 0 {
+            f64::NAN
+        } else {
+            self.cycles as f64 / self.instrs as f64
+        }
+    }
+}
+
+/// A generated ARM cycle-accurate simulator (the paper's deliverable).
+pub struct CaSim {
+    /// The underlying RCPN engine (public for stats and inspection).
+    pub engine: Engine<ArmTok, ArmRes>,
+    model: ProcModel,
+}
+
+impl CaSim {
+    /// Builds a StrongARM simulator with default configuration.
+    pub fn strongarm(program: &Program) -> Self {
+        Self::with_config(ProcModel::StrongArm, program, &SimConfig::strongarm())
+    }
+
+    /// Builds an XScale simulator with default configuration.
+    pub fn xscale(program: &Program) -> Self {
+        Self::with_config(ProcModel::XScale, program, &SimConfig::xscale())
+    }
+
+    /// Builds a simulator for an explicit model/configuration pair.
+    pub fn with_config(model: ProcModel, program: &Program, config: &SimConfig) -> Self {
+        let engine = match model {
+            ProcModel::StrongArm => crate::strongarm::build(program, config),
+            ProcModel::XScale => crate::xscale::build(program, config),
+        };
+        CaSim { engine, model }
+    }
+
+    /// The processor model.
+    pub fn model(&self) -> ProcModel {
+        self.model
+    }
+
+    /// Runs until program exit (with the pipeline fully drained so the
+    /// architectural state is final), fault, or the cycle budget is
+    /// exhausted.
+    pub fn run(&mut self, max_cycles: u64) -> SimResult {
+        let limit = self.engine.cycle().saturating_add(max_cycles);
+        while !self.engine.halted() && self.engine.cycle() < limit {
+            self.engine.step();
+            if self.engine.machine().res.exit.is_some() && self.engine.live_tokens() == 0 {
+                break;
+            }
+        }
+        self.result()
+    }
+
+    /// Steps one cycle.
+    pub fn step(&mut self) {
+        self.engine.step();
+    }
+
+    /// The current result snapshot.
+    pub fn result(&self) -> SimResult {
+        let res = &self.engine.machine().res;
+        SimResult {
+            cycles: self.engine.stats().cycles,
+            instrs: res.instr_done,
+            exit: res.exit,
+            fault: res.fault.clone(),
+        }
+    }
+
+    /// Whether the simulation has halted.
+    pub fn halted(&self) -> bool {
+        self.engine.halted()
+    }
+
+    /// Outcome helper mirroring [`Engine::run`]'s result.
+    pub fn run_outcome(&mut self, max_cycles: u64) -> RunOutcome {
+        self.engine.run(max_cycles)
+    }
+
+    /// Architectural value of register `n` (0–14).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 14` (the PC is not an architectural register here;
+    /// read [`ArmRes::pc`] instead).
+    pub fn reg(&self, n: usize) -> u32 {
+        assert!(n < 15, "r{n} is not scoreboarded");
+        self.engine.machine().regs.value_of(RegId::from_index(n))
+    }
+
+    /// The machine resources (memory, caches, predictor, PC, output, ...).
+    pub fn res(&self) -> &ArmRes {
+        &self.engine.machine().res
+    }
+
+    /// Bytes written via the semihosting interface.
+    pub fn output(&self) -> &[u8] {
+        &self.engine.machine().res.output
+    }
+}
+
+impl std::fmt::Debug for CaSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CaSim")
+            .field("model", &self.model)
+            .field("cycles", &self.engine.stats().cycles)
+            .finish()
+    }
+}

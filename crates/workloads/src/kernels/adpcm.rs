@@ -1,0 +1,170 @@
+//! `adpcm` — IMA ADPCM encoder over synthetic audio (MediaBench's adpcm).
+//! Table lookups, conditional execution, signed halfword loads.
+
+use crate::rng::{emit_halves, emit_words, XorShift32};
+
+/// The standard IMA step-size table.
+pub const STEP: [i32; 89] = [
+    7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37, 41, 45, 50, 55, 60, 66,
+    73, 80, 88, 97, 107, 118, 130, 143, 157, 173, 190, 209, 230, 253, 279, 307, 337, 371, 408,
+    449, 494, 544, 598, 658, 724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+    2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894, 6484, 7132, 7845, 8630,
+    9493, 10442, 11487, 12635, 13899, 15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794,
+    32767,
+];
+
+/// Index-adjust table (3-bit magnitude).
+pub const IDX: [i32; 8] = [-1, -1, -1, -1, 2, 4, 6, 8];
+
+/// Synthetic audio: a clamped random walk (smooth, like real samples).
+pub fn make_samples(n: usize) -> Vec<i16> {
+    let mut rng = XorShift32::new(0xADCC_0FFE);
+    let mut v: i32 = 0;
+    (0..n)
+        .map(|_| {
+            let delta = (rng.below(1024) as i32) - 512;
+            v = (v + delta).clamp(-30000, 30000);
+            v as i16
+        })
+        .collect()
+}
+
+/// Rust gold model, mirroring the assembly bit-for-bit.
+pub fn gold(samples: &[i16]) -> u32 {
+    let mut valpred: i32 = 0;
+    let mut index: i32 = 0;
+    let mut chk: u32 = 0;
+    for &s in samples {
+        let mut diff = i32::from(s) - valpred;
+        let sign = if diff < 0 { 8 } else { 0 };
+        if sign != 0 {
+            diff = -diff;
+        }
+        let mut step = STEP[index as usize];
+        let mut delta = 0;
+        let mut vpdiff = step >> 3;
+        if diff >= step {
+            delta = 4;
+            diff -= step;
+            vpdiff += step;
+        }
+        step >>= 1;
+        if diff >= step {
+            delta |= 2;
+            diff -= step;
+            vpdiff += step;
+        }
+        step >>= 1;
+        if diff >= step {
+            delta |= 1;
+            vpdiff += step;
+        }
+        if sign != 0 {
+            valpred -= vpdiff;
+        } else {
+            valpred += vpdiff;
+        }
+        valpred = valpred.clamp(-32768, 32767);
+        delta |= sign;
+        index += IDX[(delta & 7) as usize];
+        index = index.clamp(0, 88);
+        chk = chk.rotate_left(3) ^ (delta as u32) ^ (valpred as u32);
+    }
+    chk
+}
+
+/// Builds the assembly source and gold checksum for `size` samples.
+pub fn build(size: usize) -> (String, u32) {
+    let samples = make_samples(size);
+    let expected = gold(&samples);
+
+    let mut src = String::new();
+    src.push_str(&format!(
+        "; adpcm: IMA ADPCM encode of {size} samples
+    ldr   r1, =samples
+    ldr   r2, =({size})
+    mov   r0, #0              ; chk
+    mov   r3, #0              ; valpred
+    mov   r4, #0              ; index
+    ldr   r10, =steptab
+    ldr   r11, =idxtab
+sloop:
+    ldrsh r5, [r1], #2        ; s
+    sub   r5, r5, r3          ; diff = s - valpred
+    mov   r6, #0              ; sign
+    cmp   r5, #0
+    movlt r6, #8
+    rsblt r5, r5, #0          ; diff = -diff
+    ldr   r7, [r10, r4, lsl #2] ; step
+    mov   r8, #0              ; delta
+    mov   r9, r7, lsr #3      ; vpdiff = step >> 3
+    cmp   r5, r7
+    orrge r8, r8, #4
+    addge r9, r9, r7
+    subge r5, r5, r7
+    mov   r7, r7, lsr #1
+    cmp   r5, r7
+    orrge r8, r8, #2
+    addge r9, r9, r7
+    subge r5, r5, r7
+    mov   r7, r7, lsr #1
+    cmp   r5, r7
+    orrge r8, r8, #1
+    addge r9, r9, r7
+    cmp   r6, #0
+    subne r3, r3, r9
+    addeq r3, r3, r9
+    ldr   r12, =32767
+    cmp   r3, r12
+    movgt r3, r12
+    ldr   r12, =-32768
+    cmp   r3, r12
+    movlt r3, r12
+    orr   r8, r8, r6          ; delta |= sign
+    and   r12, r8, #7
+    ldr   r12, [r11, r12, lsl #2]
+    add   r4, r4, r12
+    cmp   r4, #0
+    movlt r4, #0
+    cmp   r4, #88
+    movgt r4, #88
+    mov   r0, r0, ror #29     ; chk = rotl(chk, 3)
+    eor   r0, r0, r8
+    eor   r0, r0, r3
+    subs  r2, r2, #1
+    bne   sloop
+    swi   #0
+    .pool
+steptab:
+"
+    ));
+    let step_words: Vec<u32> = STEP.iter().map(|&v| v as u32).collect();
+    emit_words(&mut src, &step_words);
+    src.push_str("idxtab:\n");
+    let idx_words: Vec<u32> = IDX.iter().map(|&v| v as u32).collect();
+    emit_words(&mut src, &idx_words);
+    src.push_str("samples:\n");
+    let halves: Vec<u16> = samples.iter().map(|&s| s as u16).collect();
+    emit_halves(&mut src, &halves);
+    (src, expected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gold_is_stable() {
+        let s = make_samples(32);
+        assert_eq!(gold(&s), gold(&s));
+        assert_ne!(gold(&s), 0, "a zero checksum would hide failures");
+    }
+
+    #[test]
+    fn valpred_tracks_signal_loosely() {
+        // The encoder is lossy but the predictor must stay in i16 range —
+        // implied by clamps; we check gold over a hostile square wave.
+        let s: Vec<i16> = (0..64).map(|i| if i % 2 == 0 { 30000 } else { -30000 }).collect();
+        let _ = gold(&s); // must not panic (clamps exercised)
+    }
+}

@@ -1,0 +1,153 @@
+//! `blowfish` — a Blowfish-style 16-round Feistel cipher in CBC mode
+//! (MiBench's blowfish). S-box lookups (dependent loads), adds/xors, a
+//! register-swapped round loop.
+//!
+//! The P-array and S-boxes are pseudo-random rather than the π-derived
+//! originals; the structure, table sizes and per-round work are identical,
+//! which is what matters for simulator behavior.
+
+use crate::rng::{emit_words, XorShift32};
+
+/// Key schedule: 18 P-entries + 4×256 S-box words, deterministic.
+pub fn make_tables() -> (Vec<u32>, Vec<u32>) {
+    let mut rng = XorShift32::new(0xB10F_1504);
+    let p: Vec<u32> = (0..18).map(|_| rng.next_u32()).collect();
+    let s: Vec<u32> = (0..1024).map(|_| rng.next_u32()).collect();
+    (p, s)
+}
+
+/// Plaintext blocks (2 words per block).
+pub fn make_blocks(n: usize) -> Vec<u32> {
+    let mut rng = XorShift32::new(0x0B5C_u32);
+    (0..2 * n).map(|_| rng.next_u32()).collect()
+}
+
+fn f(s: &[u32], x: u32) -> u32 {
+    let a = s[(x >> 24) as usize];
+    let b = s[256 + ((x >> 16) & 0xFF) as usize];
+    let c = s[512 + ((x >> 8) & 0xFF) as usize];
+    let d = s[768 + (x & 0xFF) as usize];
+    (a.wrapping_add(b) ^ c).wrapping_add(d)
+}
+
+/// Rust gold model: CBC-chained encryption, checksum over ciphertext.
+pub fn gold(p: &[u32], s: &[u32], blocks: &[u32]) -> u32 {
+    let mut chk: u32 = 0;
+    let mut prev_l: u32 = 0;
+    let mut prev_r: u32 = 0;
+    for blk in blocks.chunks(2) {
+        let mut l = blk[0] ^ prev_l;
+        let mut r = blk[1] ^ prev_r;
+        for &pi in &p[..16] {
+            l ^= pi;
+            r ^= f(s, l);
+            std::mem::swap(&mut l, &mut r);
+        }
+        std::mem::swap(&mut l, &mut r);
+        r ^= p[16];
+        l ^= p[17];
+        prev_l = l;
+        prev_r = r;
+        chk = chk.rotate_left(1) ^ l ^ r;
+    }
+    chk
+}
+
+/// Builds the assembly source and gold checksum for `size` blocks.
+pub fn build(size: usize) -> (String, u32) {
+    let (p, s) = make_tables();
+    let blocks = make_blocks(size);
+    let expected = gold(&p, &s, &blocks);
+
+    let mut src = String::new();
+    src.push_str(&format!(
+        "; blowfish: 16-round Feistel over {size} blocks, CBC
+    ldr   r1, =blocks
+    ldr   r2, =({size})
+    ldr   r5, =ptab
+    ldr   r6, =sbox
+    mov   r0, #0              ; chk
+    mov   r12, #0             ; prev L
+    mov   lr, #0              ; prev R
+blockloop:
+    ldr   r3, [r1]            ; L
+    ldr   r4, [r1, #4]        ; R
+    eor   r3, r3, r12
+    eor   r4, r4, lr
+    mov   r7, r5              ; p pointer
+    mov   r11, #16
+roundloop:
+    ldr   r9, [r7], #4        ; P[i]
+    eor   r3, r3, r9
+    ; r8 = F(r3)
+    mov   r8, r3, lsr #24
+    ldr   r8, [r6, r8, lsl #2]
+    mov   r9, r3, lsr #16
+    and   r9, r9, #0xFF
+    add   r10, r6, #1024
+    ldr   r9, [r10, r9, lsl #2]
+    add   r8, r8, r9
+    mov   r9, r3, lsr #8
+    and   r9, r9, #0xFF
+    add   r10, r6, #2048
+    ldr   r9, [r10, r9, lsl #2]
+    eor   r8, r8, r9
+    and   r9, r3, #0xFF
+    add   r10, r6, #3072
+    ldr   r9, [r10, r9, lsl #2]
+    add   r8, r8, r9
+    eor   r4, r4, r8
+    mov   r9, r3              ; swap L,R
+    mov   r3, r4
+    mov   r4, r9
+    subs  r11, r11, #1
+    bne   roundloop
+    mov   r9, r3              ; undo final swap
+    mov   r3, r4
+    mov   r4, r9
+    ldr   r9, [r7]            ; P[16]
+    eor   r4, r4, r9
+    ldr   r9, [r7, #4]        ; P[17]
+    eor   r3, r3, r9
+    str   r3, [r1], #4
+    str   r4, [r1], #4
+    mov   r12, r3
+    mov   lr, r4
+    mov   r0, r0, ror #31     ; chk = rotl(chk, 1)
+    eor   r0, r0, r3
+    eor   r0, r0, r4
+    subs  r2, r2, #1
+    bne   blockloop
+    swi   #0
+    .pool
+ptab:
+"
+    ));
+    emit_words(&mut src, &p);
+    src.push_str("sbox:\n");
+    emit_words(&mut src, &s);
+    src.push_str("blocks:\n");
+    emit_words(&mut src, &blocks);
+    (src, expected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feistel_rounds_diffuse() {
+        let (p, s) = make_tables();
+        let a = gold(&p, &s, &[1, 2]);
+        let b = gold(&p, &s, &[1, 3]);
+        assert_ne!(a, b, "one plaintext bit must change the checksum");
+    }
+
+    #[test]
+    fn cbc_chains_blocks() {
+        let (p, s) = make_tables();
+        let ab = gold(&p, &s, &[5, 6, 7, 8]);
+        let ba = gold(&p, &s, &[7, 8, 5, 6]);
+        assert_ne!(ab, ba, "block order must matter under CBC");
+    }
+}

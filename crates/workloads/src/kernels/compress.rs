@@ -1,0 +1,164 @@
+//! `compress` — a greedy LZSS-style compressor (SPEC95's compress slot).
+//! Nested data-dependent loops, byte comparisons, unpredictable branches —
+//! the classic compression instruction mix.
+
+use crate::rng::{emit_bytes, XorShift32};
+
+/// Window and match limits (small, to bound the O(n·w) inner search).
+pub const WINDOW: u32 = 32;
+/// Maximum match length.
+pub const MAX_LEN: u32 = 10;
+/// Minimum profitable match.
+pub const MIN_MATCH: u32 = 3;
+
+/// Compressible input: runs of repeated bytes mixed with noise.
+pub fn make_input(n: usize) -> Vec<u8> {
+    let mut rng = XorShift32::new(0xC04B_3551);
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        if rng.below(3) == 0 {
+            // Noise burst.
+            for _ in 0..rng.below(6) + 1 {
+                if out.len() < n {
+                    out.push(rng.next_u8());
+                }
+            }
+        } else {
+            // A run of one symbol from a tiny alphabet.
+            let b = (rng.below(7) as u8) + b'a';
+            for _ in 0..rng.below(12) + 2 {
+                if out.len() < n {
+                    out.push(b);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Rust gold model, mirroring the assembly bit-for-bit.
+pub fn gold(data: &[u8]) -> u32 {
+    let n = data.len() as u32;
+    let mut chk: u32 = 0;
+    let mut i: u32 = 0;
+    while i < n {
+        let mut best_len: u32 = 0;
+        let mut best_off: u32 = 0;
+        let max_off = i.min(WINDOW);
+        let mut off: u32 = 1;
+        while off <= max_off {
+            let mut len: u32 = 0;
+            while len < MAX_LEN
+                && i + len < n
+                && data[(i + len - off) as usize] == data[(i + len) as usize]
+            {
+                len += 1;
+            }
+            if len > best_len {
+                best_len = len;
+                best_off = off;
+            }
+            off += 1;
+        }
+        if best_len >= MIN_MATCH {
+            let token = 0x8000 | (best_off << 8) | best_len;
+            chk = chk.rotate_left(1) ^ token;
+            i += best_len;
+        } else {
+            chk = chk.rotate_left(1) ^ u32::from(data[i as usize]);
+            i += 1;
+        }
+    }
+    chk
+}
+
+/// Builds the assembly source and gold checksum for `size` input bytes.
+pub fn build(size: usize) -> (String, u32) {
+    let data = make_input(size);
+    let expected = gold(&data);
+
+    let mut src = String::new();
+    src.push_str(&format!(
+        "; compress: LZSS window={WINDOW} maxlen={MAX_LEN} over {size} bytes
+    ldr   r1, =data
+    ldr   r3, =({size})
+    mov   r0, #0              ; chk
+    mov   r2, #0              ; i
+outer:
+    cmp   r2, r3
+    bge   done
+    mov   r4, #0              ; best_len
+    mov   r5, #0              ; best_off
+    cmp   r2, #{WINDOW}
+    movlt r8, r2              ; max_off = min(i, WINDOW)
+    movge r8, #{WINDOW}
+    mov   r6, #1              ; off
+offloop:
+    cmp   r6, r8
+    bgt   offdone
+    mov   r7, #0              ; len
+lenloop:
+    cmp   r7, #{MAX_LEN}
+    bge   lendone
+    add   r9, r2, r7          ; i + len
+    cmp   r9, r3
+    bge   lendone
+    sub   r10, r9, r6         ; i + len - off
+    ldrb  r11, [r1, r10]
+    ldrb  r12, [r1, r9]
+    cmp   r11, r12
+    bne   lendone
+    add   r7, r7, #1
+    b     lenloop
+lendone:
+    cmp   r7, r4
+    movgt r4, r7
+    movgt r5, r6
+    add   r6, r6, #1
+    b     offloop
+offdone:
+    cmp   r4, #{MIN_MATCH}
+    blt   literal
+    orr   r9, r4, r5, lsl #8
+    orr   r9, r9, #0x8000
+    mov   r0, r0, ror #31
+    eor   r0, r0, r9
+    add   r2, r2, r4
+    b     outer
+literal:
+    ldrb  r9, [r1, r2]
+    mov   r0, r0, ror #31
+    eor   r0, r0, r9
+    add   r2, r2, #1
+    b     outer
+done:
+    swi   #0
+    .pool
+data:
+"
+    ));
+    emit_bytes(&mut src, &data);
+    (src, expected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repetitive_input_finds_matches() {
+        // All-same input: after the first 3 literals, everything matches.
+        let data = vec![7u8; 64];
+        let chk_same = gold(&data);
+        let noise: Vec<u8> = (0..64).map(|i| (i * 37 + 11) as u8).collect();
+        let chk_noise = gold(&noise);
+        assert_ne!(chk_same, chk_noise);
+    }
+
+    #[test]
+    fn gold_consumes_all_input() {
+        // A correctness canary: i advances by best_len or 1, never stalls.
+        let data = make_input(200);
+        let _ = gold(&data);
+    }
+}

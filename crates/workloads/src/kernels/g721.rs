@@ -1,0 +1,160 @@
+//! `g721` — a G.721-style ADPCM transcoder kernel (MediaBench's g721): a
+//! two-tap adaptive predictor with multiplies in the prediction and in the
+//! checksum, a table-driven quantizer, leaky coefficient adaptation.
+//! Multiply-heavy, the workload the MAC pipe exists for.
+
+use crate::rng::{emit_halves, emit_words, XorShift32};
+
+/// Quantizer decision thresholds (7 levels → 3-bit code).
+pub const THR: [i32; 7] = [16, 64, 160, 400, 800, 1600, 3200];
+/// Dequantizer representative values per code.
+pub const DQ: [i32; 8] = [8, 32, 96, 256, 560, 1120, 2240, 4470];
+
+/// Synthetic speech-like input: a slow random walk with bursts.
+pub fn make_samples(n: usize) -> Vec<i16> {
+    let mut rng = XorShift32::new(0x0721_0721);
+    let mut v: i32 = 0;
+    (0..n)
+        .map(|i| {
+            let spread: u32 = if (i / 64) % 3 == 0 { 2048 } else { 256 };
+            let delta = (rng.below(2 * spread) as i32) - spread as i32;
+            v = (v + delta).clamp(-28000, 28000);
+            v as i16
+        })
+        .collect()
+}
+
+/// Rust gold model, mirroring the assembly bit-for-bit (wrapping i32).
+pub fn gold(samples: &[i16]) -> u32 {
+    let mut s1: i32 = 0;
+    let mut s2: i32 = 0;
+    let mut a1: i32 = 4096;
+    let mut a2: i32 = 0;
+    let mut chk: u32 = 0x811C_9DC5;
+    for &s in samples {
+        let pred = (a1.wrapping_mul(s1).wrapping_add(a2.wrapping_mul(s2))) >> 14;
+        let err = i32::from(s).wrapping_sub(pred);
+        // sign-and-code accumulator, exactly like register r12 in the asm.
+        let mut code: u32 = if err < 0 { 8 } else { 0 };
+        let mag = if err < 0 { -err } else { err };
+        for &t in &THR {
+            if mag >= t {
+                code += 1;
+            }
+        }
+        let q = (code & 7) as usize;
+        let mut dq = DQ[q];
+        if code & 8 != 0 {
+            dq = -dq;
+        }
+        s2 = s1;
+        s1 = pred.wrapping_add(dq).clamp(-32768, 32767);
+        let sp = s1.wrapping_mul(s2);
+        let adj2 = if sp > 0 { 128 } else { -128 };
+        a2 = a2.wrapping_add(adj2 - (a2 >> 7));
+        let adj1 = if err >= 0 { 192 } else { -192 };
+        a1 = a1.wrapping_add(adj1 - (a1 >> 8));
+        chk = chk.wrapping_mul(0x0100_0193) ^ code;
+    }
+    chk
+}
+
+/// Builds the assembly source and gold checksum for `size` samples.
+pub fn build(size: usize) -> (String, u32) {
+    let samples = make_samples(size);
+    let expected = gold(&samples);
+
+    let mut thr_cmps = String::new();
+    for k in 0..THR.len() {
+        thr_cmps.push_str(&format!(
+            "    ldr   lr, [r11, #{off}]\n    cmp   r9, lr\n    addge r12, r12, #1\n",
+            off = 4 * k
+        ));
+    }
+
+    let mut src = String::new();
+    src.push_str(&format!(
+        "; g721: adaptive-predictor ADPCM over {size} samples
+    ldr   r1, =samples
+    ldr   r2, =({size})
+    ldr   r0, =0x811C9DC5     ; chk (FNV basis)
+    mov   r3, #0              ; s1
+    mov   r4, #0              ; s2
+    mov   r5, #4096           ; a1
+    mov   r6, #0              ; a2
+    ldr   r10, =dqtab
+    ldr   r11, =thrtab
+sloop:
+    mul   r8, r5, r3          ; a1*s1
+    mla   r8, r6, r4, r8      ; + a2*s2
+    mov   r8, r8, asr #14     ; pred
+    ldrsh r7, [r1], #2        ; s
+    sub   r7, r7, r8          ; err = s - pred
+    mov   r12, #0             ; code = sign | q
+    cmp   r7, #0
+    movlt r12, #8
+    rsblt r9, r7, #0          ; mag = -err
+    movge r9, r7              ; mag = err
+{thr_cmps}    and   lr, r12, #7         ; q
+    ldr   r9, [r10, lr, lsl #2] ; dq
+    tst   r12, #8
+    rsbne r9, r9, #0          ; dq = -dq
+    mov   r4, r3              ; s2 = s1
+    add   r3, r8, r9          ; s1 = pred + dq
+    ldr   lr, =32767
+    cmp   r3, lr
+    movgt r3, lr
+    ldr   lr, =-32768
+    cmp   r3, lr
+    movlt r3, lr
+    ; a2 adaptation: sign of s1*s2
+    mul   r8, r3, r4
+    cmp   r8, #0
+    movgt lr, #128
+    mvnle lr, #127            ; -128
+    sub   lr, lr, r6, asr #7
+    add   r6, r6, lr
+    ; a1 adaptation: sign of err
+    cmp   r7, #0
+    movge lr, #192
+    mvnlt lr, #191            ; -192
+    sub   lr, lr, r5, asr #8
+    add   r5, r5, lr
+    ; chk = chk * FNV ^ code
+    ldr   lr, =0x01000193
+    mul   r8, r0, lr
+    eor   r0, r8, r12
+    subs  r2, r2, #1
+    bne   sloop
+    swi   #0
+    .pool
+dqtab:
+"
+    ));
+    let dq_words: Vec<u32> = DQ.iter().map(|&v| v as u32).collect();
+    emit_words(&mut src, &dq_words);
+    src.push_str("thrtab:\n");
+    let thr_words: Vec<u32> = THR.iter().map(|&v| v as u32).collect();
+    emit_words(&mut src, &thr_words);
+    src.push_str("samples:\n");
+    let halves: Vec<u16> = samples.iter().map(|&s| s as u16).collect();
+    emit_halves(&mut src, &halves);
+    (src, expected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gold_is_deterministic() {
+        assert_eq!(gold(&make_samples(128)), gold(&make_samples(128)));
+    }
+
+    #[test]
+    fn quantizer_distinguishes_dynamics() {
+        let hot: Vec<i16> = (0..32).map(|i| if i % 2 == 0 { 20000 } else { -20000 }).collect();
+        let cold = vec![0i16; 32];
+        assert_ne!(gold(&hot), gold(&cold));
+    }
+}

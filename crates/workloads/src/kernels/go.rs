@@ -1,0 +1,144 @@
+//! `go` — a board-game position evaluator (SPEC95's go slot): repeated
+//! passes over a 9×9 board applying neighbor-count rules, with
+//! data-dependent branches on nearly every instruction and byte-granular
+//! loads/stores. The least predictable branch mix in the suite, like the
+//! original.
+
+use crate::rng::{emit_bytes, XorShift32};
+
+/// Board edge including a zero border ring (9×9 playable area).
+pub const DIM: usize = 11;
+
+/// A random initial position (~40% stones), border ring kept empty.
+pub fn make_board() -> Vec<u8> {
+    let mut rng = XorShift32::new(0x60_60_60);
+    let mut b = vec![0u8; DIM * DIM];
+    for y in 1..DIM - 1 {
+        for x in 1..DIM - 1 {
+            b[y * DIM + x] = u8::from(rng.below(5) < 2);
+        }
+    }
+    b
+}
+
+/// Rust gold model, mirroring the assembly bit-for-bit.
+pub fn gold(board: &[u8], passes: usize) -> u32 {
+    let mut b = board.to_vec();
+    let mut chk: u32 = 0;
+    for _ in 0..passes {
+        for y in 1..DIM - 1 {
+            for x in 1..DIM - 1 {
+                let idx = y * DIM + x;
+                let c = u32::from(b[idx]);
+                let n = u32::from(b[idx - DIM])
+                    + u32::from(b[idx + DIM])
+                    + u32::from(b[idx - 1])
+                    + u32::from(b[idx + 1]);
+                if c == 0 && n >= 3 {
+                    b[idx] = 1;
+                    chk = chk.wrapping_add(idx as u32);
+                } else if c == 1 && n <= 1 {
+                    b[idx] = 0;
+                    chk ^= (idx as u32) << 3;
+                } else {
+                    chk = chk.rotate_left(1).wrapping_add(c);
+                }
+            }
+        }
+    }
+    chk
+}
+
+/// Builds the assembly source and gold checksum for `passes` board sweeps.
+pub fn build(passes: usize) -> (String, u32) {
+    let board = make_board();
+    let expected = gold(&board, passes);
+
+    let mut src = String::new();
+    src.push_str(&format!(
+        "; go: {passes} rule passes over a bordered {dim}x{dim} board
+    ldr   r1, =board
+    ldr   r2, =({passes})
+    mov   r0, #0              ; chk
+passloop:
+    mov   r3, #1              ; y
+yloop:
+    mov   r4, #1              ; x
+xloop:
+    mov   r5, r3, lsl #3      ; 8y
+    add   r5, r5, r3, lsl #1  ; + 2y
+    add   r5, r5, r3          ; + y   (= y * 11)
+    add   r5, r5, r4          ; idx = y*DIM + x
+    ldrb  r6, [r1, r5]        ; c
+    sub   r7, r5, #{dim}
+    ldrb  r7, [r1, r7]        ; up
+    add   r8, r5, #{dim}
+    ldrb  r8, [r1, r8]        ; down
+    add   r7, r7, r8
+    sub   r8, r5, #1
+    ldrb  r8, [r1, r8]        ; left
+    add   r7, r7, r8
+    add   r8, r5, #1
+    ldrb  r8, [r1, r8]        ; right
+    add   r7, r7, r8          ; n
+    cmp   r6, #0
+    bne   not_birth
+    cmp   r7, #3
+    blt   boring
+    mov   r8, #1              ; birth
+    strb  r8, [r1, r5]
+    add   r0, r0, r5
+    b     next
+not_birth:
+    cmp   r6, #1
+    bne   boring
+    cmp   r7, #1
+    bgt   boring
+    mov   r8, #0              ; death
+    strb  r8, [r1, r5]
+    eor   r0, r0, r5, lsl #3
+    b     next
+boring:
+    mov   r0, r0, ror #31
+    add   r0, r0, r6
+next:
+    add   r4, r4, #1
+    cmp   r4, #{last}
+    ble   xloop
+    add   r3, r3, #1
+    cmp   r3, #{last}
+    ble   yloop
+    subs  r2, r2, #1
+    bne   passloop
+    swi   #0
+    .pool
+board:
+",
+        dim = DIM,
+        last = DIM - 2,
+    ));
+    emit_bytes(&mut src, &board);
+    (src, expected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rules_change_the_board() {
+        let b = make_board();
+        assert_ne!(gold(&b, 1), gold(&b, 2), "more passes, different checksum");
+    }
+
+    #[test]
+    fn border_stays_empty_logically() {
+        // Rules only touch 1..DIM-2; the border never contributes stones.
+        let b = make_board();
+        for i in 0..DIM {
+            assert_eq!(b[i], 0, "top border");
+            assert_eq!(b[(DIM - 1) * DIM + i], 0, "bottom border");
+        }
+        let _ = gold(&b, 3);
+    }
+}

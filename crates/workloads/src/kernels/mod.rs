@@ -1,0 +1,15 @@
+//! The six benchmark kernels (paper, Section 5): one per benchmark the
+//! paper draws from MiBench (`blowfish`, `crc`), MediaBench (`adpcm`,
+//! `g721`) and SPEC95 (`compress`, `go`).
+//!
+//! Each module provides `build(size) -> (assembly source, gold checksum)`
+//! plus a pure-Rust `gold` reference; the checksum is returned in `r0` via
+//! `swi #0`, so every simulator's exit code can be validated against the
+//! gold model.
+
+pub mod adpcm;
+pub mod blowfish;
+pub mod compress;
+pub mod crc;
+pub mod g721;
+pub mod go;

@@ -1,0 +1,54 @@
+//! Run a paper benchmark on the generated StrongARM cycle-accurate
+//! simulator and report the performance metrics of Section 5.
+//!
+//! ```text
+//! cargo run --release --example strongarm_run [kernel] [size]
+//! ```
+
+use processors::sim::CaSim;
+use workloads::{Kernel, Workload};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let kernel = args
+        .first()
+        .map(|n| {
+            Kernel::ALL
+                .into_iter()
+                .find(|k| k.name() == n)
+                .unwrap_or_else(|| panic!("unknown kernel {n:?}"))
+        })
+        .unwrap_or(Kernel::Crc);
+    let size = args
+        .get(1)
+        .map(|s| s.parse().expect("size must be a number"))
+        .unwrap_or_else(|| kernel.bench_size() / 10);
+
+    println!("assembling {kernel} (size {size})...");
+    let w = Workload::build(kernel, size);
+    println!(
+        "program: {} words, expected checksum {:#010x}",
+        w.program.words.len(),
+        w.expected
+    );
+
+    let mut sim = CaSim::strongarm(&w.program);
+    let t0 = std::time::Instant::now();
+    let r = sim.run(4_000_000_000);
+    let dt = t0.elapsed().as_secs_f64();
+
+    assert_eq!(r.exit, Some(w.expected), "checksum mismatch — simulator bug");
+    let res = sim.res();
+    println!("exit code:     {:#010x} (matches gold model)", r.exit.unwrap());
+    println!("cycles:        {}", r.cycles);
+    println!("instructions:  {}", r.instrs);
+    println!("CPI:           {:.3}", r.cpi());
+    println!("icache:        {:.2}% hits", 100.0 * res.icache.stats().hit_ratio());
+    println!("dcache:        {:.2}% hits", 100.0 * res.dcache.stats().hit_ratio());
+    println!("redirects:     {} (squashes {})", res.redirects, res.squashes);
+    println!(
+        "decode cache:  {} hits / {} misses",
+        res.dec_cache.hits, res.dec_cache.misses
+    );
+    println!("sim speed:     {:.2} Mcycles/s", r.cycles as f64 / dt / 1e6);
+}

@@ -1,0 +1,66 @@
+//! The Tomasulo-style reservation-station model (the paper's Section 3.2
+//! extension), showing out-of-order issue from a multi-capacity stage.
+//!
+//! ```text
+//! cargo run --release --example tomasulo_demo
+//! ```
+
+use processors::tomasulo::{build, FuOp, RsInstr};
+use rcpn::ids::RegId;
+
+fn main() {
+    // Program order:        issue order (observed):
+    //   mul r3 <- r1 * r2     mul first (3-cycle multiplier)
+    //   add r4 <- r3 + r1     waits on r3
+    //   add r5 <- r1 + r2     overtakes — out-of-order issue
+    //   mul r6 <- r5 + r5     waits on r5, then uses the idle multiplier
+    let program = vec![
+        RsInstr { op: FuOp::Mul, d: 3, s1: 1, s2: 2 },
+        RsInstr { op: FuOp::Add, d: 4, s1: 3, s2: 1 },
+        RsInstr { op: FuOp::Add, d: 5, s1: 1, s2: 2 },
+        RsInstr { op: FuOp::Mul, d: 6, s1: 5, s2: 5 },
+    ];
+    let mut engine = build(program, 8, 4);
+    engine.machine_mut().regs.poke(RegId::from_index(1), 10);
+    engine.machine_mut().regs.poke(RegId::from_index(2), 20);
+
+    println!("cycle-by-cycle register file (blank = not yet written):");
+    println!("{:>5} {:>8} {:>8} {:>8} {:>8}", "cycle", "r3", "r4", "r5", "r6");
+    let mut idle = 0;
+    let mut shown = [false; 8];
+    while engine.cycle() < 100 && idle < 3 {
+        engine.step();
+        let m = engine.machine();
+        let vals: Vec<u32> =
+            (3..7).map(|i| m.regs.value_of(RegId::from_index(i))).collect();
+        let newly: Vec<usize> =
+            (0..4).filter(|&k| vals[k] != 0 && !shown[k]).collect();
+        if !newly.is_empty() {
+            for k in newly {
+                shown[k] = true;
+            }
+            let cell = |v: u32| if v == 0 { String::new() } else { v.to_string() };
+            println!(
+                "{:>5} {:>8} {:>8} {:>8} {:>8}",
+                engine.cycle(),
+                cell(vals[0]),
+                cell(vals[1]),
+                cell(vals[2]),
+                cell(vals[3])
+            );
+        }
+        if engine.live_tokens() == 0 {
+            idle += 1;
+        } else {
+            idle = 0;
+        }
+    }
+
+    let reg = |i: usize| engine.machine().regs.value_of(RegId::from_index(i));
+    assert_eq!(reg(3), 200);
+    assert_eq!(reg(4), 210);
+    assert_eq!(reg(5), 30);
+    assert_eq!(reg(6), 900);
+    println!("\nall results correct; stalls observed in the station: {}", engine.stats().stalls);
+    println!("note r5 (program-order third) completes before r4 (second): out-of-order issue.");
+}

@@ -1,0 +1,64 @@
+//! Inspect the XScale model (paper, Figure 9): its three back-end pipes,
+//! the static analysis the simulator generation relies on, and the
+//! per-place behavior of a short run.
+//!
+//! ```text
+//! cargo run --release --example xscale_pipeline
+//! ```
+
+use processors::sim::CaSim;
+use rcpn::engine::EngineConfig;
+use processors::res::SimConfig;
+use workloads::{Kernel, Workload};
+
+fn main() {
+    let w = Workload::build(Kernel::G721, 2_000);
+    let config = SimConfig {
+        engine: EngineConfig { collect_occupancy: true, ..Default::default() },
+        ..SimConfig::xscale()
+    };
+    let mut sim = CaSim::with_config(processors::ProcModel::XScale, &w.program, &config);
+
+    {
+        let model = sim.engine.model();
+        let a = model.analysis();
+        println!("XScale model (Figure 9):");
+        println!(
+            "  {} stages, {} places, {} transitions, {} sub-nets",
+            model.stage_count(),
+            model.place_count(),
+            model.transition_count(),
+            model.subnet_count()
+        );
+        print!("  evaluation order (reverse topological): ");
+        let names: Vec<&str> =
+            a.order().iter().map(|&p| model.place(p).name()).collect();
+        println!("{}", names.join(" "));
+        print!("  two-list places (feedback): ");
+        let tl: Vec<&str> = model
+            .place_ids()
+            .filter(|&p| a.is_two_list(p))
+            .map(|p| model.place(p).name())
+            .collect();
+        println!("{}", tl.join(" "));
+    }
+
+    let r = sim.run(4_000_000_000);
+    assert_eq!(r.exit, Some(w.expected), "checksum mismatch");
+    println!("\nran {} ({} instrs) in {} cycles — CPI {:.3}", w.kernel, r.instrs, r.cycles, r.cpi());
+    println!("BTB accuracy: {:.1}%", {
+        let s = sim.res().btb.as_ref().expect("xscale has a btb").stats();
+        100.0 * s.accuracy()
+    });
+
+    println!("\nmean pipeline occupancy (tokens per cycle):");
+    let model = sim.engine.model();
+    for p in model.place_ids() {
+        if model.is_end_place(p) {
+            continue;
+        }
+        let occ = sim.engine.stats().mean_occupancy(p);
+        let bar = "#".repeat((occ * 40.0) as usize);
+        println!("  {:>4}: {occ:>5.2} {bar}", model.place(p).name());
+    }
+}

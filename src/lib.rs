@@ -1,0 +1,12 @@
+//! Umbrella crate for the RCPN reproduction workspace.
+//!
+//! Re-exports every workspace crate so examples and integration tests can
+//! use a single dependency. See `README.md` for the repository overview and
+//! `DESIGN.md` for the system inventory.
+
+pub use arm_isa;
+pub use baseline_sim;
+pub use memsys;
+pub use processors;
+pub use rcpn;
+pub use workloads;
