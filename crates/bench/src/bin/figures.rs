@@ -22,10 +22,7 @@ fn main() {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--scale" => {
-                scale = it
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .expect("--scale needs a number");
+                scale = it.next().and_then(|s| s.parse().ok()).expect("--scale needs a number");
             }
             c => cmds.push(c.to_string()),
         }
@@ -152,10 +149,7 @@ fn fig2() {
         "{:<14}{:>8}{:>13}{:>8}",
         "RCPN", cmp.rcpn_places, cmp.rcpn_transitions, cmp.rcpn_arcs
     );
-    println!(
-        "{:<14}{:>8}{:>13}{:>8}",
-        "CPN", cmp.cpn_places, cmp.cpn_transitions, cmp.cpn_arcs
-    );
+    println!("{:<14}{:>8}{:>13}{:>8}", "CPN", cmp.cpn_places, cmp.cpn_transitions, cmp.cpn_arcs);
     println!(
         "CPN needs {:+} places (capacity/back-edge machinery) and {:+} arcs",
         cmp.cpn_places as i64 - cmp.rcpn_places as i64,
@@ -215,5 +209,7 @@ fn effort() {
         );
     }
     println!("(paper: six operation classes; six sub-nets in the StrongARM model;");
-    println!(" development effort 1 man-day StrongARM / 3 man-days XScale is not machine-reproducible)");
+    println!(
+        " development effort 1 man-day StrongARM / 3 man-days XScale is not machine-reproducible)"
+    );
 }

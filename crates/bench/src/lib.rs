@@ -11,7 +11,7 @@ use std::time::Instant;
 use arm_isa::iss::Iss;
 use baseline_sim::SsArm;
 use processors::res::SimConfig;
-use processors::sim::{CaSim, ProcModel};
+use processors::sim::{CompiledSim, ProcModel};
 use rcpn::engine::{EngineConfig, TableMode};
 use workloads::{Kernel, Workload};
 
@@ -83,22 +83,8 @@ pub fn measure(sim: Simulator, w: &Workload) -> Measurement {
             Measurement { cycles: r.cycles, instrs: r.instrs, seconds }
         }
         Simulator::RcpnXScale | Simulator::RcpnStrongArm => {
-            let model = if sim == Simulator::RcpnXScale {
-                ProcModel::XScale
-            } else {
-                ProcModel::StrongArm
-            };
-            let config = if sim == Simulator::RcpnXScale {
-                SimConfig::xscale()
-            } else {
-                SimConfig::strongarm()
-            };
-            let mut s = CaSim::with_config(model, &w.program, &config);
-            let t0 = Instant::now();
-            let r = s.run(MAX_CYCLES);
-            let seconds = t0.elapsed().as_secs_f64();
-            assert_eq!(r.exit, Some(w.expected), "{}/{}", sim.name(), w.kernel);
-            Measurement { cycles: r.cycles, instrs: r.instrs, seconds }
+            let compiled = compiled_sim(sim).expect("RCPN simulator has a compiled form");
+            measure_compiled(&compiled, w)
         }
         Simulator::FunctionalIss => {
             let mut s = Iss::from_program(&w.program);
@@ -109,6 +95,42 @@ pub fn measure(sim: Simulator, w: &Workload) -> Measurement {
             Measurement { cycles: s.instr_count(), instrs: s.instr_count(), seconds }
         }
     }
+}
+
+/// The compiled (generated) simulator for an RCPN-backed [`Simulator`],
+/// or `None` for the non-RCPN comparators. Build it once and pass it to
+/// [`measure_compiled`] to keep model compilation out of the timed region
+/// and out of per-iteration bench loops.
+pub fn compiled_sim(sim: Simulator) -> Option<CompiledSim> {
+    match sim {
+        Simulator::RcpnXScale => Some(CompiledSim::new(ProcModel::XScale, &SimConfig::xscale())),
+        Simulator::RcpnStrongArm => {
+            Some(CompiledSim::new(ProcModel::StrongArm, &SimConfig::strongarm()))
+        }
+        Simulator::Baseline | Simulator::FunctionalIss => None,
+    }
+}
+
+/// Runs one instantiation of a compiled simulator over one workload,
+/// timed, verifying the checksum. Only the simulation itself is inside
+/// the timed region — neither model compilation nor per-program
+/// instantiation — matching how the baseline and ablation paths
+/// construct their simulators before starting the clock.
+///
+/// # Panics
+///
+/// Panics if the simulation does not exit with the gold checksum.
+pub fn measure_compiled(compiled: &CompiledSim, w: &Workload) -> Measurement {
+    let mut s = compiled.instantiate(&w.program);
+    let t0 = Instant::now();
+    let r = s.run(MAX_CYCLES);
+    let seconds = t0.elapsed().as_secs_f64();
+    let name = match compiled.model() {
+        ProcModel::XScale => "RCPN-XScale",
+        ProcModel::StrongArm => "RCPN-StrongArm",
+    };
+    assert_eq!(r.exit, Some(w.expected), "{}/{}", name, w.kernel);
+    Measurement { cycles: r.cycles, instrs: r.instrs, seconds }
 }
 
 /// The ablation configurations, with labels: engine config plus the
@@ -142,7 +164,7 @@ pub fn ablation_configs() -> Vec<(&'static str, EngineConfig, bool)> {
 /// Panics if the run does not exit with the gold checksum.
 pub fn measure_ablation(w: &Workload, engine: EngineConfig, decode_cache: bool) -> Measurement {
     let config = SimConfig { engine, decode_cache, ..SimConfig::strongarm() };
-    let mut s = CaSim::with_config(ProcModel::StrongArm, &w.program, &config);
+    let mut s = CompiledSim::new(ProcModel::StrongArm, &config).instantiate(&w.program);
     let t0 = Instant::now();
     let r = s.run(MAX_CYCLES);
     let seconds = t0.elapsed().as_secs_f64();

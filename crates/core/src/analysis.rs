@@ -185,9 +185,7 @@ pub(crate) fn analyze(input: &AnalysisInput<'_>) -> Analysis {
     // want "process-before" sources first, so sort places by descending SCC
     // id; within an SCC, keep declaration order for determinism.
     let mut order: Vec<PlaceId> = (0..n).map(PlaceId::from_index).collect();
-    order.sort_by(|a, b| {
-        comp[b.index()].cmp(&comp[a.index()]).then(a.index().cmp(&b.index()))
-    });
+    order.sort_by(|a, b| comp[b.index()].cmp(&comp[a.index()]).then(a.index().cmp(&b.index())));
 
     let mut two_list = vec![false; n];
     let mut flow_cycle_places = 0;

@@ -248,7 +248,10 @@ impl<D, R> ModelBuilder<D, R> {
         let n_places = self.places.len();
         let check_place = |tid: usize, p: PlaceId| -> Result<(), BuildError> {
             if p.index() >= n_places {
-                Err(BuildError::UnknownPlace { transition: TransitionId::from_index(tid), place: p })
+                Err(BuildError::UnknownPlace {
+                    transition: TransitionId::from_index(tid),
+                    place: p,
+                })
             } else {
                 Ok(())
             }
@@ -373,7 +376,10 @@ impl<'b, D, R> TransitionBuilder<'b, D, R> {
     }
 
     /// Sets the action executed when the transition fires.
-    pub fn action(mut self, action: impl Fn(&mut Machine<R>, &mut D, &mut Fx<D>) + 'static) -> Self {
+    pub fn action(
+        mut self,
+        action: impl Fn(&mut Machine<R>, &mut D, &mut Fx<D>) + 'static,
+    ) -> Self {
         self.def.action = Some(Box::new(action) as Action<D, R>);
         self
     }

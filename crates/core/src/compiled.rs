@@ -1,0 +1,321 @@
+//! The compile step of the paper's flow: `Model --analysis--> CompiledModel
+//! --instantiate--> Engine`.
+//!
+//! The paper's central claim (Section 4) is that an RCPN model can be
+//! *statically analyzed and compiled into* a high-performance cycle-accurate
+//! simulator. [`CompiledModel`] is that generated-simulator artifact made
+//! explicit: it partially evaluates the model's static structure into flat
+//! hot tables (an [`ExecPlan`]) exactly once, and can then instantiate any
+//! number of independent [`Engine`]s that share the tables and the model's
+//! guard/action closures by reference. Instantiation allocates only mutable
+//! per-run state (token pool, place lists, statistics), which is the
+//! prerequisite for batched and sharded simulation.
+//!
+//! The [`EngineConfig`] passed at compile time selects between compiled
+//! variants: the candidate-transition [`TableMode`] decides *which* lookup
+//! table is materialized in the plan (per-place-class spans, per-place
+//! spans, or a global priority-sorted scan list), and
+//! `two_list_everywhere` decides the evaluation order and commit
+//! discipline. The engine's per-cycle loop consumes only the variant that
+//! was compiled; no other table is built or consulted.
+
+use std::sync::Arc;
+
+use crate::engine::{Engine, EngineConfig, TableMode};
+use crate::ids::{PlaceId, TransitionId};
+use crate::model::{Machine, Model};
+use crate::token::InstrData;
+
+/// Partially evaluated per-transition facts (one cache line of PODs).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct HotTrans {
+    pub(crate) dest: u32,
+    pub(crate) dest_stage: u32,
+    /// Capacity check can be skipped: destination is `end` or shares the
+    /// input's stage.
+    pub(crate) cap_exempt: bool,
+    pub(crate) dest_is_end: bool,
+    /// `transition.delay + dest place delay` (the no-override ready delta).
+    pub(crate) base_ready: u64,
+    /// `transition.delay` alone (token-delay override case).
+    pub(crate) tdelay: u64,
+    pub(crate) cap: u32,
+    pub(crate) has_guard: bool,
+    pub(crate) has_action: bool,
+    pub(crate) has_extra: bool,
+    pub(crate) has_res: bool,
+}
+
+/// Partially evaluated per-place facts.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct HotPlace {
+    pub(crate) stage: u32,
+    pub(crate) two_list: bool,
+    pub(crate) delay: u64,
+    pub(crate) cap: u32,
+    pub(crate) is_end: bool,
+}
+
+/// Partially evaluated per-source facts.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct HotSource {
+    pub(crate) dest: u32,
+    pub(crate) width: u32,
+}
+
+/// The candidate-transition lookup structure; exactly one variant is
+/// materialized per compiled model, selected by [`TableMode`].
+#[derive(Debug, Clone)]
+pub(crate) enum Lookup {
+    /// The paper's `sorted_transitions[p, IType]` table, flattened:
+    /// `span[p * n_classes + class]` indexes into `flat`.
+    PerPlaceClass { flat: Vec<u32>, span: Vec<(u32, u16)>, n_classes: usize },
+    /// One priority-sorted list per place (`span[p]` into `flat`); class
+    /// membership is re-checked dynamically against `subnet_of_trans`.
+    PerPlace { flat: Vec<u32>, span: Vec<(u32, u16)> },
+    /// No tables: every transition of the net, globally priority-sorted,
+    /// is scanned for each token — the generic Petri-net search.
+    FullScan { order: Vec<u32> },
+}
+
+/// The non-generic compiled execution plan: every statically derivable
+/// fact the per-cycle loop needs, as dense arrays. Shared (via `Arc`)
+/// between a [`CompiledModel`] and all engines instantiated from it.
+#[derive(Debug)]
+pub(crate) struct ExecPlan {
+    /// Effective evaluation order (reverse topological, or declaration
+    /// order when compiled with `two_list_everywhere`).
+    pub(crate) order: Vec<PlaceId>,
+    /// Run the generic two-storage fixpoint scheme instead of the single
+    /// reverse-topological pass.
+    pub(crate) fixpoint: bool,
+    pub(crate) two_list_places: Vec<PlaceId>,
+    pub(crate) res_places: Vec<PlaceId>,
+    pub(crate) lookup: Lookup,
+    /// Sub-net of each operation class (dynamic class checks).
+    pub(crate) subnet_of_class: Vec<u32>,
+    /// Sub-net of each transition (dynamic class checks).
+    pub(crate) subnet_of_trans: Vec<u32>,
+    /// Input place of each transition (full-scan filtering).
+    pub(crate) input_of_trans: Vec<u32>,
+    pub(crate) hot: Vec<HotTrans>,
+    pub(crate) hot_place: Vec<HotPlace>,
+    pub(crate) hot_source: Vec<HotSource>,
+    pub(crate) n_stages: usize,
+}
+
+impl ExecPlan {
+    fn build<D, R>(model: &Model<D, R>, cfg: &EngineConfig) -> Self {
+        let n_places = model.place_count();
+        let (order, two_list): (Vec<PlaceId>, Vec<bool>) = if cfg.two_list_everywhere {
+            ((0..n_places).map(PlaceId::from_index).collect(), vec![true; n_places])
+        } else {
+            (
+                model.analysis.order.clone(),
+                (0..n_places).map(|i| model.analysis.two_list[i]).collect(),
+            )
+        };
+        let two_list_places: Vec<PlaceId> =
+            (0..n_places).map(PlaceId::from_index).filter(|p| two_list[p.index()]).collect();
+        let mut res_places: Vec<PlaceId> =
+            model.transitions.iter().flat_map(|t| t.reservations.iter().map(|r| r.place)).collect();
+        res_places.sort();
+        res_places.dedup();
+
+        // Partial evaluation of the static structure into flat tables.
+        let hot_place: Vec<HotPlace> = model
+            .places
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let st = &model.stages[p.stage.index()];
+                HotPlace {
+                    stage: p.stage.index() as u32,
+                    two_list: two_list[i],
+                    delay: u64::from(p.delay),
+                    cap: st.capacity,
+                    is_end: st.is_end,
+                }
+            })
+            .collect();
+        let hot: Vec<HotTrans> = model
+            .transitions
+            .iter()
+            .map(|t| {
+                let dp = &hot_place[t.dest.index()];
+                let sp = &hot_place[t.input.index()];
+                HotTrans {
+                    dest: t.dest.index() as u32,
+                    dest_stage: dp.stage,
+                    cap_exempt: dp.is_end || dp.stage == sp.stage,
+                    dest_is_end: dp.is_end,
+                    base_ready: u64::from(t.delay) + dp.delay,
+                    tdelay: u64::from(t.delay),
+                    cap: dp.cap,
+                    has_guard: t.guard.is_some(),
+                    has_action: t.action.is_some(),
+                    has_extra: !t.extra_inputs.is_empty(),
+                    has_res: !t.reservations.is_empty(),
+                }
+            })
+            .collect();
+        let hot_source: Vec<HotSource> = model
+            .sources
+            .iter()
+            .map(|s| HotSource { dest: s.dest.index() as u32, width: s.max_per_cycle })
+            .collect();
+
+        let subnet_of_class: Vec<u32> =
+            model.classes.iter().map(|c| c.subnet.index() as u32).collect();
+        let subnet_of_trans: Vec<u32> =
+            model.transitions.iter().map(|t| t.subnet.index() as u32).collect();
+        let input_of_trans: Vec<u32> =
+            model.transitions.iter().map(|t| t.input.index() as u32).collect();
+
+        // Materialize only the lookup variant this plan was compiled for.
+        let flatten = |lists: &[Box<[TransitionId]>]| {
+            let mut flat: Vec<u32> = Vec::new();
+            let mut span: Vec<(u32, u16)> = Vec::with_capacity(lists.len());
+            for list in lists {
+                let start = flat.len() as u32;
+                flat.extend(list.iter().map(|t| t.index() as u32));
+                assert!(
+                    list.len() <= usize::from(u16::MAX),
+                    "candidate-transition list exceeds the u16 span limit"
+                );
+                span.push((start, list.len() as u16));
+            }
+            (flat, span)
+        };
+        let lookup = match cfg.table_mode {
+            TableMode::PerPlaceClass => {
+                let (flat, span) = flatten(&model.analysis.sorted);
+                Lookup::PerPlaceClass { flat, span, n_classes: model.analysis.n_classes }
+            }
+            TableMode::PerPlace => {
+                let (flat, span) = flatten(&model.analysis.by_place);
+                Lookup::PerPlace { flat, span }
+            }
+            TableMode::FullScan => {
+                let mut scan: Vec<u32> = (0..model.transition_count() as u32).collect();
+                scan.sort_by_key(|&t| (model.transitions[t as usize].priority, t));
+                Lookup::FullScan { order: scan }
+            }
+        };
+
+        ExecPlan {
+            order,
+            fixpoint: cfg.two_list_everywhere,
+            two_list_places,
+            res_places,
+            lookup,
+            subnet_of_class,
+            subnet_of_trans,
+            input_of_trans,
+            hot,
+            hot_place,
+            hot_source,
+            n_stages: model.stage_count(),
+        }
+    }
+}
+
+/// A compiled RCPN model: the generated-simulator artifact.
+///
+/// Produced by [`CompiledModel::compile`] (or `compile_with` for explicit
+/// [`EngineConfig`] variants); consumed by [`CompiledModel::instantiate`],
+/// which creates an independent [`Engine`] sharing the compiled tables.
+///
+/// Cloning a `CompiledModel` is cheap (two `Arc` clones) and instantiated
+/// engines keep the artifact alive, so the typical pattern is:
+///
+/// ```
+/// use rcpn::prelude::*;
+/// use rcpn::compiled::CompiledModel;
+///
+/// #[derive(Debug)]
+/// struct Tok(OpClassId);
+/// impl InstrData for Tok {
+///     fn op_class(&self) -> OpClassId { self.0 }
+/// }
+///
+/// # fn main() -> Result<(), rcpn::error::BuildError> {
+/// let mut b = ModelBuilder::<Tok, u32>::new();
+/// let s = b.stage("S", 1);
+/// let p = b.place("P", s);
+/// let end = b.end_place();
+/// let (alu, _) = b.class_net("Alu");
+/// b.transition(alu, "retire").from(p).to(end).done();
+/// b.source("feed").to(p).produce(move |_m, _fx| Some(Tok(alu))).done();
+///
+/// // Compile once...
+/// let compiled = CompiledModel::compile(b.build()?);
+/// // ...instantiate many times.
+/// let mut a = compiled.instantiate(Machine::new(RegisterFile::new(), 0u32));
+/// let mut b = compiled.instantiate(Machine::new(RegisterFile::new(), 0u32));
+/// a.run(10);
+/// b.run(10);
+/// assert_eq!(a.stats().retired, b.stats().retired);
+/// # Ok(())
+/// # }
+/// ```
+pub struct CompiledModel<D: InstrData, R> {
+    pub(crate) model: Arc<Model<D, R>>,
+    pub(crate) plan: Arc<ExecPlan>,
+    pub(crate) cfg: EngineConfig,
+}
+
+impl<D: InstrData, R> Clone for CompiledModel<D, R> {
+    fn clone(&self) -> Self {
+        CompiledModel {
+            model: Arc::clone(&self.model),
+            plan: Arc::clone(&self.plan),
+            cfg: self.cfg.clone(),
+        }
+    }
+}
+
+impl<D: InstrData, R> CompiledModel<D, R> {
+    /// Compiles `model` with the default (fully optimized) configuration.
+    pub fn compile(model: Model<D, R>) -> Self {
+        Self::compile_with(model, EngineConfig::default())
+    }
+
+    /// Compiles `model` into the variant selected by `cfg`.
+    pub fn compile_with(model: Model<D, R>, cfg: EngineConfig) -> Self {
+        let plan = ExecPlan::build(&model, &cfg);
+        CompiledModel { model: Arc::new(model), plan: Arc::new(plan), cfg }
+    }
+
+    /// The source model.
+    pub fn model(&self) -> &Model<D, R> {
+        &self.model
+    }
+
+    /// The configuration this model was compiled with.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// The candidate-lookup variant this model was compiled for.
+    pub fn table_mode(&self) -> TableMode {
+        self.cfg.table_mode
+    }
+
+    /// Creates an independent engine over fresh mutable state (token pool,
+    /// place lists, statistics) sharing this compiled artifact.
+    pub fn instantiate(&self, machine: Machine<R>) -> Engine<D, R> {
+        Engine::from_compiled(self.clone(), machine)
+    }
+}
+
+impl<D: InstrData, R> std::fmt::Debug for CompiledModel<D, R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompiledModel")
+            .field("places", &self.model.place_count())
+            .field("transitions", &self.model.transition_count())
+            .field("table_mode", &self.cfg.table_mode)
+            .field("fixpoint", &self.plan.fixpoint)
+            .finish()
+    }
+}

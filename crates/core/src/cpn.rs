@@ -197,10 +197,7 @@ impl Cpn {
 
     /// Tokens currently in the named place.
     pub fn tokens_in(&self, name: &str) -> usize {
-        self.places
-            .iter()
-            .find(|p| p.name == name)
-            .map_or(0, |p| p.tokens.len())
+        self.places.iter().find(|p| p.name == name).map_or(0, |p| p.tokens.len())
     }
 
     /// Interpreter statistics.

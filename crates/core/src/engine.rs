@@ -1,11 +1,11 @@
 //! The cycle-accurate simulation engine (paper, Section 4).
 //!
-//! The engine executes a [`Model`] one clock cycle at a time. The main loop
-//! mirrors Figure 8 of the paper:
+//! The engine executes a compiled model one clock cycle at a time. The
+//! main loop mirrors Figure 8 of the paper:
 //!
 //! ```text
 //! CalculateSortedTransitions();            // done at Model::build time
-//! P = places in reverse topological order;
+//! P = places in reverse topological order; // baked into the ExecPlan
 //! while program not finished
 //!     foreach two-list place p: mark written tokens available for read;
 //!     foreach place p in P: Process(p);
@@ -13,20 +13,23 @@
 //!     increment cycle count;
 //! ```
 //!
-//! `Process(p)` (Figure 7) walks the instruction tokens resident in `p` and,
-//! for each, tries the statically sorted transition list of the token's
-//! operation class; the first enabled transition fires and the token moves
-//! on.
+//! `Process(p)` (Figure 7) walks the instruction tokens resident in `p`
+//! and, for each, tries the statically sorted transition list of the
+//! token's operation class; the first enabled transition fires and the
+//! token moves on.
 //!
-//! The engine plays the role of the paper's *generated* simulator: at
-//! construction it partially evaluates the model into flat hot tables
-//! (per-transition capacity/delay/destination facts, flattened sorted
-//! transition lists), so the per-cycle loop touches only dense arrays plus
-//! the model's guard/action closures.
+//! The pipeline is split into an explicit **model → compile → run**
+//! sequence: [`crate::compiled::CompiledModel`] partially evaluates a
+//! [`Model`] into flat hot tables (the compile step, playing the role of
+//! the paper's simulator *generation*), and `Engine` is the run step —
+//! pure mutable state (token pool, place lists, statistics) over the
+//! shared read-only plan. [`Engine::new`] compiles and instantiates in
+//! one call for convenience; use [`crate::compiled::CompiledModel`]
+//! directly to build once and instantiate many times.
 //!
 //! Three optimizations from the paper are implemented and individually
-//! switchable through [`EngineConfig`] so their contribution can be measured
-//! (see the `ablations` bench):
+//! switchable through [`EngineConfig`] so their contribution can be
+//! measured (see the `ablations` bench):
 //!
 //! * [`TableMode::PerPlaceClass`] — the `sorted_transitions[p, IType]`
 //!   table; alternatives re-introduce the search cost the paper eliminates.
@@ -34,7 +37,13 @@
 //!   places; [`EngineConfig::two_list_everywhere`] instead runs the generic
 //!   two-storage fixpoint scheme for every place, like a naive synchronous
 //!   Petri-net simulator.
+//!
+//! Each `EngineConfig` selects a compiled *variant*: only the lookup
+//! table the variant needs is materialized in its plan.
 
+use std::sync::Arc;
+
+use crate::compiled::{CompiledModel, ExecPlan, HotTrans, Lookup};
 use crate::ids::{PlaceId, SourceId, TokenId, TransitionId};
 use crate::model::{Fx, Machine, Model};
 use crate::stats::Stats;
@@ -54,6 +63,11 @@ pub enum TableMode {
 }
 
 /// Engine tuning knobs; the defaults enable every optimization.
+///
+/// `table_mode` and `two_list_everywhere` are *compile-time* choices: they
+/// select which tables a [`CompiledModel`] materializes.
+/// `collect_occupancy` and `trace` are runtime flags carried into each
+/// instantiated engine.
 #[derive(Debug, Clone, Default)]
 pub struct EngineConfig {
     /// Candidate-transition lookup strategy.
@@ -120,67 +134,30 @@ pub enum RunOutcome {
     CycleLimit,
 }
 
-/// Partially evaluated per-transition facts (one cache line of PODs).
-#[derive(Debug, Clone, Copy)]
-struct HotTrans {
-    dest: u32,
-    dest_stage: u32,
-    /// Capacity check can be skipped: destination is `end` or shares the
-    /// input's stage.
-    cap_exempt: bool,
-    dest_is_end: bool,
-    /// `transition.delay + dest place delay` (the no-override ready delta).
-    base_ready: u64,
-    /// `transition.delay` alone (token-delay override case).
-    tdelay: u64,
-    cap: u32,
-    has_guard: bool,
-    has_action: bool,
-    has_extra: bool,
-    has_res: bool,
-}
-
-/// Partially evaluated per-place facts.
-#[derive(Debug, Clone, Copy)]
-struct HotPlace {
-    stage: u32,
-    two_list: bool,
-    delay: u64,
-    cap: u32,
-    is_end: bool,
-}
-
-#[derive(Debug, Clone, Copy)]
-struct HotSource {
-    dest: u32,
-    width: u32,
-}
-
-/// The RCPN cycle-accurate simulator.
+/// The RCPN cycle-accurate simulator: the run step of the model →
+/// compile → run pipeline.
 ///
-/// Created from a validated [`Model`] and an initial [`Machine`]; stepped
-/// with [`Engine::step`] or driven with [`Engine::run`].
+/// Created from a [`CompiledModel`] (via
+/// [`CompiledModel::instantiate`], or the [`Engine::new`] /
+/// [`Engine::with_config`] conveniences that compile on the spot) and an
+/// initial [`Machine`]; stepped with [`Engine::step`] or driven with
+/// [`Engine::run`]. The compiled tables are shared; all mutable
+/// simulation state is per-engine.
 pub struct Engine<D: InstrData, R> {
-    model: Model<D, R>,
+    model: Arc<Model<D, R>>,
+    plan: Arc<ExecPlan>,
+    st: EngineState<D, R>,
+}
+
+/// The mutable per-run half of an [`Engine`], split from the shared
+/// model/plan so the per-cycle loop can borrow the read-only tables and
+/// the mutable state disjointly — no `Arc` traffic on the hot path.
+struct EngineState<D: InstrData, R> {
     machine: Machine<R>,
     pool: TokenPool<D>,
     live: Vec<Vec<TokenId>>,
     pending: Vec<Vec<TokenId>>,
     stage_occ: Vec<u32>,
-    /// Effective evaluation order (reverse topological, or declaration
-    /// order when `two_list_everywhere`).
-    order: Vec<PlaceId>,
-    two_list_places: Vec<PlaceId>,
-    res_places: Vec<PlaceId>,
-    full_scan_order: Vec<TransitionId>,
-    hot: Vec<HotTrans>,
-    hot_place: Vec<HotPlace>,
-    hot_source: Vec<HotSource>,
-    /// Flattened sorted_transitions: spans into `tab_flat` indexed by
-    /// `place * n_classes + class`.
-    tab_flat: Vec<u32>,
-    tab_span: Vec<(u32, u16)>,
-    n_classes: usize,
     cfg: EngineConfig,
     stats: Stats,
     halted: bool,
@@ -190,112 +167,39 @@ pub struct Engine<D: InstrData, R> {
 }
 
 impl<D: InstrData, R> Engine<D, R> {
-    /// Creates an engine with the default (fully optimized) configuration.
+    /// Compiles `model` with the default (fully optimized) configuration
+    /// and instantiates an engine over it.
     pub fn new(model: Model<D, R>, machine: Machine<R>) -> Self {
-        Self::with_config(model, machine, EngineConfig::default())
+        CompiledModel::compile(model).instantiate(machine)
     }
 
-    /// Creates an engine with an explicit configuration.
+    /// Compiles `model` into the variant selected by `cfg` and
+    /// instantiates an engine over it.
     pub fn with_config(model: Model<D, R>, machine: Machine<R>, cfg: EngineConfig) -> Self {
+        CompiledModel::compile_with(model, cfg).instantiate(machine)
+    }
+
+    /// Instantiation entry point used by [`CompiledModel::instantiate`].
+    pub(crate) fn from_compiled(compiled: CompiledModel<D, R>, machine: Machine<R>) -> Self {
+        let CompiledModel { model, plan, cfg } = compiled;
         let n_places = model.place_count();
-        let (order, two_list): (Vec<PlaceId>, Vec<bool>) = if cfg.two_list_everywhere {
-            ((0..n_places).map(PlaceId::from_index).collect(), vec![true; n_places])
-        } else {
-            (
-                model.analysis.order.clone(),
-                (0..n_places).map(|i| model.analysis.two_list[i]).collect(),
-            )
-        };
-        let two_list_places: Vec<PlaceId> = (0..n_places)
-            .map(PlaceId::from_index)
-            .filter(|p| two_list[p.index()])
-            .collect();
-        let mut res_places: Vec<PlaceId> = model
-            .transitions
-            .iter()
-            .flat_map(|t| t.reservations.iter().map(|r| r.place))
-            .collect();
-        res_places.sort();
-        res_places.dedup();
-        let mut full_scan_order: Vec<TransitionId> = model.transition_ids().collect();
-        full_scan_order.sort_by_key(|t| (model.transitions[t.index()].priority, t.index()));
-
-        // Partial evaluation of the static structure into flat tables.
-        let hot_place: Vec<HotPlace> = model
-            .places
-            .iter()
-            .enumerate()
-            .map(|(i, p)| {
-                let st = &model.stages[p.stage.index()];
-                HotPlace {
-                    stage: p.stage.index() as u32,
-                    two_list: two_list[i],
-                    delay: u64::from(p.delay),
-                    cap: st.capacity,
-                    is_end: st.is_end,
-                }
-            })
-            .collect();
-        let hot: Vec<HotTrans> = model
-            .transitions
-            .iter()
-            .map(|t| {
-                let dp = &hot_place[t.dest.index()];
-                let sp = &hot_place[t.input.index()];
-                HotTrans {
-                    dest: t.dest.index() as u32,
-                    dest_stage: dp.stage,
-                    cap_exempt: dp.is_end || dp.stage == sp.stage,
-                    dest_is_end: dp.is_end,
-                    base_ready: u64::from(t.delay) + dp.delay,
-                    tdelay: u64::from(t.delay),
-                    cap: dp.cap,
-                    has_guard: t.guard.is_some(),
-                    has_action: t.action.is_some(),
-                    has_extra: !t.extra_inputs.is_empty(),
-                    has_res: !t.reservations.is_empty(),
-                }
-            })
-            .collect();
-        let hot_source: Vec<HotSource> = model
-            .sources
-            .iter()
-            .map(|s| HotSource { dest: s.dest.index() as u32, width: s.max_per_cycle })
-            .collect();
-        let n_classes = model.analysis.n_classes;
-        let mut tab_flat: Vec<u32> = Vec::new();
-        let mut tab_span: Vec<(u32, u16)> = Vec::with_capacity(n_places * n_classes);
-        for list in &model.analysis.sorted {
-            let start = tab_flat.len() as u32;
-            tab_flat.extend(list.iter().map(|t| t.index() as u32));
-            tab_span.push((start, list.len() as u16));
-        }
-
-        let stats =
-            Stats::new(model.transition_count(), model.source_count(), model.place_count());
+        let stats = Stats::new(model.transition_count(), model.source_count(), model.place_count());
         Engine {
-            live: vec![Vec::new(); n_places],
-            pending: vec![Vec::new(); n_places],
-            stage_occ: vec![0; model.stage_count()],
-            order,
-            two_list_places,
-            res_places,
-            full_scan_order,
-            hot,
-            hot_place,
-            hot_source,
-            tab_flat,
-            tab_span,
-            n_classes,
-            cfg,
-            stats,
-            halted: false,
-            cycle: 0,
-            trace: Vec::new(),
-            scratch: Vec::new(),
+            st: EngineState {
+                live: vec![Vec::new(); n_places],
+                pending: vec![Vec::new(); n_places],
+                stage_occ: vec![0; plan.n_stages],
+                cfg,
+                stats,
+                halted: false,
+                cycle: 0,
+                trace: Vec::new(),
+                scratch: Vec::new(),
+                machine,
+                pool: TokenPool::new(),
+            },
             model,
-            machine,
-            pool: TokenPool::new(),
+            plan,
         }
     }
 
@@ -304,65 +208,102 @@ impl<D: InstrData, R> Engine<D, R> {
         &self.model
     }
 
+    /// A handle to the compiled artifact this engine runs (cheap clone;
+    /// can be used to instantiate sibling engines).
+    pub fn compiled(&self) -> CompiledModel<D, R> {
+        CompiledModel {
+            model: Arc::clone(&self.model),
+            plan: Arc::clone(&self.plan),
+            cfg: self.st.cfg.clone(),
+        }
+    }
+
     /// The machine state.
     pub fn machine(&self) -> &Machine<R> {
-        &self.machine
+        &self.st.machine
     }
 
     /// Mutable machine state (for initialization between runs).
     pub fn machine_mut(&mut self) -> &mut Machine<R> {
-        &mut self.machine
+        &mut self.st.machine
     }
 
     /// Accumulated statistics.
     pub fn stats(&self) -> &Stats {
-        &self.stats
+        &self.st.stats
     }
 
     /// Current cycle number.
     pub fn cycle(&self) -> u64 {
-        self.cycle
+        self.st.cycle
     }
 
     /// Whether a halt was requested.
     pub fn halted(&self) -> bool {
-        self.halted
+        self.st.halted
     }
 
     /// Number of tokens (live + pending) currently in `place`.
     pub fn tokens_in(&self, place: PlaceId) -> usize {
-        self.live[place.index()].len() + self.pending[place.index()].len()
+        self.st.live[place.index()].len() + self.st.pending[place.index()].len()
     }
 
     /// Total number of in-flight tokens.
     pub fn live_tokens(&self) -> usize {
-        self.pool.live()
+        self.st.pool.live()
     }
 
     /// Drains and returns the recorded trace.
     pub fn take_trace(&mut self) -> Vec<TraceEvent> {
-        std::mem::take(&mut self.trace)
+        std::mem::take(&mut self.st.trace)
     }
 
     /// Injects an instruction token directly into a place (testing and
     /// model-bring-up aid). The token becomes eligible after the place's
     /// default delay.
     pub fn inject(&mut self, payload: D, place: PlaceId) -> TokenId {
-        let ready = self.cycle + self.hot_place[place.index()].delay;
-        let id =
-            self.pool.alloc(TokenKind::Instruction, Some(payload), place, self.cycle, ready);
-        self.insert_token(id, place.index() as u32);
-        self.stats.generated += 1;
-        id
+        self.st.inject(&self.plan, payload, place)
     }
 
     /// Executes one clock cycle (Figure 8 main loop body).
     pub fn step(&mut self) {
+        self.st.step(&self.model, &self.plan);
+    }
+
+    /// Runs until the model halts or `max_cycles` have executed.
+    pub fn run(&mut self, max_cycles: u64) -> RunOutcome {
+        let limit = self.st.cycle.saturating_add(max_cycles);
+        while !self.st.halted && self.st.cycle < limit {
+            self.st.step(&self.model, &self.plan);
+        }
+        if self.st.halted {
+            RunOutcome::Halted
+        } else {
+            RunOutcome::CycleLimit
+        }
+    }
+
+    /// Squashes every token in `place`, releasing register reservations.
+    pub fn flush_place(&mut self, place: PlaceId) {
+        self.st.flush_place(&self.model, &self.plan, place);
+    }
+}
+
+impl<D: InstrData, R> EngineState<D, R> {
+    fn inject(&mut self, plan: &ExecPlan, payload: D, place: PlaceId) -> TokenId {
+        let ready = self.cycle + plan.hot_place[place.index()].delay;
+        let id = self.pool.alloc(TokenKind::Instruction, Some(payload), place, self.cycle, ready);
+        self.insert_token(plan, id, place.index() as u32);
+        self.stats.generated += 1;
+        id
+    }
+
+    /// One clock cycle (Figure 8 main loop body).
+    fn step(&mut self, model: &Model<D, R>, plan: &ExecPlan) {
         self.machine.cycle = self.cycle;
 
         // 1. Two-list commit: written tokens become readable.
-        for i in 0..self.two_list_places.len() {
-            let p = self.two_list_places[i];
+        for &p in &plan.two_list_places {
             if self.pending[p.index()].is_empty() {
                 continue;
             }
@@ -377,8 +318,7 @@ impl<D: InstrData, R> Engine<D, R> {
         // 2. Reservation expiry: reservation tokens whose residency elapsed
         //    release their stage capacity ("in the next cycle, this token
         //    is consumed").
-        for i in 0..self.res_places.len() {
-            let p = self.res_places[i];
+        for &p in &plan.res_places {
             if self.live[p.index()].is_empty() {
                 continue;
             }
@@ -393,7 +333,7 @@ impl<D: InstrData, R> Engine<D, R> {
                     true
                 }
             });
-            let stage = self.hot_place[p.index()].stage as usize;
+            let stage = plan.hot_place[p.index()].stage as usize;
             for id in expired {
                 self.pool.take(id);
                 self.stage_occ[stage] -= 1;
@@ -402,15 +342,14 @@ impl<D: InstrData, R> Engine<D, R> {
 
         // 3. Process places.
         if !self.halted {
-            if self.cfg.two_list_everywhere {
+            if plan.fixpoint {
                 // Generic synchronous scheme: scan for enabled transitions
                 // until a fixpoint — the expensive search RCPN avoids.
-                let max_passes = self.order.len() + 1;
+                let max_passes = plan.order.len() + 1;
                 for _ in 0..max_passes {
                     let mut any = false;
-                    for i in 0..self.order.len() {
-                        let p = self.order[i];
-                        if self.process_place(p) {
+                    for &p in &plan.order {
+                        if self.process_place(model, plan, p) {
                             any = true;
                         }
                         if self.halted {
@@ -422,9 +361,8 @@ impl<D: InstrData, R> Engine<D, R> {
                     }
                 }
             } else {
-                for i in 0..self.order.len() {
-                    let p = self.order[i];
-                    self.process_place(p);
+                for &p in &plan.order {
+                    self.process_place(model, plan, p);
                     if self.halted {
                         break;
                     }
@@ -434,13 +372,12 @@ impl<D: InstrData, R> Engine<D, R> {
 
         // 4. Instruction-independent sub-net: generate new tokens.
         if !self.halted {
-            self.run_sources();
+            self.run_sources(model, plan);
         }
 
         if self.cfg.collect_occupancy {
             for p in 0..self.live.len() {
-                self.stats.occupancy[p] +=
-                    (self.live[p].len() + self.pending[p].len()) as u64;
+                self.stats.occupancy[p] += (self.live[p].len() + self.pending[p].len()) as u64;
             }
         }
 
@@ -448,22 +385,9 @@ impl<D: InstrData, R> Engine<D, R> {
         self.stats.cycles += 1;
     }
 
-    /// Runs until the model halts or `max_cycles` have executed.
-    pub fn run(&mut self, max_cycles: u64) -> RunOutcome {
-        let limit = self.cycle.saturating_add(max_cycles);
-        while !self.halted && self.cycle < limit {
-            self.step();
-        }
-        if self.halted {
-            RunOutcome::Halted
-        } else {
-            RunOutcome::CycleLimit
-        }
-    }
-
     /// Figure 7: processes the instruction tokens of one place. Returns
     /// whether any transition fired.
-    fn process_place(&mut self, p: PlaceId) -> bool {
+    fn process_place(&mut self, model: &Model<D, R>, plan: &ExecPlan, p: PlaceId) -> bool {
         let pi = p.index();
         if self.live[pi].is_empty() {
             return false;
@@ -475,50 +399,50 @@ impl<D: InstrData, R> Engine<D, R> {
 
         for &id in &snapshot {
             let Some(tok) = self.pool.get(id) else { continue };
-            if tok.place != p || tok.kind != TokenKind::Instruction || tok.ready_at > self.cycle
-            {
+            if tok.place != p || tok.kind != TokenKind::Instruction || tok.ready_at > self.cycle {
                 continue;
             }
             let class = tok.data.as_ref().expect("instruction token has data").op_class();
-            let fired = match self.cfg.table_mode {
-                TableMode::PerPlaceClass => {
-                    let (start, len) = self.tab_span[pi * self.n_classes + class.index()];
+            let fired = match &plan.lookup {
+                Lookup::PerPlaceClass { flat, span, n_classes } => {
+                    let (start, len) = span[pi * n_classes + class.index()];
                     let mut fired = false;
                     for k in start..start + u32::from(len) {
-                        let tid = self.tab_flat[k as usize] as usize;
-                        if self.try_fire(tid, id, p) {
+                        let tid = flat[k as usize] as usize;
+                        if self.try_fire(model, plan, tid, id, p) {
                             fired = true;
                             break;
                         }
                     }
                     fired
                 }
-                TableMode::PerPlace => {
-                    let len = self.model.analysis.by_place[pi].len();
-                    let subnet = self.model.classes[class.index()].subnet;
+                Lookup::PerPlace { flat, span } => {
+                    let subnet = plan.subnet_of_class[class.index()];
+                    let (start, len) = span[pi];
                     let mut fired = false;
-                    for k in 0..len {
-                        let tid = self.model.analysis.by_place[pi][k];
-                        if self.model.transitions[tid.index()].subnet != subnet {
+                    for k in start..start + u32::from(len) {
+                        let tid = flat[k as usize] as usize;
+                        if plan.subnet_of_trans[tid] != subnet {
                             continue;
                         }
-                        if self.try_fire(tid.index(), id, p) {
+                        if self.try_fire(model, plan, tid, id, p) {
                             fired = true;
                             break;
                         }
                     }
                     fired
                 }
-                TableMode::FullScan => {
-                    let subnet = self.model.classes[class.index()].subnet;
+                Lookup::FullScan { order } => {
+                    let subnet = plan.subnet_of_class[class.index()];
                     let mut fired = false;
-                    for k in 0..self.full_scan_order.len() {
-                        let tid = self.full_scan_order[k];
-                        let t = &self.model.transitions[tid.index()];
-                        if t.input != p || t.subnet != subnet {
+                    for &t in order {
+                        let tid = t as usize;
+                        if plan.input_of_trans[tid] as usize != pi
+                            || plan.subnet_of_trans[tid] != subnet
+                        {
                             continue;
                         }
-                        if self.try_fire(tid.index(), id, p) {
+                        if self.try_fire(model, plan, tid, id, p) {
                             fired = true;
                             break;
                         }
@@ -543,23 +467,29 @@ impl<D: InstrData, R> Engine<D, R> {
 
     /// Checks capacity / extra inputs / guard; fires if enabled.
     #[inline]
-    fn try_fire(&mut self, tid: usize, token: TokenId, place: PlaceId) -> bool {
-        let h = self.hot[tid];
+    fn try_fire(
+        &mut self,
+        model: &Model<D, R>,
+        plan: &ExecPlan,
+        tid: usize,
+        token: TokenId,
+        place: PlaceId,
+    ) -> bool {
+        let h = plan.hot[tid];
         if !h.cap_exempt && self.stage_occ[h.dest_stage as usize] >= h.cap {
             self.stats.capacity_blocks += 1;
             return false;
         }
         if h.has_extra {
-            for k in 0..self.model.transitions[tid].extra_inputs.len() {
-                let x = self.model.transitions[tid].extra_inputs[k];
+            for k in 0..model.transitions[tid].extra_inputs.len() {
+                let x = model.transitions[tid].extra_inputs[k];
                 if self.oldest_ready(x).is_none() {
                     return false;
                 }
             }
         }
         if h.has_guard {
-            let guard =
-                self.model.transitions[tid].guard.as_ref().expect("has_guard implies guard");
+            let guard = model.transitions[tid].guard.as_ref().expect("has_guard implies guard");
             let tok = self.pool.get(token).expect("token live during guard");
             let data = tok.data.as_ref().expect("instruction token has data");
             if !guard(&self.machine, data) {
@@ -567,7 +497,7 @@ impl<D: InstrData, R> Engine<D, R> {
                 return false;
             }
         }
-        self.fire(tid, h, token, place);
+        self.fire(model, plan, tid, h, token, place);
         true
     }
 
@@ -581,16 +511,16 @@ impl<D: InstrData, R> Engine<D, R> {
     }
 
     #[inline]
-    fn remove_from_place(&mut self, place: usize, id: TokenId) {
+    fn remove_from_place(&mut self, plan: &ExecPlan, place: usize, id: TokenId) {
         let list = &mut self.live[place];
         let pos = list.iter().position(|&x| x == id).expect("token listed in its place");
         list.remove(pos);
-        self.stage_occ[self.hot_place[place].stage as usize] -= 1;
+        self.stage_occ[plan.hot_place[place].stage as usize] -= 1;
     }
 
     #[inline]
-    fn insert_token(&mut self, id: TokenId, place: u32) {
-        let hp = self.hot_place[place as usize];
+    fn insert_token(&mut self, plan: &ExecPlan, id: TokenId, place: u32) {
+        let hp = plan.hot_place[place as usize];
         if hp.two_list {
             self.pending[place as usize].push(id);
         } else {
@@ -602,17 +532,24 @@ impl<D: InstrData, R> Engine<D, R> {
 
     /// Fires transition `tid`, moving `token` from `place` to the
     /// destination.
-    fn fire(&mut self, tid: usize, h: HotTrans, token: TokenId, place: PlaceId) {
+    fn fire(
+        &mut self,
+        model: &Model<D, R>,
+        plan: &ExecPlan,
+        tid: usize,
+        h: HotTrans,
+        token: TokenId,
+        place: PlaceId,
+    ) {
         let cycle = self.cycle;
 
         // Consume extra-input tokens (joins) first.
         if h.has_extra {
-            for k in 0..self.model.transitions[tid].extra_inputs.len() {
-                let x = self.model.transitions[tid].extra_inputs[k];
-                let victim = self
-                    .oldest_ready(x)
-                    .expect("extra input availability was checked in try_fire");
-                self.remove_from_place(x.index(), victim);
+            for k in 0..model.transitions[tid].extra_inputs.len() {
+                let x = model.transitions[tid].extra_inputs[k];
+                let victim =
+                    self.oldest_ready(x).expect("extra input availability was checked in try_fire");
+                self.remove_from_place(plan, x.index(), victim);
                 let t = self.pool.take(victim);
                 if t.kind == TokenKind::Instruction {
                     self.machine.regs.release(victim);
@@ -620,14 +557,13 @@ impl<D: InstrData, R> Engine<D, R> {
             }
         }
 
-        self.remove_from_place(place.index(), token);
+        self.remove_from_place(plan, place.index(), token);
 
         // Run the action.
         let mut fx = Fx::new(Some(token));
         let mut has_fx = false;
         if h.has_action {
-            let action =
-                self.model.transitions[tid].action.as_ref().expect("has_action implies action");
+            let action = model.transitions[tid].action.as_ref().expect("has_action implies action");
             let tok = self.pool.get_mut(token).expect("firing token is live");
             let data = tok.data.as_mut().expect("instruction token has data");
             action(&mut self.machine, data, &mut fx);
@@ -663,13 +599,13 @@ impl<D: InstrData, R> Engine<D, R> {
             if self.cfg.trace {
                 seq = tok.seq;
             }
-            self.insert_token(token, h.dest);
+            self.insert_token(plan, token, h.dest);
         }
 
         // Reservation-token output arcs.
         if h.has_res {
-            for k in 0..self.model.transitions[tid].reservations.len() {
-                let r = self.model.transitions[tid].reservations[k];
+            for k in 0..model.transitions[tid].reservations.len() {
+                let r = model.transitions[tid].reservations[k];
                 let rid = self.pool.alloc(
                     TokenKind::Reservation,
                     None,
@@ -681,13 +617,13 @@ impl<D: InstrData, R> Engine<D, R> {
                 // even on two-list places, since their only observable
                 // effect is stage occupancy (which is always next-state).
                 self.live[r.place.index()].push(rid);
-                self.stage_occ[self.hot_place[r.place.index()].stage as usize] += 1;
+                self.stage_occ[plan.hot_place[r.place.index()].stage as usize] += 1;
                 self.stats.reservations += 1;
             }
         }
 
         if has_fx {
-            self.apply_fx(fx);
+            self.apply_fx(model, plan, fx);
         }
         self.stats.fires[tid] += 1;
         if self.cfg.trace {
@@ -699,7 +635,7 @@ impl<D: InstrData, R> Engine<D, R> {
         }
     }
 
-    fn apply_fx(&mut self, fx: Fx<D>) {
+    fn apply_fx(&mut self, model: &Model<D, R>, plan: &ExecPlan, fx: Fx<D>) {
         let cycle = self.cycle;
         for (payload, place, delay) in fx.emits {
             let id = self.pool.alloc(
@@ -709,11 +645,11 @@ impl<D: InstrData, R> Engine<D, R> {
                 cycle,
                 cycle + u64::from(delay),
             );
-            self.insert_token(id, place.index() as u32);
+            self.insert_token(plan, id, place.index() as u32);
             self.stats.emitted += 1;
         }
         for place in fx.flush_places {
-            self.flush_place(place);
+            self.flush_place(model, plan, place);
         }
         if fx.halt {
             self.halted = true;
@@ -721,17 +657,17 @@ impl<D: InstrData, R> Engine<D, R> {
     }
 
     /// Squashes every token in `place`, releasing register reservations.
-    pub fn flush_place(&mut self, place: PlaceId) {
+    fn flush_place(&mut self, model: &Model<D, R>, plan: &ExecPlan, place: PlaceId) {
         let ids: Vec<TokenId> = self.live[place.index()]
             .drain(..)
             .chain(self.pending[place.index()].drain(..))
             .collect();
-        let stage = self.hot_place[place.index()].stage as usize;
+        let stage = plan.hot_place[place.index()].stage as usize;
         for id in ids {
             let mut tok = self.pool.take(id);
             if tok.kind == TokenKind::Instruction {
                 self.machine.regs.release(id);
-                if let Some(handler) = &self.model.squash_handler {
+                if let Some(handler) = &model.squash_handler {
                     let data = tok.data.as_mut().expect("instruction token has data");
                     handler(&mut self.machine, data);
                 }
@@ -745,23 +681,23 @@ impl<D: InstrData, R> Engine<D, R> {
     }
 
     /// Executes the instruction-independent sub-net (all sources).
-    fn run_sources(&mut self) {
+    fn run_sources(&mut self, model: &Model<D, R>, plan: &ExecPlan) {
         let cycle = self.cycle;
-        for si in 0..self.hot_source.len() {
-            let hs = self.hot_source[si];
-            let hp = self.hot_place[hs.dest as usize];
+        for si in 0..plan.hot_source.len() {
+            let hs = plan.hot_source[si];
+            let hp = plan.hot_place[hs.dest as usize];
             for _ in 0..hs.width {
                 if !hp.is_end && self.stage_occ[hp.stage as usize] >= hp.cap {
                     break;
                 }
-                if let Some(guard) = &self.model.sources[si].guard {
+                if let Some(guard) = &model.sources[si].guard {
                     if !guard(&self.machine) {
                         break;
                     }
                 }
                 let mut fx = Fx::new(None);
                 let payload = {
-                    let produce = &self.model.sources[si].produce;
+                    let produce = &model.sources[si].produce;
                     produce(&mut self.machine, &mut fx)
                 };
                 let produced = payload.is_some();
@@ -777,7 +713,7 @@ impl<D: InstrData, R> Engine<D, R> {
                         cycle,
                         cycle + eff,
                     );
-                    self.insert_token(id, hs.dest);
+                    self.insert_token(plan, id, hs.dest);
                     self.stats.generated += 1;
                     self.stats.source_fires[si] += 1;
                     if self.cfg.trace {
@@ -790,7 +726,7 @@ impl<D: InstrData, R> Engine<D, R> {
                     }
                 }
                 if !fx.emits.is_empty() || !fx.flush_places.is_empty() || fx.halt {
-                    self.apply_fx(fx);
+                    self.apply_fx(model, plan, fx);
                 }
                 if self.halted || !produced {
                     break;
@@ -806,9 +742,9 @@ impl<D: InstrData, R> Engine<D, R> {
 impl<D: InstrData, R> std::fmt::Debug for Engine<D, R> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Engine")
-            .field("cycle", &self.cycle)
-            .field("halted", &self.halted)
-            .field("live_tokens", &self.pool.live())
+            .field("cycle", &self.st.cycle)
+            .field("halted", &self.st.halted)
+            .field("live_tokens", &self.st.pool.live())
             .finish()
     }
 }

@@ -14,10 +14,14 @@
 //! latencies are captured by tokens, capacities and delays; **data hazards**
 //! are captured separately by the three-level register model in [`reg`].
 //!
-//! The same model drives a fast cycle-accurate simulator ([`engine`])
-//! thanks to three statically extracted properties ([`analysis`]): sorted
-//! per-(place, class) transition tables, reverse-topological place
-//! evaluation, and two-list token storage only where feedback demands it.
+//! The same model drives a fast cycle-accurate simulator through an
+//! explicit **model → compile → run** pipeline: [`analysis`] statically
+//! extracts three properties (sorted per-(place, class) transition tables,
+//! reverse-topological place evaluation, and two-list token storage only
+//! where feedback demands it), [`compiled`] partially evaluates them into
+//! the [`compiled::CompiledModel`] generated-simulator artifact, and
+//! [`engine`] instantiates that artifact — once or many times — as
+//! runnable [`engine::Engine`]s.
 //!
 //! ## Quick start
 //!
@@ -61,6 +65,7 @@
 
 pub mod analysis;
 pub mod builder;
+pub mod compiled;
 pub mod cpn;
 pub mod engine;
 pub mod error;
@@ -73,6 +78,7 @@ pub mod token;
 /// The most commonly used items, for glob import.
 pub mod prelude {
     pub use crate::builder::ModelBuilder;
+    pub use crate::compiled::CompiledModel;
     pub use crate::engine::{Engine, EngineConfig, RunOutcome, TableMode};
     pub use crate::error::BuildError;
     pub use crate::ids::{OpClassId, PlaceId, RegId, StageId, SubnetId, TokenId, TransitionId};

@@ -157,10 +157,7 @@ impl RegisterFile {
     /// The scoreboard entry covering a register, if any cell is reserved.
     #[inline]
     pub fn writer_of(&self, reg: RegId) -> Option<&Writer> {
-        self.regs[reg.index()]
-            .cells
-            .iter()
-            .find_map(|&c| self.writers[c as usize].as_ref())
+        self.regs[reg.index()].cells.iter().find_map(|&c| self.writers[c as usize].as_ref())
     }
 
     /// True if no in-flight instruction has reserved any cell of `reg`.

@@ -8,7 +8,7 @@
 use crate::ids::{PlaceId, TransitionId};
 
 /// Counters maintained by [`crate::engine::Engine`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Stats {
     /// Simulated cycles executed.
     pub cycles: u64,

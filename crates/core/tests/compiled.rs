@@ -1,0 +1,172 @@
+//! Tests of the model → compile → run seam: one compiled artifact must
+//! instantiate independent, identically behaving engines, and every
+//! compiled lookup variant must simulate the identical token game.
+
+use rcpn::compiled::CompiledModel;
+use rcpn::engine::{EngineConfig, TableMode, TraceEvent};
+use rcpn::ids::OpClassId;
+use rcpn::model::{Machine, Model};
+use rcpn::prelude::*;
+
+#[derive(Debug)]
+struct Tok(OpClassId);
+impl InstrData for Tok {
+    fn op_class(&self) -> OpClassId {
+        self.0
+    }
+}
+
+/// Resources: a countdown feed plus a retire counter.
+#[derive(Debug)]
+struct Feed {
+    left: u32,
+    count: u64,
+    done: u64,
+}
+
+/// The crate-level doctest pipeline, enriched with a second class so the
+/// per-(place, class) tables are non-trivial: `Short` tokens retire from
+/// P1, `Long` tokens take P1 → P2 → end.
+fn doctest_pipeline(tokens: u32) -> (Model<Tok, Feed>, Machine<Feed>) {
+    let mut b = ModelBuilder::<Tok, Feed>::new();
+    let l1 = b.stage("L1", 1);
+    let l2 = b.stage("L2", 1);
+    let p1 = b.place("decode", l1);
+    let p2 = b.place("execute", l2);
+    let end = b.end_place();
+    let (short, _) = b.class_net("Short");
+    let (long, _) = b.class_net("Long");
+    b.transition(short, "retire_short")
+        .from(p1)
+        .to(end)
+        .action(|m, _d, _fx| m.res.done += 1)
+        .done();
+    b.transition(long, "issue").from(p1).to(p2).done();
+    b.transition(long, "retire_long").from(p2).to(end).action(|m, _d, _fx| m.res.done += 1).done();
+    b.source("fetch")
+        .to(p1)
+        .produce(move |m, _fx| {
+            if m.res.left == 0 {
+                return None;
+            }
+            m.res.left -= 1;
+            m.res.count += 1;
+            Some(Tok(if m.res.count % 3 == 1 { short } else { long }))
+        })
+        .done();
+    let model = b.build().expect("pipeline builds");
+    let machine = Machine::new(RegisterFile::new(), Feed { left: tokens, count: 0, done: 0 });
+    (model, machine)
+}
+
+fn fresh_machine(tokens: u32) -> Machine<Feed> {
+    Machine::new(RegisterFile::new(), Feed { left: tokens, count: 0, done: 0 })
+}
+
+/// One compiled model, instantiated twice, must yield two fully
+/// independent engines with identical cycle-by-cycle statistics.
+#[test]
+fn one_compiled_model_two_identical_independent_engines() {
+    let (model, machine) = doctest_pipeline(500);
+    let compiled = CompiledModel::compile(model);
+    let mut a = compiled.instantiate(machine);
+    let mut b = compiled.instantiate(fresh_machine(500));
+
+    // Step in lockstep; the full stats blocks must agree every cycle.
+    for cycle in 0..2_000 {
+        a.step();
+        b.step();
+        assert_eq!(a.stats(), b.stats(), "stats diverged at cycle {cycle}");
+        assert_eq!(a.cycle(), b.cycle());
+        assert_eq!(a.live_tokens(), b.live_tokens());
+    }
+    assert_eq!(a.stats().retired, 500, "everything retires");
+    assert_eq!(a.machine().res.done, b.machine().res.done);
+
+    // Independence: running one engine further must not disturb the other.
+    let b_stats = b.stats().clone();
+    a.run(100);
+    assert_eq!(b.stats(), &b_stats, "sibling engine state leaked");
+    assert_eq!(b.cycle(), 2_000);
+}
+
+/// Instantiation must be repeatable after earlier instances were dropped
+/// and the artifact must be shareable via cheap clones.
+#[test]
+fn compiled_model_outlives_instances() {
+    let (model, machine) = doctest_pipeline(50);
+    let compiled = CompiledModel::compile(model);
+    let first = {
+        let mut e = compiled.instantiate(machine);
+        e.run(1_000);
+        e.stats().retired
+    };
+    let clone = compiled.clone();
+    let mut e = clone.instantiate(fresh_machine(50));
+    e.run(1_000);
+    assert_eq!(e.stats().retired, first);
+}
+
+/// An engine hands back a usable handle to its compiled artifact.
+#[test]
+fn engine_exposes_its_compiled_artifact() {
+    let (model, machine) = doctest_pipeline(20);
+    let mut a = Engine::new(model, machine);
+    let compiled = a.compiled();
+    a.run(200);
+    let mut b = compiled.instantiate(fresh_machine(20));
+    b.run(200);
+    assert_eq!(a.stats(), b.stats());
+}
+
+/// Regression for the compiled lookup variants: PerPlaceClass, PerPlace
+/// and FullScan must retire the identical token stream (same events, same
+/// order, same cycles) on the doctest pipeline.
+#[test]
+fn all_table_modes_retire_identical_token_streams() {
+    let trace_of = |mode: TableMode| {
+        let (model, machine) = doctest_pipeline(200);
+        let cfg = EngineConfig { table_mode: mode, trace: true, ..EngineConfig::default() };
+        let mut e = CompiledModel::compile_with(model, cfg).instantiate(machine);
+        e.run(1_000);
+        assert_eq!(e.stats().retired, 200, "{mode:?} retires everything");
+        let trace = e.take_trace();
+        assert!(!trace.is_empty());
+        (e.stats().clone(), trace)
+    };
+
+    let (ref_stats, ref_trace) = trace_of(TableMode::PerPlaceClass);
+    let retirements = |t: &[TraceEvent]| {
+        t.iter()
+            .filter_map(|ev| match *ev {
+                TraceEvent::Retired { cycle, place, seq } => Some((cycle, place, seq)),
+                _ => None,
+            })
+            .collect::<Vec<_>>()
+    };
+    for mode in [TableMode::PerPlace, TableMode::FullScan] {
+        let (stats, trace) = trace_of(mode);
+        assert_eq!(stats.cycles, ref_stats.cycles, "{mode:?} cycle count");
+        assert_eq!(stats.retired, ref_stats.retired, "{mode:?} retirement count");
+        assert_eq!(
+            retirements(&trace),
+            retirements(&ref_trace),
+            "{mode:?} must retire the same tokens at the same cycles"
+        );
+        assert_eq!(trace, ref_trace, "{mode:?} full event stream");
+    }
+}
+
+/// The fixpoint (two-list-everywhere) compiled variant also reproduces
+/// the reference timing on the doctest pipeline.
+#[test]
+fn fixpoint_variant_matches_reference_timing() {
+    let run = |two_list: bool| {
+        let (model, machine) = doctest_pipeline(200);
+        let cfg = EngineConfig { two_list_everywhere: two_list, ..EngineConfig::default() };
+        let mut e = CompiledModel::compile_with(model, cfg).instantiate(machine);
+        e.run(2_000);
+        (e.stats().cycles, e.stats().retired)
+    };
+    assert_eq!(run(false), run(true));
+}

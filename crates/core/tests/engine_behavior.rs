@@ -34,7 +34,6 @@ impl InstrData for Tok {
 #[derive(Debug, Default)]
 struct Feed {
     program: std::cell::RefCell<std::collections::VecDeque<Tok>>,
-    computed: std::cell::Cell<u32>,
 }
 
 fn feed_source(b: &mut ModelBuilder<Tok, Feed>, dest: PlaceId) {
@@ -62,9 +61,7 @@ fn linear_model() -> (Model<Tok, Feed>, PlaceId, PlaceId, OpClassId) {
 fn run_linear(n_instr: usize, cycles: u64) -> Engine<Tok, Feed> {
     let (model, _, _, c) = linear_model();
     let feed = Feed::default();
-    feed.program
-        .borrow_mut()
-        .extend((0..n_instr).map(|_| Tok::plain(c)));
+    feed.program.borrow_mut().extend((0..n_instr).map(|_| Tok::plain(c)));
     let mut e = Engine::new(model, Machine::new(RegisterFile::new(), feed));
     e.run(cycles);
     e
@@ -114,11 +111,7 @@ fn structural_hazard_stalls_upstream() {
     let end = b.end_place();
     let (c, _) = b.class_net("Alu");
     b.transition(c, "t12").from(p1).to(p2).done();
-    b.transition(c, "t2e")
-        .from(p2)
-        .to(end)
-        .guard(|m, _| m.cycle >= 5)
-        .done();
+    b.transition(c, "t2e").from(p2).to(end).guard(|m, _| m.cycle >= 5).done();
     feed_source(&mut b, p1);
     let model = b.build().unwrap();
 
@@ -197,9 +190,7 @@ fn raw_dependency_stalls_and_forwarding_shortens_it() {
                 .to(p2)
                 .priority(1)
                 .reads_state(p3)
-                .guard(move |m, t: &Tok| {
-                    t.src.can_read_in(&m.regs, p3) && t.dst.can_write(&m.regs)
-                })
+                .guard(move |m, t: &Tok| t.src.can_read_in(&m.regs, p3) && t.dst.can_write(&m.regs))
                 .action(move |m, t, fx| {
                     t.src.read_fwd(&m.regs);
                     let tok = fx.token();
@@ -231,8 +222,7 @@ fn raw_dependency_stalls_and_forwarding_shortens_it() {
     fn run(with_forwarding: bool) -> (u64, u32) {
         let (model, c) = build(with_forwarding, 3);
         assert!(
-            model.analysis().is_two_list(model.find_place("WB").unwrap())
-                == with_forwarding,
+            model.analysis().is_two_list(model.find_place("WB").unwrap()) == with_forwarding,
             "WB is two-list exactly when the feedback arc exists"
         );
         let mut rf = RegisterFile::new();
@@ -256,12 +246,7 @@ fn raw_dependency_stalls_and_forwarding_shortens_it() {
         assert_eq!(outcome, RunOutcome::CycleLimit);
         assert_eq!(e.stats().retired, 2, "both instructions retire");
         // Find the cycle where everything is done: use stats.
-        let r2 = e
-            .machine()
-            .regs
-            .find("r2")
-            .map(|r| e.machine().regs.value_of(r))
-            .unwrap();
+        let r2 = e.machine().regs.find("r2").map(|r| e.machine().regs.value_of(r)).unwrap();
         (e.stats().stalls, r2)
     }
 
@@ -453,11 +438,7 @@ fn flush_squashes_younger_instructions_and_releases_reservations() {
     b.transition(br, "b12").from(p1).to(p2).done();
     // Taken branch: flush the fetch latch.
     let p1c = p1;
-    b.transition(br, "b2e")
-        .from(p2)
-        .to(end)
-        .action(move |_m, _t, fx| fx.flush(p1c))
-        .done();
+    b.transition(br, "b2e").from(p2).to(end).action(move |_m, _t, fx| fx.flush(p1c)).done();
     feed_source(&mut b, p1);
     let model = b.build().unwrap();
 
@@ -557,7 +538,7 @@ fn token_delay_overrides_place_delay() {
         feed_source(&mut b, p1);
         (b.build().unwrap(), c)
     }
-    let mut retire_cycle = |delay: u32| -> u64 {
+    let retire_cycle = |delay: u32| -> u64 {
         let (model, c) = build(delay);
         let feed = Feed::default();
         feed.program.borrow_mut().push_back(Tok::plain(c));
@@ -723,9 +704,7 @@ fn cpn_conversion_matches_rcpn_timing_on_fig2_pipeline() {
 
     let short = OpClassId::from_index(0);
     let long = OpClassId::from_index(1);
-    let program: Vec<OpClassId> = (0..30)
-        .map(|i| if i % 4 == 1 { short } else { long })
-        .collect();
+    let program: Vec<OpClassId> = (0..30).map(|i| if i % 4 == 1 { short } else { long }).collect();
 
     // RCPN run with trace.
     let feed = Feed::default();

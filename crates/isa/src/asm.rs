@@ -231,7 +231,8 @@ impl<'a> ExprParser<'a> {
             digits.push(self.chars.next().unwrap());
         }
         let digits = digits.replace('_', "");
-        let value = if let Some(hex) = digits.strip_prefix("0x").or_else(|| digits.strip_prefix("0X"))
+        let value = if let Some(hex) =
+            digits.strip_prefix("0x").or_else(|| digits.strip_prefix("0X"))
         {
             i64::from_str_radix(hex, 16)
         } else if let Some(bin) = digits.strip_prefix("0b").or_else(|| digits.strip_prefix("0B")) {
@@ -534,7 +535,7 @@ fn parse_mnemonic(m: &str) -> Option<Mnemonic> {
                         ("da", _) => (false, false),
                         ("db", _) => (true, false),
                         // Stack aliases resolve differently for ldm/stm.
-                        ("fd", true) => (false, true),  // ldmfd = ldmia
+                        ("fd", true) => (false, true), // ldmfd = ldmia
                         ("fd", false) => (true, false), // stmfd = stmdb
                         ("ed", true) => (true, true),
                         ("ed", false) => (false, false),
@@ -547,7 +548,11 @@ fn parse_mnemonic(m: &str) -> Option<Mnemonic> {
                     return Some(out);
                 }
             }
-            Family::Branch { .. } | Family::Swi | Family::Nop | Family::Push | Family::Pop
+            Family::Branch { .. }
+            | Family::Swi
+            | Family::Nop
+            | Family::Push
+            | Family::Pop
             | Family::Adr => {
                 if let Some(cond) = Cond::parse(rest) {
                     out.family = *family;
@@ -565,7 +570,8 @@ fn parse_mnemonic(m: &str) -> Option<Mnemonic> {
 // ---------------------------------------------------------------------------
 
 fn parse_reg(s: &str, line: usize) -> Result<Reg, AsmError> {
-    Reg::parse(s.trim()).ok_or_else(|| AsmError { line, msg: format!("expected register, got {s:?}") })
+    Reg::parse(s.trim())
+        .ok_or_else(|| AsmError { line, msg: format!("expected register, got {s:?}") })
 }
 
 fn parse_shift_operand(s: &str, line: usize) -> Result<ShiftT, AsmError> {
@@ -760,11 +766,7 @@ impl Asm {
     }
 
     fn add_literal(&mut self, key: String, expr: Expr) -> usize {
-        if let Some(i) = self
-            .unplaced
-            .iter()
-            .find(|&&i| self.literals[i].0 == key)
-        {
+        if let Some(i) = self.unplaced.iter().find(|&&i| self.literals[i].0 == key) {
             return *i;
         }
         self.literals.push((key, expr));
@@ -945,8 +947,8 @@ pub fn assemble_at(src: &str, base: u32) -> Result<Program, AsmError> {
                 }
                 "pool" | "ltorg" => asm.flush_pool(line),
                 "entry" => asm.entry = Some(args.trim().to_string()),
-                "text" | "data" | "global" | "globl" | "org" | "arm" | "code" | "type"
-                | "size" => {}
+                "text" | "data" | "global" | "globl" | "org" | "arm" | "code" | "type" | "size" => {
+                }
                 other => return err(line, format!("unknown directive .{other}")),
             }
             continue;
@@ -1012,7 +1014,14 @@ pub fn assemble_at(src: &str, base: u32) -> Result<Program, AsmError> {
                     }
                     let rd = parse_reg(&ops[0], line)?;
                     let rn = parse_reg(&ops[1], line)?;
-                    Item::Dp { cond: spec.cond, op, s: spec.s, rd, rn, op2: parse_op2(&ops[2..], line)? }
+                    Item::Dp {
+                        cond: spec.cond,
+                        op,
+                        s: spec.s,
+                        rd,
+                        rn,
+                        op2: parse_op2(&ops[2..], line)?,
+                    }
                 }
             }
             Family::Mul { acc } => {
@@ -1193,8 +1202,7 @@ pub fn assemble_at(src: &str, base: u32) -> Result<Program, AsmError> {
                     line,
                     msg: format!("adr displacement {delta} not encodable"),
                 })?;
-                let instr =
-                    Instr::Dp { cond: *cond, op, s: false, rn: Reg::PC, rd: *rd, op2 };
+                let instr = Instr::Dp { cond: *cond, op, s: false, rn: Reg::PC, rd: *rd, op2 };
                 emit_word(&mut bytes, addr, encode(instr));
             }
             Item::Branch { cond, link, target } => {
@@ -1230,10 +1238,11 @@ pub fn assemble_at(src: &str, base: u32) -> Result<Program, AsmError> {
                             }
                         }
                     }
-                    Op2T::Reg(rm, shift) => Op2::Reg { rm: *rm, shift: resolve_shift(shift, &ev, line)? },
+                    Op2T::Reg(rm, shift) => {
+                        Op2::Reg { rm: *rm, shift: resolve_shift(shift, &ev, line)? }
+                    }
                 };
-                let instr =
-                    Instr::Dp { cond: *cond, op: *op, s: *s, rn: *rn, rd: *rd, op2 };
+                let instr = Instr::Dp { cond: *cond, op: *op, s: *s, rn: *rn, rd: *rd, op2 };
                 emit_word(&mut bytes, addr, encode(instr));
             }
             Item::Mul { cond, acc, s, rd, rm, rs, rn } => {
@@ -1321,7 +1330,12 @@ fn resolve_shift(
                 (ShiftTy::Lsr | ShiftTy::Asr, 1..=31) => v as u8,
                 (ShiftTy::Lsr | ShiftTy::Asr, 32) => 0, // encoded as 0
                 (ShiftTy::Ror, 1..=31) => v as u8,
-                _ => return err(line, format!("shift amount {v} out of range for {}", ty.mnemonic())),
+                _ => {
+                    return err(
+                        line,
+                        format!("shift amount {v} out of range for {}", ty.mnemonic()),
+                    )
+                }
             };
             Shift::Imm { ty: *ty, amount }
         }
@@ -1430,7 +1444,9 @@ mod tests {
 
     #[test]
     fn labels_and_branches() {
-        let p = assemble("start: mov r0, #0\nloop: add r0, r0, #1\n cmp r0, #5\n bne loop\n swi #0").unwrap();
+        let p =
+            assemble("start: mov r0, #0\nloop: add r0, r0, #1\n cmp r0, #5\n bne loop\n swi #0")
+                .unwrap();
         assert_eq!(p.label("start"), Some(0));
         assert_eq!(p.label("loop"), Some(4));
         // bne at address 12 targets 4: offset = 4 - 12 - 8 = -16.
@@ -1471,22 +1487,33 @@ mod tests {
     #[test]
     fn shifted_operands() {
         match decode(words("mov r0, r1, lsl #3\nswi #0")[0]) {
-            Instr::Dp { op2: Op2::Reg { shift: Shift::Imm { ty: ShiftTy::Lsl, amount: 3 }, .. }, .. } => {}
+            Instr::Dp {
+                op2: Op2::Reg { shift: Shift::Imm { ty: ShiftTy::Lsl, amount: 3 }, .. },
+                ..
+            } => {}
             other => panic!("{other:?}"),
         }
         match decode(words("add r0, r1, r2, lsr r3\nswi #0")[0]) {
-            Instr::Dp { op2: Op2::Reg { shift: Shift::Reg { ty: ShiftTy::Lsr, rs }, .. }, .. } => {
+            Instr::Dp {
+                op2: Op2::Reg { shift: Shift::Reg { ty: ShiftTy::Lsr, rs }, .. }, ..
+            } => {
                 assert_eq!(rs, Reg::new(3));
             }
             other => panic!("{other:?}"),
         }
         match decode(words("mov r0, r1, rrx\nswi #0")[0]) {
-            Instr::Dp { op2: Op2::Reg { shift: Shift::Imm { ty: ShiftTy::Ror, amount: 0 }, .. }, .. } => {}
+            Instr::Dp {
+                op2: Op2::Reg { shift: Shift::Imm { ty: ShiftTy::Ror, amount: 0 }, .. },
+                ..
+            } => {}
             other => panic!("{other:?}"),
         }
         // asr #32 encodes as amount 0.
         match decode(words("mov r0, r1, asr #32\nswi #0")[0]) {
-            Instr::Dp { op2: Op2::Reg { shift: Shift::Imm { ty: ShiftTy::Asr, amount: 0 }, .. }, .. } => {}
+            Instr::Dp {
+                op2: Op2::Reg { shift: Shift::Imm { ty: ShiftTy::Asr, amount: 0 }, .. },
+                ..
+            } => {}
             other => panic!("{other:?}"),
         }
     }
@@ -1553,7 +1580,10 @@ mod tests {
 
     #[test]
     fn literal_pool() {
-        let p = assemble("ldr r0, =0x12345678\nldr r1, =0x12345678\nldr r2, =label\nswi #0\nlabel: .word 7").unwrap();
+        let p = assemble(
+            "ldr r0, =0x12345678\nldr r1, =0x12345678\nldr r2, =label\nswi #0\nlabel: .word 7",
+        )
+        .unwrap();
         // Two distinct literals (0x12345678 deduplicated), pool at end.
         let n = p.words.len();
         assert_eq!(p.words[n - 2], 0x1234_5678);

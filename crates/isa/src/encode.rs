@@ -10,12 +10,8 @@ fn rbits(r: Reg) -> u32 {
 
 fn encode_shift(shift: Shift, rm: Reg) -> u32 {
     match shift {
-        Shift::Imm { ty, amount } => {
-            (u32::from(amount) << 7) | (ty.bits() << 5) | rbits(rm)
-        }
-        Shift::Reg { ty, rs } => {
-            (rbits(rs) << 8) | (ty.bits() << 5) | (1 << 4) | rbits(rm)
-        }
+        Shift::Imm { ty, amount } => (u32::from(amount) << 7) | (ty.bits() << 5) | rbits(rm),
+        Shift::Reg { ty, rs } => (rbits(rs) << 8) | (ty.bits() << 5) | (1 << 4) | rbits(rm),
     }
 }
 
@@ -79,10 +75,7 @@ pub fn encode(instr: Instr) -> u32 {
                     base | u32::from(v)
                 }
                 MemOff::Reg { rm, ty, amount } => {
-                    base | (1 << 25)
-                        | (u32::from(amount) << 7)
-                        | (ty.bits() << 5)
-                        | rbits(rm)
+                    base | (1 << 25) | (u32::from(amount) << 7) | (ty.bits() << 5) | rbits(rm)
                 }
             }
         }
@@ -100,9 +93,7 @@ pub fn encode(instr: Instr) -> u32 {
                 | (1 << 4);
             match off {
                 HOff::Imm(v) => {
-                    base | (1 << 22)
-                        | ((u32::from(v) >> 4) << 8)
-                        | (u32::from(v) & 0xF)
+                    base | (1 << 22) | ((u32::from(v) >> 4) << 8) | (u32::from(v) & 0xF)
                 }
                 HOff::Reg(rm) => base | rbits(rm),
             }

@@ -129,7 +129,7 @@ mod tests {
     fn rsb_reverses() {
         let (r, f) = alu(DpOp::Rsb, 3, 10, false);
         assert_eq!(r, 7);
-        assert_eq!(f.unwrap().0, true, "10 - 3 has no borrow");
+        assert!(f.unwrap().0, "10 - 3 has no borrow");
     }
 
     #[test]
@@ -137,7 +137,7 @@ mod tests {
         // INT_MIN - 1 overflows.
         let (r, f) = alu(DpOp::Sub, 0x8000_0000, 1, false);
         assert_eq!(r, 0x7FFF_FFFF);
-        assert_eq!(f.unwrap().1, true);
+        assert!(f.unwrap().1);
     }
 
     #[test]

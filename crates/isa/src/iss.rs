@@ -80,7 +80,13 @@ pub struct InstrMix {
 impl InstrMix {
     /// Total executed instructions (including annulled ones).
     pub fn total(&self) -> u64 {
-        self.dp + self.mul + self.load + self.store + self.block + self.branch + self.swi
+        self.dp
+            + self.mul
+            + self.load
+            + self.store
+            + self.block
+            + self.branch
+            + self.swi
             + self.skipped
     }
 }
@@ -231,12 +237,8 @@ impl<M: Memory> Iss<M> {
                     Op2::Reg { rm, shift } => {
                         let v = self.rr(rm, pc);
                         match shift {
-                            Shift::Imm { ty, amount } => {
-                                shift_imm(ty, v, u32::from(amount), c_in)
-                            }
-                            Shift::Reg { ty, rs } => {
-                                shift_reg(ty, v, self.rr(rs, pc), c_in)
-                            }
+                            Shift::Imm { ty, amount } => shift_imm(ty, v, u32::from(amount), c_in),
+                            Shift::Reg { ty, rs } => shift_reg(ty, v, self.rr(rs, pc), c_in),
                         }
                     }
                 };

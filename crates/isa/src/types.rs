@@ -277,9 +277,8 @@ impl Psr {
     /// Sets N and Z from a result, preserving C and V.
     #[inline]
     pub fn set_nz(&mut self, result: u32) {
-        self.bits = (self.bits & (Self::C | Self::V))
-            | (result & Self::N)
-            | (u32::from(result == 0) << 30);
+        self.bits =
+            (self.bits & (Self::C | Self::V)) | (result & Self::N) | (u32::from(result == 0) << 30);
     }
 
     /// Sets N and Z from a result and C from the shifter carry, preserving V.
@@ -598,8 +597,8 @@ mod tests {
     #[test]
     fn imm_carry_rule() {
         // rot == 0: carry passes through; rot != 0: carry = bit 31 of value.
-        assert_eq!(expand_imm(0xFF, 0, true).1, true);
-        assert_eq!(expand_imm(0xFF, 0, false).1, false);
+        assert!(expand_imm(0xFF, 0, true).1);
+        assert!(!expand_imm(0xFF, 0, false).1);
         let (v, c) = expand_imm(0xFF, 2, false);
         assert_eq!(v, 0xF000_000F);
         assert!(c, "bit 31 set");

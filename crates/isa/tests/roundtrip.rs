@@ -83,8 +83,11 @@ fn any_mul_long() -> impl Strategy<Value = Instr> {
 fn any_mem() -> impl Strategy<Value = Instr> {
     let off = prop_oneof![
         (0u16..4096).prop_map(MemOff::Imm),
-        (any_reg(), any_shift_ty(), 0u8..32)
-            .prop_map(|(rm, ty, amount)| MemOff::Reg { rm, ty, amount }),
+        (any_reg(), any_shift_ty(), 0u8..32).prop_map(|(rm, ty, amount)| MemOff::Reg {
+            rm,
+            ty,
+            amount
+        }),
     ];
     (
         any_cond(),
@@ -160,9 +163,8 @@ fn any_block() -> impl Strategy<Value = Instr> {
 }
 
 fn any_branch() -> impl Strategy<Value = Instr> {
-    (any_cond(), any::<bool>(), -(1i32 << 23)..(1i32 << 23)).prop_map(|(cond, link, words)| {
-        Instr::Branch { cond, link, offset: words * 4 }
-    })
+    (any_cond(), any::<bool>(), -(1i32 << 23)..(1i32 << 23))
+        .prop_map(|(cond, link, words)| Instr::Branch { cond, link, offset: words * 4 })
 }
 
 fn any_swi() -> impl Strategy<Value = Instr> {
@@ -235,10 +237,7 @@ fn disassembly_reassembles() {
             s: false,
             rn: Reg::new(0),
             rd: Reg::new(3),
-            op2: Op2::Reg {
-                rm: Reg::new(4),
-                shift: Shift::Imm { ty: ShiftTy::Lsr, amount: 7 },
-            },
+            op2: Op2::Reg { rm: Reg::new(4), shift: Shift::Imm { ty: ShiftTy::Lsr, amount: 7 } },
         },
         Instr::Dp {
             cond: Cond::Al,

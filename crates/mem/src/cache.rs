@@ -155,9 +155,8 @@ impl Cache {
         }
 
         // Miss: fill the least-recently-used way.
-        let victim = (0..self.cfg.ways as usize)
-            .min_by_key(|&w| self.stamps[base + w])
-            .expect("ways > 0");
+        let victim =
+            (0..self.cfg.ways as usize).min_by_key(|&w| self.stamps[base + w]).expect("ways > 0");
         self.tags[base + victim] = tag;
         self.stamps[base + victim] = self.clock;
         self.stats.misses += 1;
@@ -254,7 +253,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn bad_geometry_panics() {
-        let _ = Cache::new(CacheConfig { sets: 3, ways: 1, line_bytes: 16, hit_latency: 1, miss_latency: 2 });
+        let _ = Cache::new(CacheConfig {
+            sets: 3,
+            ways: 1,
+            line_bytes: 16,
+            hit_latency: 1,
+            miss_latency: 2,
+        });
     }
 
     #[test]

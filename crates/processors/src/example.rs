@@ -162,10 +162,10 @@ pub fn build(program: Vec<ToyInstr>, n_regs: usize, mem: Vec<u32>) -> Engine<Toy
     let l2a = b.place("L2a", s_l2); // ALU instructions in L2
     let l2b = b.place("L2b", s_l2); // branches in L2
     let l2m = b.place("L2m", s_l2); // loads/stores in L2
-    // The writeback port drains the E-output buffer after two cycles; the
-    // feedback path exists to cover exactly that window (the paper's
-    // technical report carries the latency details; the mechanism is the
-    // figure's).
+                                    // The writeback port drains the E-output buffer after two cycles; the
+                                    // feedback path exists to cover exactly that window (the paper's
+                                    // technical report carries the latency details; the mechanism is the
+                                    // figure's).
     let l3 = b.place_with_delay("L3", s_l3, 2);
     let l4 = b.place("L4", s_l4);
     let end = b.end_place();

@@ -127,6 +127,22 @@ impl ArmRes {
     pub fn initial_sp(&self) -> u32 {
         DEFAULT_STACK_TOP
     }
+
+    /// Builds a complete initial [`rcpn::model::Machine`] for `program`:
+    /// the 15-register scoreboarded bank, loaded memory image, and the
+    /// stack pointer poked into `r13`. This is the per-program state a
+    /// compiled processor model is instantiated over.
+    pub fn machine(program: &Program, config: &SimConfig) -> rcpn::model::Machine<ArmRes> {
+        use rcpn::ids::RegId;
+        use rcpn::reg::RegisterFile;
+        let mut rf = RegisterFile::new();
+        rf.add_bank("r", 15);
+        let res = ArmRes::new(program, config);
+        let sp = res.initial_sp();
+        let mut machine = rcpn::model::Machine::new(rf, res);
+        machine.regs.poke(RegId::from_index(13), sp);
+        machine
+    }
 }
 
 #[cfg(test)]

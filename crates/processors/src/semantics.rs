@@ -19,7 +19,7 @@ use rcpn::ids::PlaceId;
 use rcpn::model::{Fx, Machine};
 use rcpn::reg::{Operand, RegisterFile};
 
-use crate::armtok::{ArmTok, MulSpec, Op2Spec, OffSpec, Width};
+use crate::armtok::{ArmTok, MulSpec, OffSpec, Op2Spec, Width};
 use crate::res::ArmRes;
 
 /// True if `op` can be supplied now: from the register file, or forwarded
@@ -118,9 +118,7 @@ pub fn exec_dataproc(
     let c_in = m.res.cpsr.c();
     let (b, shifter_c) = match t.dec.op2 {
         Op2Spec::Imm { value, carry } => (value, carry.unwrap_or(c_in)),
-        Op2Spec::RegImm { ty, amount } => {
-            shift_imm(ty, t.srcs[1].value(), u32::from(amount), c_in)
-        }
+        Op2Spec::RegImm { ty, amount } => shift_imm(ty, t.srcs[1].value(), u32::from(amount), c_in),
         Op2Spec::RegReg { ty } => shift_reg(ty, t.srcs[1].value(), t.srcs[2].value(), c_in),
     };
     let a = t.srcs[0].value();
@@ -142,7 +140,12 @@ pub fn exec_dataproc(
 
 /// Execute stage of the Branch class: resolve, train the predictor, squash
 /// on a front-end mismatch.
-pub fn exec_branch(m: &mut Machine<ArmRes>, t: &mut ArmTok, fx: &mut Fx<ArmTok>, flush: &[PlaceId]) {
+pub fn exec_branch(
+    m: &mut Machine<ArmRes>,
+    t: &mut ArmTok,
+    fx: &mut Fx<ArmTok>,
+    flush: &[PlaceId],
+) {
     let taken = cond_passes(m, t);
     let target = t.dec.branch_target;
     if taken && t.dec.link {
@@ -224,12 +227,7 @@ pub fn nth_reg(list: u16, k: u8) -> Reg {
 /// (`t.delay = mem.delay(addr)`, paper Fig. 5). Returns `true` if this
 /// access redirects the PC (load into PC), in which case the caller's flush
 /// set applies.
-pub fn exec_mem(
-    m: &mut Machine<ArmRes>,
-    t: &mut ArmTok,
-    fx: &mut Fx<ArmTok>,
-    flush: &[PlaceId],
-) {
+pub fn exec_mem(m: &mut Machine<ArmRes>, t: &mut ArmTok, fx: &mut Fx<ArmTok>, flush: &[PlaceId]) {
     if t.annulled {
         return;
     }
@@ -289,12 +287,7 @@ pub fn exec_mul(m: &mut Machine<ArmRes>, t: &mut ArmTok, fx: &mut Fx<ArmTok>) {
         t.dst.set(&mut m.regs, tok, t.value);
         t.dst2.set(&mut m.regs, tok, t.value2);
         if t.dec.sets_flags {
-            m.res.cpsr.set_nzcv(
-                product >> 63 != 0,
-                product == 0,
-                m.res.cpsr.c(),
-                m.res.cpsr.v(),
-            );
+            m.res.cpsr.set_nzcv(product >> 63 != 0, product == 0, m.res.cpsr.c(), m.res.cpsr.v());
         }
     } else {
         let mut result = a.wrapping_mul(b);
@@ -334,10 +327,7 @@ pub fn exec_system(
     flush: &[PlaceId],
 ) {
     if t.dec.undefined {
-        m.res.fault = Some(format!(
-            "undefined instruction at pc {:#x}: {}",
-            t.pc, t.dec.instr
-        ));
+        m.res.fault = Some(format!("undefined instruction at pc {:#x}: {}", t.pc, t.dec.instr));
         fx.halt();
         return;
     }

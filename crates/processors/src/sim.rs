@@ -1,6 +1,11 @@
 //! A convenience wrapper around the generated cycle-accurate engines.
+//!
+//! Follows the paper's model → compile → run pipeline: [`CompiledSim`] is
+//! the compiled (generated) simulator for a processor/configuration pair,
+//! and [`CaSim`] is one runnable instance of it bound to a program.
 
 use arm_isa::program::Program;
+use rcpn::compiled::CompiledModel;
 use rcpn::engine::{Engine, RunOutcome};
 use rcpn::ids::RegId;
 
@@ -14,6 +19,83 @@ pub enum ProcModel {
     StrongArm,
     /// The superpipelined Intel XScale.
     XScale,
+}
+
+/// A compiled ARM cycle-accurate simulator: the processor model analyzed
+/// and partially evaluated, ready to be bound to programs.
+///
+/// Compile once, [`CompiledSim::instantiate`] per program — instantiation
+/// is cheap (the model and its hot tables are shared), which is what makes
+/// batched multi-program simulation affordable.
+///
+/// ```
+/// use arm_isa::asm::assemble;
+/// use processors::sim::{CompiledSim, ProcModel};
+/// use processors::res::SimConfig;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let compiled = CompiledSim::new(ProcModel::StrongArm, &SimConfig::strongarm());
+/// let p1 = assemble("mov r0, #6\nswi #0\n")?;
+/// let p2 = assemble("mov r0, #7\nswi #0\n")?;
+/// assert_eq!(compiled.instantiate(&p1).run(10_000).exit, Some(6));
+/// assert_eq!(compiled.instantiate(&p2).run(10_000).exit, Some(7));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone)]
+pub struct CompiledSim {
+    compiled: CompiledModel<ArmTok, ArmRes>,
+    model: ProcModel,
+    config: SimConfig,
+}
+
+impl CompiledSim {
+    /// Compiles `model` under `config`.
+    pub fn new(model: ProcModel, config: &SimConfig) -> Self {
+        let compiled = match model {
+            ProcModel::StrongArm => crate::strongarm::compile(config),
+            ProcModel::XScale => crate::xscale::compile(config),
+        };
+        CompiledSim { compiled, model, config: config.clone() }
+    }
+
+    /// Compiled StrongARM with default configuration.
+    pub fn strongarm() -> Self {
+        Self::new(ProcModel::StrongArm, &SimConfig::strongarm())
+    }
+
+    /// Compiled XScale with default configuration.
+    pub fn xscale() -> Self {
+        Self::new(ProcModel::XScale, &SimConfig::xscale())
+    }
+
+    /// The processor model.
+    pub fn model(&self) -> ProcModel {
+        self.model
+    }
+
+    /// The simulator configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// The underlying compiled RCPN artifact.
+    pub fn compiled_model(&self) -> &CompiledModel<ArmTok, ArmRes> {
+        &self.compiled
+    }
+
+    /// Binds the compiled simulator to a program: fresh machine state
+    /// (memory image, caches, scoreboard) over the shared tables.
+    pub fn instantiate(&self, program: &Program) -> CaSim {
+        let machine = ArmRes::machine(program, &self.config);
+        CaSim { engine: self.compiled.instantiate(machine), model: self.model }
+    }
+}
+
+impl std::fmt::Debug for CompiledSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompiledSim").field("model", &self.model).finish()
+    }
 }
 
 /// Result of driving a simulation to completion.
@@ -58,13 +140,11 @@ impl CaSim {
         Self::with_config(ProcModel::XScale, program, &SimConfig::xscale())
     }
 
-    /// Builds a simulator for an explicit model/configuration pair.
+    /// Builds a simulator for an explicit model/configuration pair
+    /// (compiles the model and instantiates it in one step; use
+    /// [`CompiledSim`] to amortize compilation over many programs).
     pub fn with_config(model: ProcModel, program: &Program, config: &SimConfig) -> Self {
-        let engine = match model {
-            ProcModel::StrongArm => crate::strongarm::build(program, config),
-            ProcModel::XScale => crate::xscale::build(program, config),
-        };
-        CaSim { engine, model }
+        CompiledSim::new(model, config).instantiate(program)
     }
 
     /// The processor model.

@@ -194,8 +194,7 @@ pub fn run_program(
             idle = 0;
         }
     }
-    let regs =
-        (0..n_regs).map(|i| engine.machine().regs.value_of(RegId::from_index(i))).collect();
+    let regs = (0..n_regs).map(|i| engine.machine().regs.value_of(RegId::from_index(i))).collect();
     (engine.cycle(), regs)
 }
 
@@ -224,18 +223,15 @@ mod tests {
                 idle = 0;
             }
         }
-        let regs =
-            (0..8).map(|i| engine.machine().regs.value_of(RegId::from_index(i))).collect();
+        let regs = (0..8).map(|i| engine.machine().regs.value_of(RegId::from_index(i))).collect();
         (engine.cycle(), regs)
     }
 
     #[test]
     fn computes_dependent_chain() {
         // r3 = r1 * r2 ; r4 = r3 + r1 ; r5 = r4 + r4
-        let (_c, regs) = with_inits(
-            &[(1, 3), (2, 4)],
-            vec![mul(3, 1, 2), add(4, 3, 1), add(5, 4, 4)],
-        );
+        let (_c, regs) =
+            with_inits(&[(1, 3), (2, 4)], vec![mul(3, 1, 2), add(4, 3, 1), add(5, 4, 4)]);
         assert_eq!(regs[3], 12);
         assert_eq!(regs[4], 15);
         assert_eq!(regs[5], 30);
@@ -307,12 +303,7 @@ mod tests {
         // 4 independent muls (3 cycles each) on one multiplier + 4
         // independent adds: with OOO issue the adds fill the adder while
         // muls stream through the multiplier.
-        let program = vec![
-            mul(2, 1, 1),
-            mul(3, 1, 1),
-            add(4, 1, 1),
-            add(5, 1, 1),
-        ];
+        let program = vec![mul(2, 1, 1), mul(3, 1, 1), add(4, 1, 1), add(5, 1, 1)];
         let (cycles, regs) = with_inits(&[(1, 5)], program);
         assert_eq!(regs[2], 25);
         assert_eq!(regs[4], 10);

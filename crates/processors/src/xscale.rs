@@ -15,10 +15,10 @@
 use arm_isa::program::Program;
 use memsys::Memory;
 use rcpn::builder::ModelBuilder;
+use rcpn::compiled::CompiledModel;
 use rcpn::engine::Engine;
-use rcpn::ids::{OpClassId, PlaceId, RegId};
-use rcpn::model::Machine;
-use rcpn::reg::{Operand, RegisterFile};
+use rcpn::ids::{OpClassId, PlaceId};
+use rcpn::reg::Operand;
 
 use crate::armtok::{reg_id, ArmClass, ArmTok};
 use crate::res::{ArmRes, SimConfig};
@@ -26,11 +26,28 @@ use crate::semantics::*;
 
 /// Builds an XScale cycle-accurate engine for `program`.
 ///
+/// Convenience over [`compile`] + [`ArmRes::machine`]; build the compiled
+/// model once and instantiate it per program when running many programs.
+///
 /// # Panics
 ///
 /// Panics if the internal model fails validation (a bug, not a user
 /// error).
 pub fn build(program: &Program, config: &SimConfig) -> Engine<ArmTok, ArmRes> {
+    compile(config).instantiate(ArmRes::machine(program, config))
+}
+
+/// Compiles the XScale model into its generated-simulator artifact.
+///
+/// The model structure is program-independent (the program image lives in
+/// the machine resources), so one compiled model can instantiate engines
+/// for any number of programs.
+///
+/// # Panics
+///
+/// Panics if the internal model fails validation (a bug, not a user
+/// error).
+pub fn compile(config: &SimConfig) -> CompiledModel<ArmTok, ArmRes> {
     let mut b = ModelBuilder::<ArmTok, ArmRes>::new();
 
     // Stages.
@@ -60,8 +77,7 @@ pub fn build(program: &Program, config: &SimConfig) -> Engine<ArmTok, ArmRes> {
     let p_mx = b.place("Mx", s_mx);
     let end = b.end_place();
 
-    let classes: Vec<OpClassId> =
-        ArmClass::ALL.iter().map(|c| b.class_net(c.name()).0).collect();
+    let classes: Vec<OpClassId> = ArmClass::ALL.iter().map(|c| b.class_net(c.name()).0).collect();
     for (i, c) in classes.iter().enumerate() {
         assert_eq!(c.index(), i, "class ids must follow ArmClass order");
     }
@@ -288,9 +304,7 @@ pub fn build(program: &Program, config: &SimConfig) -> Engine<ArmTok, ArmRes> {
     // --- Instruction-independent sub-net (fetch, BTB-predicted) --------------------------
     b.source("fetch")
         .to(p_f1)
-        .guard(|m| {
-            m.res.exit.is_none() && m.res.fault.is_none() && m.res.pending_serialize == 0
-        })
+        .guard(|m| m.res.exit.is_none() && m.res.fault.is_none() && m.res.pending_serialize == 0)
         .produce(|m, fx| {
             let pc = m.res.pc;
             let lat = m.res.icache.access(pc);
@@ -319,13 +333,7 @@ pub fn build(program: &Program, config: &SimConfig) -> Engine<ArmTok, ArmRes> {
     b.on_squash(clear_serialize);
 
     let model = b.build().expect("XScale model validates");
-    let mut rf = RegisterFile::new();
-    rf.add_bank("r", 15);
-    let res = ArmRes::new(program, config);
-    let sp = res.initial_sp();
-    let mut machine = Machine::new(rf, res);
-    machine.regs.poke(RegId::from_index(13), sp);
-    Engine::with_config(model, machine, config.engine.clone())
+    CompiledModel::compile_with(model, config.engine.clone())
 }
 
 #[cfg(test)]

@@ -20,11 +20,7 @@ fn cosim(src: &str) -> (processors::SimResult, processors::SimResult) {
     let mut sa = CaSim::strongarm(&program);
     let sa_result = sa.run(20_000_000);
     assert_eq!(sa_result.fault, None, "StrongARM faulted");
-    assert_eq!(
-        sa_result.exit,
-        Some(iss.exit_code()),
-        "StrongARM exit code differs from ISS"
-    );
+    assert_eq!(sa_result.exit, Some(iss.exit_code()), "StrongARM exit code differs from ISS");
     assert_eq!(sa.output(), iss.output(), "StrongARM output differs");
     for r in 0..13 {
         assert_eq!(
@@ -45,11 +41,7 @@ fn cosim(src: &str) -> (processors::SimResult, processors::SimResult) {
         assert_eq!(xs.reg(r), iss.regs[r], "XScale r{r} differs from ISS");
     }
 
-    assert_eq!(
-        sa_result.instrs,
-        iss.instr_count(),
-        "StrongARM instruction count differs from ISS"
-    );
+    assert_eq!(sa_result.instrs, iss.instr_count(), "StrongARM instruction count differs from ISS");
     assert_eq!(xs_result.instrs, iss.instr_count(), "XScale instruction count");
 
     (sa_result, xs_result)

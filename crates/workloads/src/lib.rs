@@ -54,14 +54,8 @@ pub enum Kernel {
 
 impl Kernel {
     /// All kernels, in the paper's figure order.
-    pub const ALL: [Kernel; 6] = [
-        Kernel::Adpcm,
-        Kernel::Blowfish,
-        Kernel::Compress,
-        Kernel::Crc,
-        Kernel::G721,
-        Kernel::Go,
-    ];
+    pub const ALL: [Kernel; 6] =
+        [Kernel::Adpcm, Kernel::Blowfish, Kernel::Compress, Kernel::Crc, Kernel::G721, Kernel::Go];
 
     /// The benchmark name as it appears in the paper's figures.
     pub fn name(self) -> &'static str {
@@ -135,8 +129,8 @@ impl Workload {
             Kernel::G721 => kernels::g721::build(size),
             Kernel::Go => kernels::go::build(size),
         };
-        let program = assemble(&src)
-            .unwrap_or_else(|e| panic!("kernel {kernel} failed to assemble: {e}"));
+        let program =
+            assemble(&src).unwrap_or_else(|e| panic!("kernel {kernel} failed to assemble: {e}"));
         Workload { kernel, size, program, expected }
     }
 

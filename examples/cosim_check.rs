@@ -12,14 +12,12 @@ use processors::sim::CaSim;
 use workloads::{Kernel, Workload};
 
 fn main() {
-    let scale: f64 = std::env::args()
-        .nth(1)
-        .map(|s| s.parse().expect("scale must be a number"))
-        .unwrap_or(0.05);
+    let scale: f64 =
+        std::env::args().nth(1).map(|s| s.parse().expect("scale must be a number")).unwrap_or(0.05);
 
     println!(
-        "{:<10} {:>10} {:>12} {:>8} {:>8} {:>8}  {}",
-        "kernel", "checksum", "instrs", "SA cpi", "XS cpi", "SS cpi", "verdict"
+        "{:<10} {:>10} {:>12} {:>8} {:>8} {:>8}  verdict",
+        "kernel", "checksum", "instrs", "SA cpi", "XS cpi", "SS cpi"
     );
     let mut all_ok = true;
     for kernel in Kernel::ALL {

@@ -26,11 +26,7 @@ fn main() {
 
     println!("assembling {kernel} (size {size})...");
     let w = Workload::build(kernel, size);
-    println!(
-        "program: {} words, expected checksum {:#010x}",
-        w.program.words.len(),
-        w.expected
-    );
+    println!("program: {} words, expected checksum {:#010x}", w.program.words.len(), w.expected);
 
     let mut sim = CaSim::strongarm(&w.program);
     let t0 = std::time::Instant::now();
@@ -46,9 +42,6 @@ fn main() {
     println!("icache:        {:.2}% hits", 100.0 * res.icache.stats().hit_ratio());
     println!("dcache:        {:.2}% hits", 100.0 * res.dcache.stats().hit_ratio());
     println!("redirects:     {} (squashes {})", res.redirects, res.squashes);
-    println!(
-        "decode cache:  {} hits / {} misses",
-        res.dec_cache.hits, res.dec_cache.misses
-    );
+    println!("decode cache:  {} hits / {} misses", res.dec_cache.hits, res.dec_cache.misses);
     println!("sim speed:     {:.2} Mcycles/s", r.cycles as f64 / dt / 1e6);
 }

@@ -31,10 +31,8 @@ fn main() {
     while engine.cycle() < 100 && idle < 3 {
         engine.step();
         let m = engine.machine();
-        let vals: Vec<u32> =
-            (3..7).map(|i| m.regs.value_of(RegId::from_index(i))).collect();
-        let newly: Vec<usize> =
-            (0..4).filter(|&k| vals[k] != 0 && !shown[k]).collect();
+        let vals: Vec<u32> = (3..7).map(|i| m.regs.value_of(RegId::from_index(i))).collect();
+        let newly: Vec<usize> = (0..4).filter(|&k| vals[k] != 0 && !shown[k]).collect();
         if !newly.is_empty() {
             for k in newly {
                 shown[k] = true;

@@ -6,9 +6,9 @@
 //! cargo run --release --example xscale_pipeline
 //! ```
 
+use processors::res::SimConfig;
 use processors::sim::CaSim;
 use rcpn::engine::EngineConfig;
-use processors::res::SimConfig;
 use workloads::{Kernel, Workload};
 
 fn main() {
@@ -31,8 +31,7 @@ fn main() {
             model.subnet_count()
         );
         print!("  evaluation order (reverse topological): ");
-        let names: Vec<&str> =
-            a.order().iter().map(|&p| model.place(p).name()).collect();
+        let names: Vec<&str> = a.order().iter().map(|&p| model.place(p).name()).collect();
         println!("{}", names.join(" "));
         print!("  two-list places (feedback): ");
         let tl: Vec<&str> = model
@@ -45,7 +44,13 @@ fn main() {
 
     let r = sim.run(4_000_000_000);
     assert_eq!(r.exit, Some(w.expected), "checksum mismatch");
-    println!("\nran {} ({} instrs) in {} cycles — CPI {:.3}", w.kernel, r.instrs, r.cycles, r.cpi());
+    println!(
+        "\nran {} ({} instrs) in {} cycles — CPI {:.3}",
+        w.kernel,
+        r.instrs,
+        r.cycles,
+        r.cpi()
+    );
     println!("BTB accuracy: {:.1}%", {
         let s = sim.res().btb.as_ref().expect("xscale has a btb").stats();
         100.0 * s.accuracy()

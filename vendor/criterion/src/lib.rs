@@ -1,0 +1,177 @@
+//! Minimal offline shim for the `criterion` benchmarking crate.
+//!
+//! Implements the surface this workspace's benches use: benchmark groups
+//! with `sample_size`/`measurement_time`/`throughput`, `bench_function`
+//! with a [`Bencher`] whose `iter` times the closure, and the
+//! `criterion_group!`/`criterion_main!` macros. Reporting is a mean/min
+//! line per benchmark; set `CRITERION_JSON=<path>` to also append one
+//! JSON object per benchmark (machine-readable baselines).
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation: scales the per-iteration time into a rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration (reported as elem/s).
+    Elements(u64),
+    /// Bytes processed per iteration (reported as B/s).
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver (shim: only carries defaults).
+#[derive(Debug)]
+pub struct Criterion {
+    default_sample_size: usize,
+    default_measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { default_sample_size: 10, default_measurement_time: Duration::from_secs(5) }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+            measurement_time: self.default_measurement_time,
+            throughput: None,
+            _parent: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Wall-clock budget per benchmark; sampling stops early when spent.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs and reports one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher { samples: Vec::new() };
+        // Warm-up (also the only execution under `--test`-style dry runs).
+        f(&mut b);
+        b.samples.clear();
+        let budget = Instant::now();
+        while b.samples.len() < self.sample_size && budget.elapsed() < self.measurement_time {
+            f(&mut b);
+        }
+        report(&self.name, &id, &b.samples, self.throughput);
+        self
+    }
+
+    /// Ends the group (no-op in the shim; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; times one routine per sample.
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times one execution of `routine` as one sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let t0 = Instant::now();
+        let out = routine();
+        self.samples.push(t0.elapsed());
+        drop(black_box(out));
+    }
+}
+
+fn report(group: &str, id: &str, samples: &[Duration], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        println!("{group}/{id}: no samples");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = *samples.iter().min().expect("non-empty");
+    let rate = |elems: u64, d: Duration| elems as f64 / d.as_secs_f64();
+    let thrpt = match throughput {
+        Some(Throughput::Elements(n)) => format!(" thrpt: {:.3} Melem/s", rate(n, mean) / 1e6),
+        Some(Throughput::Bytes(n)) => {
+            format!(" thrpt: {:.3} MiB/s", rate(n, mean) / (1024.0 * 1024.0))
+        }
+        None => String::new(),
+    };
+    println!(
+        "{group}/{id}: mean {:.3} ms, min {:.3} ms, {} samples{thrpt}",
+        mean.as_secs_f64() * 1e3,
+        min.as_secs_f64() * 1e3,
+        samples.len(),
+    );
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        if let Ok(mut file) = std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+            let (tp_kind, tp_n) = match throughput {
+                Some(Throughput::Elements(n)) => ("elements", n),
+                Some(Throughput::Bytes(n)) => ("bytes", n),
+                None => ("none", 0),
+            };
+            let _ = writeln!(
+                file,
+                "{{\"group\":\"{group}\",\"bench\":\"{id}\",\"mean_ns\":{},\"min_ns\":{},\
+                 \"samples\":{},\"throughput\":\"{tp_kind}\",\"throughput_per_iter\":{tp_n},\
+                 \"per_sec_mean\":{:.1}}}",
+                mean.as_nanos(),
+                min.as_nanos(),
+                samples.len(),
+                if tp_n > 0 { tp_n as f64 / mean.as_secs_f64() } else { 0.0 },
+            );
+        }
+    }
+}
+
+/// Groups benchmark functions into one callable entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
