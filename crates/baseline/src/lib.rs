@@ -25,6 +25,24 @@
 //!
 //! Architectural results are exact by construction (the functional core is
 //! the gold-model ISS); the interesting outputs are cycles and CPI.
+//!
+//! This crate deliberately does **not** depend on `rcpn`: it is the
+//! *comparator*, so speed comparisons stay structure-vs-structure rather
+//! than implementation-vs-implementation (see `DESIGN.md` §1). Use it
+//! through [`SsArm`]:
+//!
+//! ```
+//! use arm_isa::asm::assemble;
+//! use baseline_sim::SsArm;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = assemble("mov r0, #6\nmov r1, #7\nmul r0, r1, r0\nswi #0\n")?;
+//! let result = SsArm::new(&program).run(100_000);
+//! assert_eq!(result.exit, Some(42));
+//! assert!(result.cycles > result.instrs, "CPI > 1 on a scalar in-order core");
+//! # Ok(())
+//! # }
+//! ```
 
 use std::collections::{BinaryHeap, HashSet, VecDeque};
 

@@ -1,0 +1,91 @@
+//! Batched sweep over the full {kernel × table-mode × engine-config}
+//! matrix, serial vs parallel, with a determinism check.
+//!
+//! ```text
+//! cargo run --bin sweep                    # test-size matrix, host threads
+//! cargo run --bin sweep -- --scale 0.2     # larger workloads
+//! cargo run --bin sweep -- --workers 4     # explicit worker count
+//! cargo run --bin sweep -- --out BENCH_sweep.json
+//! ```
+//!
+//! Every engine variant is compiled once; the batch runners instantiate
+//! engines from the shared artifacts. The binary always runs the matrix
+//! twice — once on one worker, once on N — asserts the two runs are
+//! bit-identical, and records the wall-clock comparison in the JSON file.
+
+use rcpn::batch::BatchRunner;
+use rcpn_bench::sweep::{render_json, Sweep};
+
+fn main() {
+    let mut scale = 0.0f64;
+    // Floor of 2 so the recorded run exercises the thread pool even on a
+    // single-CPU host (the speedup column then honestly reports ~1x).
+    let mut workers = BatchRunner::host_parallel().workers().max(2);
+    let mut out = Some("BENCH_sweep.json".to_string());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                scale = it.next().and_then(|s| s.parse().ok()).expect("--scale needs a number");
+            }
+            "--workers" => {
+                workers = it.next().and_then(|s| s.parse().ok()).expect("--workers needs a count");
+            }
+            "--out" => {
+                out = Some(it.next().expect("--out needs a path").clone());
+            }
+            "--no-out" => out = None,
+            other => {
+                eprintln!("unknown argument {other:?}; try --scale N | --workers N | --out PATH | --no-out");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let t0 = std::time::Instant::now();
+    let sweep = Sweep::new(scale);
+    println!(
+        "matrix: {} engine variants x {} workloads = {} jobs (compiled in {:.2}s)",
+        sweep.variants.len(),
+        sweep.workloads.len(),
+        sweep.len(),
+        t0.elapsed().as_secs_f64(),
+    );
+
+    let serial = sweep.run(&BatchRunner::new(1));
+    let parallel = sweep.run(&BatchRunner::new(workers));
+    assert!(
+        serial.simulation_identical(&parallel),
+        "parallel sweep diverged from the serial run — determinism is broken"
+    );
+
+    println!("{:<34}{:>12}{:>12}{:>10}", "", "cycles", "instrs", "cpi");
+    for row in &parallel.rows {
+        println!(
+            "{:<34}{:>12}{:>12}{:>10.3}",
+            format!("{}/{}", row.variant, row.kernel),
+            row.cycles,
+            row.instrs,
+            row.cycles as f64 / row.instrs as f64,
+        );
+    }
+    println!(
+        "\n{} jobs, {} total simulated cycles, merged stats bit-identical at 1 and {} workers",
+        parallel.rows.len(),
+        parallel.total_cycles(),
+        parallel.workers,
+    );
+    println!(
+        "serial {:.3}s  parallel {:.3}s ({} workers)  speedup {:.2}x",
+        serial.wall_seconds,
+        parallel.wall_seconds,
+        parallel.workers,
+        serial.wall_seconds / parallel.wall_seconds,
+    );
+
+    if let Some(path) = out {
+        std::fs::write(&path, render_json(&serial, &parallel)).expect("write sweep record");
+        println!("recorded {path}");
+    }
+}

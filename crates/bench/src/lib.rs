@@ -1,10 +1,22 @@
 //! # rcpn-bench — the measurement harness for the paper's figures
 //!
-//! Helpers shared by the Criterion benches and the `figures` binary:
-//! timed runs of each simulator over each benchmark, and the table
+//! Everything here exists to produce *honest* numbers: model compilation
+//! stays outside every timed region, and every timed run must exit with
+//! its workload's gold checksum before its time is reported — a
+//! mis-simulating configuration is a panic, never a data point. Recorded
+//! results land in the repo-root `BENCH_*.json` files; `README.md` maps
+//! each file to the paper figure or claim it reproduces.
+//!
+//! Helpers shared by the Criterion benches and the `figures`/`sweep`
+//! binaries: timed runs of each simulator over each benchmark, the table
 //! generators for Figure 10 (simulation performance in Mcycles/s),
 //! Figure 11 (CPI), the Figure 1/2 model-size comparison, the Section 4
-//! optimization ablations, and the Section 5 model-effort summary.
+//! optimization ablations, and the Section 5 model-effort summary — plus
+//! the [`sweep`] module, which batches the full
+//! {kernel × table-mode × engine-config} job matrix across worker threads
+//! on the compiled-model seam and records `BENCH_sweep.json`.
+
+pub mod sweep;
 
 use std::time::Instant;
 
@@ -13,7 +25,7 @@ use baseline_sim::SsArm;
 use processors::res::SimConfig;
 use processors::sim::{CompiledSim, ProcModel};
 use rcpn::engine::{EngineConfig, TableMode};
-use workloads::{Kernel, Workload};
+use workloads::Workload;
 
 /// Cycle budget nothing should ever hit.
 pub const MAX_CYCLES: u64 = 4_000_000_000;
@@ -175,13 +187,7 @@ pub fn measure_ablation(w: &Workload, engine: EngineConfig, decode_cache: bool) 
 /// Builds the benchmark suite at a size scale: 1.0 = the paper-style bench
 /// sizes, smaller for quick runs.
 pub fn suite(scale: f64) -> Vec<Workload> {
-    Kernel::ALL
-        .iter()
-        .map(|&k| {
-            let size = ((k.bench_size() as f64 * scale) as usize).max(k.test_size());
-            Workload::build(k, size)
-        })
-        .collect()
+    Workload::suite(scale)
 }
 
 /// Arithmetic mean (the paper's "Average" bars).
@@ -192,6 +198,7 @@ pub fn average(values: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use workloads::Kernel;
 
     #[test]
     fn measurement_math() {

@@ -1,0 +1,309 @@
+//! Sweep-style batched evaluation over the compiled-model seam.
+//!
+//! The dominant use of a fast cycle-accurate simulator is not one run but
+//! a *sweep*: many configurations × many workloads, evaluated together
+//! (design-space exploration, regression matrices). This module enumerates
+//! that job matrix — {kernel × table-mode × engine-config}, with both
+//! processor models on the engine axis — compiles each engine variant
+//! **once**, and fans the jobs across a [`BatchRunner`], each worker
+//! instantiating its engine from the shared compiled artifact.
+//!
+//! Determinism is the load-bearing property: a [`SweepRun`]'s per-job
+//! statistics and its merged aggregate are bit-identical between a serial
+//! run and a parallel run at any worker count. `cargo run --bin sweep`
+//! drives this module, checks that invariant end to end, and records the
+//! measured serial-vs-parallel wall clock in `BENCH_sweep.json`.
+
+use std::time::Instant;
+
+use processors::res::SimConfig;
+use processors::sim::{CompiledSim, ProcModel};
+use rcpn::batch::{merge_stats, BatchRunner};
+use rcpn::engine::{EngineConfig, TableMode};
+use rcpn::stats::Stats;
+use workloads::{Kernel, Workload};
+
+use crate::MAX_CYCLES;
+
+/// One point on the engine axis of the sweep matrix: a processor model
+/// compiled under one engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineVariant {
+    /// Row label, e.g. `"strongarm/tables:full-scan"`.
+    pub label: String,
+    /// The processor model.
+    pub proc: ProcModel,
+    /// The engine configuration the model is compiled with.
+    pub engine: EngineConfig,
+}
+
+impl EngineVariant {
+    /// A variant labeled `"<proc>/<mode>"`.
+    pub fn new(proc: ProcModel, mode: &str, engine: EngineConfig) -> Self {
+        let p = match proc {
+            ProcModel::StrongArm => "strongarm",
+            ProcModel::XScale => "xscale",
+        };
+        EngineVariant { label: format!("{p}/{mode}"), proc, engine }
+    }
+
+    /// The simulator configuration for this variant (model defaults with
+    /// the variant's engine config).
+    pub fn sim_config(&self) -> SimConfig {
+        let base = match self.proc {
+            ProcModel::StrongArm => SimConfig::strongarm(),
+            ProcModel::XScale => SimConfig::xscale(),
+        };
+        SimConfig { engine: self.engine.clone(), ..base }
+    }
+}
+
+/// The default engine axis: both processor models × every candidate-table
+/// mode, plus the two-list-everywhere evaluation scheme on StrongARM.
+pub fn engine_axis() -> Vec<EngineVariant> {
+    let modes = [
+        ("tables:per-place-class", TableMode::PerPlaceClass),
+        ("tables:per-place", TableMode::PerPlace),
+        ("tables:full-scan", TableMode::FullScan),
+    ];
+    let mut axis = Vec::new();
+    for proc in [ProcModel::StrongArm, ProcModel::XScale] {
+        for (name, mode) in modes {
+            let engine = EngineConfig { table_mode: mode, ..Default::default() };
+            axis.push(EngineVariant::new(proc, name, engine));
+        }
+    }
+    axis.push(EngineVariant::new(
+        ProcModel::StrongArm,
+        "two-list-everywhere",
+        EngineConfig { two_list_everywhere: true, ..Default::default() },
+    ));
+    axis
+}
+
+/// A fully enumerated sweep: the two axes, the per-variant compiled
+/// artifacts, and the flat job list.
+///
+/// Compilation happens exactly once per engine variant, in [`Sweep::new`];
+/// running the sweep (serially or in parallel, any number of times) only
+/// instantiates engines from the shared artifacts.
+pub struct Sweep {
+    /// The engine axis.
+    pub variants: Vec<EngineVariant>,
+    /// One compiled simulator per variant (index-aligned with `variants`).
+    pub artifacts: Vec<CompiledSim>,
+    /// The workload axis.
+    pub workloads: Vec<Workload>,
+    /// The job matrix, row-major over (variant, workload) indices. Job
+    /// numbering is fixed by this enumeration order, which is what the
+    /// deterministic-merge invariant is anchored to.
+    pub jobs: Vec<(usize, usize)>,
+}
+
+impl Sweep {
+    /// Enumerates the full default matrix — [`engine_axis`] × all six
+    /// kernels at `scale` — and compiles every engine variant.
+    pub fn new(scale: f64) -> Sweep {
+        Sweep::with(engine_axis(), Workload::matrix(&Kernel::ALL, &[scale]))
+    }
+
+    /// Enumerates an explicit matrix and compiles its engine variants.
+    pub fn with(variants: Vec<EngineVariant>, workloads: Vec<Workload>) -> Sweep {
+        let artifacts =
+            variants.iter().map(|v| CompiledSim::new(v.proc, &v.sim_config())).collect();
+        let jobs =
+            (0..variants.len()).flat_map(|v| (0..workloads.len()).map(move |w| (v, w))).collect();
+        Sweep { variants, artifacts, workloads, jobs }
+    }
+
+    /// Number of jobs in the matrix.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the matrix is empty.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Runs every job of the matrix on `runner`, returning per-job rows in
+    /// job order plus the deterministic merged aggregate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any simulation fails to exit with its gold checksum — a
+    /// mis-simulating configuration must never be reported.
+    pub fn run(&self, runner: &BatchRunner) -> SweepRun {
+        let t0 = Instant::now();
+        let rows = runner.run(&self.jobs, |_idx, &(v, w)| {
+            let workload = &self.workloads[w];
+            let mut sim = self.artifacts[v].instantiate(&workload.program);
+            let job_t0 = Instant::now();
+            let r = sim.run(MAX_CYCLES);
+            let seconds = job_t0.elapsed().as_secs_f64();
+            assert_eq!(
+                r.exit,
+                Some(workload.expected),
+                "{}/{} exited with the wrong checksum",
+                self.variants[v].label,
+                workload.kernel,
+            );
+            SweepRow {
+                variant: self.variants[v].label.clone(),
+                kernel: workload.kernel,
+                size: workload.size,
+                cycles: r.cycles,
+                instrs: r.instrs,
+                seconds,
+                stats: sim.engine.stats().clone(),
+            }
+        });
+        let wall_seconds = t0.elapsed().as_secs_f64();
+        let merged = merge_stats(rows.iter().map(|r| &r.stats));
+        SweepRun { rows, merged, wall_seconds, workers: runner.workers() }
+    }
+}
+
+/// One completed job of a sweep.
+#[derive(Debug, Clone)]
+pub struct SweepRow {
+    /// Engine-variant label of the job.
+    pub variant: String,
+    /// Workload kernel of the job.
+    pub kernel: Kernel,
+    /// Workload problem size.
+    pub size: usize,
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Committed instructions.
+    pub instrs: u64,
+    /// Host seconds of this job alone (noisy under parallel execution; use
+    /// [`SweepRun::wall_seconds`] for throughput comparisons).
+    pub seconds: f64,
+    /// The engine's full statistics block.
+    pub stats: Stats,
+}
+
+/// The result of running a [`Sweep`]: rows in job order, the merged
+/// aggregate, and the wall clock of the whole batch.
+#[derive(Debug, Clone)]
+pub struct SweepRun {
+    /// Per-job results, in job order (independent of worker scheduling).
+    pub rows: Vec<SweepRow>,
+    /// All row stats merged in job order.
+    pub merged: Stats,
+    /// Wall-clock seconds for the whole batch.
+    pub wall_seconds: f64,
+    /// Worker count the batch ran with.
+    pub workers: usize,
+}
+
+impl SweepRun {
+    /// True when `self` and `other` simulated the exact same thing:
+    /// per-job cycles, instruction counts and full statistics blocks are
+    /// bit-identical, and so are the merged aggregates. Wall-clock fields
+    /// are ignored — that is where the two runs are *supposed* to differ.
+    pub fn simulation_identical(&self, other: &SweepRun) -> bool {
+        self.rows.len() == other.rows.len()
+            && self.merged == other.merged
+            && self.rows.iter().zip(&other.rows).all(|(a, b)| {
+                a.variant == b.variant
+                    && a.kernel == b.kernel
+                    && a.size == b.size
+                    && a.cycles == b.cycles
+                    && a.instrs == b.instrs
+                    && a.stats == b.stats
+            })
+    }
+
+    /// Total simulated cycles across the batch.
+    pub fn total_cycles(&self) -> u64 {
+        self.merged.cycles
+    }
+}
+
+/// Renders the sweep record as JSON lines (the `BENCH_*.json` house
+/// format): one `"sweep"` row per job, then one `"sweep-summary"` row
+/// with the serial-vs-parallel wall-clock measurement.
+///
+/// Per-job rows (and their `job_seconds`/`mcps` timing) come from the
+/// **serial** run: under parallel execution the workers time-share cores,
+/// so parallel per-job clocks would understate real single-run speed.
+/// The two runs' simulation results are asserted identical elsewhere; the
+/// parallel run contributes only its wall clock and worker count.
+pub fn render_json(serial: &SweepRun, parallel: &SweepRun) -> String {
+    let mut out = String::new();
+    for row in &serial.rows {
+        let mcps = row.cycles as f64 / row.seconds / 1.0e6;
+        let cpi = row.cycles as f64 / row.instrs as f64;
+        out.push_str(&format!(
+            "{{\"group\":\"sweep\",\"bench\":\"{}/{}\",\"size\":{},\"cycles\":{},\
+             \"instrs\":{},\"cpi\":{:.4},\"job_seconds\":{:.6},\"mcps\":{:.3}}}\n",
+            row.variant, row.kernel, row.size, row.cycles, row.instrs, cpi, row.seconds, mcps,
+        ));
+    }
+    let speedup = serial.wall_seconds / parallel.wall_seconds;
+    out.push_str(&format!(
+        "{{\"group\":\"sweep-summary\",\"jobs\":{},\"workers\":{},\"total_cycles\":{},\
+         \"total_retired\":{},\"serial_seconds\":{:.6},\"parallel_seconds\":{:.6},\
+         \"speedup\":{:.3},\"identical\":{}}}\n",
+        parallel.rows.len(),
+        parallel.workers,
+        parallel.total_cycles(),
+        parallel.merged.retired,
+        serial.wall_seconds,
+        parallel.wall_seconds,
+        speedup,
+        serial.simulation_identical(parallel),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_sweep() -> Sweep {
+        // Two variants × two kernels: enough to exercise the matrix
+        // without dominating test time.
+        let variants = vec![
+            EngineVariant::new(ProcModel::StrongArm, "tables:per-place-class", Default::default()),
+            EngineVariant::new(
+                ProcModel::StrongArm,
+                "tables:full-scan",
+                EngineConfig { table_mode: TableMode::FullScan, ..Default::default() },
+            ),
+        ];
+        Sweep::with(variants, Workload::matrix(&[Kernel::Crc, Kernel::Adpcm], &[0.0]))
+    }
+
+    #[test]
+    fn matrix_is_row_major_over_variants_then_workloads() {
+        let s = tiny_sweep();
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.jobs, vec![(0, 0), (0, 1), (1, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn parallel_run_is_bit_identical_to_serial() {
+        let s = tiny_sweep();
+        let serial = s.run(&BatchRunner::new(1));
+        let parallel = s.run(&BatchRunner::new(4));
+        assert!(serial.simulation_identical(&parallel));
+        // Table mode is a speed knob, never a timing-model knob: both
+        // variants must simulate the same cycle counts.
+        assert_eq!(serial.rows[0].cycles, serial.rows[2].cycles);
+        assert_eq!(serial.rows[1].cycles, serial.rows[3].cycles);
+    }
+
+    #[test]
+    fn json_record_has_one_line_per_job_plus_summary() {
+        let s = tiny_sweep();
+        let run = s.run(&BatchRunner::new(2));
+        let serial = s.run(&BatchRunner::new(1));
+        let json = render_json(&serial, &run);
+        assert_eq!(json.lines().count(), s.len() + 1);
+        assert!(json.contains("\"group\":\"sweep-summary\""));
+        assert!(json.contains("\"identical\":true"));
+    }
+}

@@ -1,0 +1,259 @@
+//! Parallel batch simulation over the compiled-model seam.
+//!
+//! The compile step exists so that one model can drive many runs:
+//! [`crate::compiled::CompiledModel::instantiate`] is O(places) and every
+//! engine shares the read-only `ExecPlan` tables and the
+//! model's guard/action closures by reference. This module supplies the
+//! missing half of that bargain — a way to actually *run* many
+//! instantiations at once.
+//!
+//! [`BatchRunner`] is a deliberately small, hand-rolled fork/join pool
+//! (plain `std::thread::scope`; this workspace is offline and vendors no
+//! runtime dependencies, see `DESIGN.md`). It fans a slice of job
+//! descriptions across N workers; each worker claims jobs from a shared
+//! atomic cursor, runs them — typically: instantiate an engine from a
+//! shared compiled artifact, simulate, return [`Stats`] — and the runner
+//! reassembles results **by job index**, so the output vector is
+//! bit-identical to a serial run regardless of worker count or scheduling.
+//!
+//! Two invariants make this sound, and both are enforced at compile time:
+//!
+//! * every model closure type ([`crate::model::Guard`],
+//!   [`crate::model::Action`], …) is `Send + Sync`, so a compiled model can
+//!   be shared by reference between threads;
+//! * each engine's mutable state (token pool, machine, statistics) is
+//!   created *on* its worker and never crosses threads, so per-run state —
+//!   including `!Send` types like `Rc` decode caches — needs no
+//!   synchronization at all.
+//!
+//! ```
+//! use rcpn::batch::BatchRunner;
+//!
+//! let jobs: Vec<u64> = (0..100).collect();
+//! let runner = BatchRunner::new(8);
+//! let results = runner.run(&jobs, |_idx, &job| job * job);
+//! assert_eq!(results[7], 49); // results arrive in job order, always
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use crate::stats::Stats;
+
+/// A fixed-width fork/join worker pool for fanning simulation jobs across
+/// threads.
+///
+/// The pool is scoped: threads are spawned per [`BatchRunner::run`] call
+/// and joined before it returns, so jobs and the job closure may borrow
+/// from the caller's stack (e.g. a `&CompiledModel` built just above).
+/// Results are merged deterministically — slot `i` of the output always
+/// holds the result of job `i`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchRunner {
+    workers: usize,
+}
+
+impl BatchRunner {
+    /// A runner with exactly `workers` worker threads (clamped to ≥ 1).
+    ///
+    /// `BatchRunner::new(1)` never spawns a thread: jobs run inline on the
+    /// caller, in order, which keeps single-threaded use zero-overhead and
+    /// makes "serial" the `workers == 1` special case of the same code
+    /// path.
+    pub fn new(workers: usize) -> Self {
+        BatchRunner { workers: workers.max(1) }
+    }
+
+    /// A runner sized to the host's available parallelism (falls back to 1
+    /// when the host cannot report it).
+    pub fn host_parallel() -> Self {
+        Self::new(std::thread::available_parallelism().map_or(1, |n| n.get()))
+    }
+
+    /// Number of worker threads this runner fans jobs across.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs `run_job` over every job, in parallel, returning the results
+    /// in job order.
+    ///
+    /// Workers claim jobs dynamically from a shared cursor (cheap
+    /// work-stealing: long jobs do not serialize behind short ones), but
+    /// the merged output is independent of the claim order: result `i`
+    /// always lands in slot `i`. Combined with simulations that are
+    /// themselves deterministic, the whole batch is bit-reproducible at
+    /// any worker count.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the panic of any job to the caller. Failure is prompt:
+    /// a panicking job raises a shared abort flag, so the other workers
+    /// stop claiming new jobs instead of draining the rest of the batch
+    /// (jobs already in flight still run to completion — workers are
+    /// never preempted).
+    pub fn run<J, T, F>(&self, jobs: &[J], run_job: F) -> Vec<T>
+    where
+        J: Sync,
+        T: Send,
+        F: Fn(usize, &J) -> T + Sync,
+    {
+        let n = jobs.len();
+        if self.workers == 1 || n <= 1 {
+            return jobs.iter().enumerate().map(|(i, j)| run_job(i, j)).collect();
+        }
+        let cursor = AtomicUsize::new(0);
+        let abort = AtomicBool::new(false);
+        let threads = self.workers.min(n);
+        let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut part: Vec<(usize, T)> = Vec::new();
+                        while !abort.load(Ordering::Relaxed) {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            let unwind = std::panic::AssertUnwindSafe(|| run_job(i, &jobs[i]));
+                            match std::panic::catch_unwind(unwind) {
+                                Ok(result) => part.push((i, result)),
+                                Err(payload) => {
+                                    abort.store(true, Ordering::Relaxed);
+                                    std::panic::resume_unwind(payload);
+                                }
+                            }
+                        }
+                        part
+                    })
+                })
+                .collect();
+            for handle in handles {
+                match handle.join() {
+                    Ok(part) => {
+                        for (i, result) in part {
+                            slots[i] = Some(result);
+                        }
+                    }
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+        });
+        slots.into_iter().map(|s| s.expect("batch: every claimed job fills its slot")).collect()
+    }
+}
+
+impl Default for BatchRunner {
+    /// Defaults to [`BatchRunner::host_parallel`].
+    fn default() -> Self {
+        Self::host_parallel()
+    }
+}
+
+/// Merges per-job statistics into one aggregate, folding left-to-right in
+/// the order given.
+///
+/// Callers are expected to pass stats in **job order** (the order
+/// [`BatchRunner::run`] returns them), which makes the aggregate a pure
+/// function of the job list — bit-identical between serial and parallel
+/// runs, at any worker count. That invariant is what the sweep harness
+/// checks end to end.
+pub fn merge_stats<'a, I>(stats: I) -> Stats
+where
+    I: IntoIterator<Item = &'a Stats>,
+{
+    let mut merged = Stats::default();
+    for s in stats {
+        merged.merge(s);
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::OpClassId;
+    use crate::token::InstrData;
+
+    /// Compile-time proof that the shareable artifacts really are
+    /// shareable — with a deliberately `!Send + !Sync` machine resource,
+    /// because thread-safety of the *model* must not depend on per-run
+    /// state.
+    #[test]
+    fn model_and_plan_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+
+        #[derive(Debug)]
+        struct Tok(OpClassId);
+        impl InstrData for Tok {
+            fn op_class(&self) -> OpClassId {
+                self.0
+            }
+        }
+        struct NotThreadSafe(#[allow(dead_code)] std::rc::Rc<()>);
+
+        assert_send_sync::<crate::compiled::ExecPlan>();
+        assert_send_sync::<crate::model::Model<Tok, NotThreadSafe>>();
+        assert_send_sync::<crate::compiled::CompiledModel<Tok, NotThreadSafe>>();
+    }
+
+    #[test]
+    fn results_arrive_in_job_order_at_any_worker_count() {
+        let jobs: Vec<usize> = (0..57).collect();
+        let expected: Vec<usize> = jobs.iter().map(|j| j * j).collect();
+        for workers in [1, 2, 3, 8, 64] {
+            let got = BatchRunner::new(workers).run(&jobs, |i, &j| {
+                assert_eq!(i, j, "index matches the job it claims");
+                j * j
+            });
+            assert_eq!(got, expected, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn more_workers_than_jobs_is_fine() {
+        let jobs = [10u32, 20];
+        let got = BatchRunner::new(16).run(&jobs, |_, &j| j + 1);
+        assert_eq!(got, vec![11, 21]);
+    }
+
+    #[test]
+    fn empty_batch_returns_empty() {
+        let got: Vec<u8> = BatchRunner::new(4).run(&[] as &[u8], |_, &j| j);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn workers_clamp_to_one() {
+        assert_eq!(BatchRunner::new(0).workers(), 1);
+    }
+
+    #[test]
+    fn job_panics_propagate() {
+        let jobs: Vec<u32> = (0..8).collect();
+        let result = std::panic::catch_unwind(|| {
+            BatchRunner::new(4).run(&jobs, |_, &j| {
+                assert!(j != 5, "boom");
+                j
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn merge_stats_sums_counters_and_pads_vectors() {
+        let mut a = Stats::new(2, 1, 2);
+        a.cycles = 10;
+        a.retired = 3;
+        a.fires = vec![1, 2];
+        let mut b = Stats::new(3, 1, 2);
+        b.cycles = 5;
+        b.retired = 4;
+        b.fires = vec![10, 20, 30];
+        let merged = merge_stats([&a, &b]);
+        assert_eq!(merged.cycles, 15);
+        assert_eq!(merged.retired, 7);
+        assert_eq!(merged.fires, vec![11, 22, 30]);
+    }
+}

@@ -190,7 +190,7 @@ impl<D, R> ModelBuilder<D, R> {
 
     /// Installs a cleanup hook called for every instruction token removed
     /// by a flush (squash); see [`crate::model::SquashHandler`].
-    pub fn on_squash(&mut self, handler: impl Fn(&mut Machine<R>, &mut D) + 'static) {
+    pub fn on_squash(&mut self, handler: impl Fn(&mut Machine<R>, &mut D) + Send + Sync + 'static) {
         self.squash_handler = Some(Box::new(handler));
     }
 
@@ -370,7 +370,10 @@ impl<'b, D, R> TransitionBuilder<'b, D, R> {
     }
 
     /// Sets the guard condition.
-    pub fn guard(mut self, guard: impl Fn(&Machine<R>, &D) -> bool + 'static) -> Self {
+    pub fn guard(
+        mut self,
+        guard: impl Fn(&Machine<R>, &D) -> bool + Send + Sync + 'static,
+    ) -> Self {
         self.def.guard = Some(Box::new(guard) as Guard<D, R>);
         self
     }
@@ -378,7 +381,7 @@ impl<'b, D, R> TransitionBuilder<'b, D, R> {
     /// Sets the action executed when the transition fires.
     pub fn action(
         mut self,
-        action: impl Fn(&mut Machine<R>, &mut D, &mut Fx<D>) + 'static,
+        action: impl Fn(&mut Machine<R>, &mut D, &mut Fx<D>) + Send + Sync + 'static,
     ) -> Self {
         self.def.action = Some(Box::new(action) as Action<D, R>);
         self
@@ -444,7 +447,7 @@ impl<'b, D, R> SourceBuilder<'b, D, R> {
 
     /// Sets the guard; the source fires only while the guard holds (and the
     /// destination stage has capacity).
-    pub fn guard(mut self, guard: impl Fn(&Machine<R>) -> bool + 'static) -> Self {
+    pub fn guard(mut self, guard: impl Fn(&Machine<R>) -> bool + Send + Sync + 'static) -> Self {
         self.guard = Some(Box::new(guard) as SourceGuard<R>);
         self
     }
@@ -453,7 +456,7 @@ impl<'b, D, R> SourceBuilder<'b, D, R> {
     /// or `None` to stall.
     pub fn produce(
         mut self,
-        produce: impl Fn(&mut Machine<R>, &mut Fx<D>) -> Option<D> + 'static,
+        produce: impl Fn(&mut Machine<R>, &mut Fx<D>) -> Option<D> + Send + Sync + 'static,
     ) -> Self {
         self.produce = Some(Box::new(produce) as SourceAction<D, R>);
         self

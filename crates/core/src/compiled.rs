@@ -5,7 +5,7 @@
 //! *statically analyzed and compiled into* a high-performance cycle-accurate
 //! simulator. [`CompiledModel`] is that generated-simulator artifact made
 //! explicit: it partially evaluates the model's static structure into flat
-//! hot tables (an [`ExecPlan`]) exactly once, and can then instantiate any
+//! hot tables (an `ExecPlan`) exactly once, and can then instantiate any
 //! number of independent [`Engine`]s that share the tables and the model's
 //! guard/action closures by reference. Instantiation allocates only mutable
 //! per-run state (token pool, place lists, statistics), which is the

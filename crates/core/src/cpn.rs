@@ -35,9 +35,15 @@ use crate::model::Model;
 pub enum ConvertError {
     /// The transition has guard/action/state references; data-dependent
     /// behavior is outside the structural fragment.
-    DataDependent { transition: TransitionId },
+    DataDependent {
+        /// The data-dependent transition.
+        transition: TransitionId,
+    },
     /// The transition uses reservation arcs or extra inputs.
-    NonStructuralArc { transition: TransitionId },
+    NonStructuralArc {
+        /// The transition with non-structural arcs.
+        transition: TransitionId,
+    },
 }
 
 impl fmt::Display for ConvertError {

@@ -13,33 +13,67 @@ use crate::ids::{OpClassId, PlaceId, StageId, SubnetId, TransitionId};
 #[non_exhaustive]
 pub enum BuildError {
     /// A place refers to a stage id that was never declared.
-    UnknownStage { place: PlaceId, stage: StageId },
+    UnknownStage {
+        /// The place with the dangling reference.
+        place: PlaceId,
+        /// The undeclared stage id.
+        stage: StageId,
+    },
     /// A transition refers to a place id that was never declared.
-    UnknownPlace { transition: TransitionId, place: PlaceId },
+    UnknownPlace {
+        /// The transition with the dangling reference.
+        transition: TransitionId,
+        /// The undeclared place id.
+        place: PlaceId,
+    },
     /// A transition was declared without a destination place.
-    MissingDestination { transition: TransitionId },
+    MissingDestination {
+        /// The incomplete transition.
+        transition: TransitionId,
+    },
     /// A transition was declared without an input place. Token-consuming
     /// transitions must have exactly one instruction-token input; use a
     /// source transition for token generation instead.
-    MissingInput { transition: TransitionId },
+    MissingInput {
+        /// The incomplete transition.
+        transition: TransitionId,
+    },
     /// An operation class refers to a sub-net that was never declared.
-    UnknownSubnet { class: OpClassId, subnet: SubnetId },
+    UnknownSubnet {
+        /// The class with the dangling reference.
+        class: OpClassId,
+        /// The undeclared sub-net id.
+        subnet: SubnetId,
+    },
     /// A stage was declared with a capacity of zero.
-    ZeroCapacity { stage: StageId },
+    ZeroCapacity {
+        /// The zero-capacity stage.
+        stage: StageId,
+    },
     /// Two transitions on the same input place and sub-net share a priority,
     /// which would make the firing order ambiguous.
     DuplicatePriority {
+        /// The shared input place.
         place: PlaceId,
+        /// The sub-net both transitions belong to.
         subnet: SubnetId,
+        /// The colliding priority value.
         priority: u32,
+        /// The first transition declared with this priority.
         first: TransitionId,
+        /// The second transition declared with this priority.
         second: TransitionId,
     },
     /// The model contains no operation classes, so no instruction token can
     /// ever be dispatched.
     NoOpClasses,
     /// A name was reused for two different entities of the same kind.
-    DuplicateName { kind: &'static str, name: String },
+    DuplicateName {
+        /// The entity kind ("stage", "place", "transition", ...).
+        kind: &'static str,
+        /// The reused name.
+        name: String,
+    },
 }
 
 impl fmt::Display for BuildError {

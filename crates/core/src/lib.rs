@@ -21,7 +21,9 @@
 //! where feedback demands it), [`compiled`] partially evaluates them into
 //! the [`compiled::CompiledModel`] generated-simulator artifact, and
 //! [`engine`] instantiates that artifact — once or many times — as
-//! runnable [`engine::Engine`]s.
+//! runnable [`engine::Engine`]s. [`batch`] fans many instantiations of a
+//! shared artifact across worker threads with deterministic result
+//! merging — the scale-out layer over the same seam.
 //!
 //! ## Quick start
 //!
@@ -63,7 +65,10 @@
 //! # }
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod analysis;
+pub mod batch;
 pub mod builder;
 pub mod compiled;
 pub mod cpn;
@@ -77,6 +82,7 @@ pub mod token;
 
 /// The most commonly used items, for glob import.
 pub mod prelude {
+    pub use crate::batch::BatchRunner;
     pub use crate::builder::ModelBuilder;
     pub use crate::compiled::CompiledModel;
     pub use crate::engine::{Engine, EngineConfig, RunOutcome, TableMode};

@@ -50,19 +50,31 @@ impl<R> Machine<R> {
 
 /// Guard condition of a transition: may inspect the machine and the token
 /// payload, must not mutate anything.
-pub type Guard<D, R> = Box<dyn Fn(&Machine<R>, &D) -> bool>;
+///
+/// Guards (like every model closure) must be `Send + Sync`: a compiled
+/// model is shared by reference between every engine instantiated from it,
+/// including engines running concurrently on [`crate::batch`] workers.
+/// Closures therefore may capture only immutable shared data; all mutable
+/// state belongs in the per-engine [`Machine`] they receive as an argument.
+pub type Guard<D, R> = Box<dyn Fn(&Machine<R>, &D) -> bool + Send + Sync>;
 
 /// Action of a transition: executed when the transition fires. Receives the
 /// machine, the moving token's payload, and a [`Fx`] handle for side effects
 /// on the net itself (emitting tokens, flushing places, delays, halting).
-pub type Action<D, R> = Box<dyn Fn(&mut Machine<R>, &mut D, &mut Fx<D>)>;
+///
+/// `Send + Sync` for the same reason as [`Guard`]: the closure is shared
+/// across concurrently running engines; per-run mutable state lives in the
+/// `Machine` argument, never in captures.
+pub type Action<D, R> = Box<dyn Fn(&mut Machine<R>, &mut D, &mut Fx<D>) + Send + Sync>;
 
 /// Guard of a source transition (no token payload exists yet).
-pub type SourceGuard<R> = Box<dyn Fn(&Machine<R>) -> bool>;
+/// `Send + Sync` for the same reason as [`Guard`].
+pub type SourceGuard<R> = Box<dyn Fn(&Machine<R>) -> bool + Send + Sync>;
 
 /// Action of a source transition: produces the payload of a new instruction
 /// token, or `None` to stall this cycle.
-pub type SourceAction<D, R> = Box<dyn Fn(&mut Machine<R>, &mut Fx<D>) -> Option<D>>;
+/// `Send + Sync` for the same reason as [`Guard`].
+pub type SourceAction<D, R> = Box<dyn Fn(&mut Machine<R>, &mut Fx<D>) -> Option<D> + Send + Sync>;
 
 /// Side-effect collector passed to actions while a transition fires.
 ///
@@ -331,7 +343,8 @@ pub struct Model<D, R> {
 /// before the token is destroyed. Lets models undo machine-level
 /// bookkeeping (beyond register reservations, which the engine releases
 /// itself) for squashed instructions.
-pub type SquashHandler<D, R> = Box<dyn Fn(&mut Machine<R>, &mut D)>;
+/// `Send + Sync` for the same reason as [`Guard`].
+pub type SquashHandler<D, R> = Box<dyn Fn(&mut Machine<R>, &mut D) + Send + Sync>;
 
 impl<D, R> Model<D, R> {
     /// Number of stages.

@@ -53,6 +53,58 @@ impl Stats {
         }
     }
 
+    /// Accumulates `other` into `self`, summing every counter and
+    /// element-wise summing the per-entity vectors (shorter vectors are
+    /// padded, so stats from differently sized models can be aggregated).
+    ///
+    /// Used by [`crate::batch::merge_stats`] to aggregate per-job results;
+    /// fold in job order to keep aggregates bit-reproducible.
+    pub fn merge(&mut self, other: &Stats) {
+        // Exhaustive destructuring (no `..`): adding a Stats field without
+        // merging it must be a compile error, not a silently-dropped
+        // counter in every batch aggregate.
+        let Stats {
+            cycles,
+            retired,
+            generated,
+            emitted,
+            flushed,
+            reservations,
+            leaked_reservations,
+            guard_fails,
+            capacity_blocks,
+            stalls,
+            two_list_commits,
+            fires,
+            source_fires,
+            place_stalls,
+            occupancy,
+        } = other;
+        self.cycles += cycles;
+        self.retired += retired;
+        self.generated += generated;
+        self.emitted += emitted;
+        self.flushed += flushed;
+        self.reservations += reservations;
+        self.leaked_reservations += leaked_reservations;
+        self.guard_fails += guard_fails;
+        self.capacity_blocks += capacity_blocks;
+        self.stalls += stalls;
+        self.two_list_commits += two_list_commits;
+        fn add_vec(into: &mut Vec<u64>, from: &[u64]) {
+            if into.len() < from.len() {
+                into.resize(from.len(), 0);
+            }
+            for (a, b) in into.iter_mut().zip(from) {
+                *a += b;
+            }
+        }
+        add_vec(&mut self.fires, fires);
+        add_vec(&mut self.source_fires, source_fires);
+        add_vec(&mut self.place_stalls, place_stalls);
+        add_vec(&mut self.occupancy, occupancy);
+    }
+
     /// Cycles per instruction.
     ///
     /// Returns `None` until at least one instruction has retired.

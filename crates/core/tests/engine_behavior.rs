@@ -275,8 +275,12 @@ fn forwarding_is_not_visible_in_the_same_cycle() {
     let p3 = b.place_with_delay("WB", l3, 10);
     let end = b.end_place();
     let (c, _) = b.class_net("Alu");
-    let fired_fwd_at = std::rc::Rc::new(std::cell::Cell::new(u64::MAX));
-    let entered_wb_at = std::rc::Rc::new(std::cell::Cell::new(u64::MAX));
+    // Atomics, not Rc<Cell>: model closures are Send + Sync so compiled
+    // models can be shared across batch workers.
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    let fired_fwd_at = Arc::new(AtomicU64::new(u64::MAX));
+    let entered_wb_at = Arc::new(AtomicU64::new(u64::MAX));
 
     b.transition(c, "d_read")
         .from(p1)
@@ -301,7 +305,7 @@ fn forwarding_is_not_visible_in_the_same_cycle() {
                 t.src.read_fwd(&m.regs);
                 let tok = fx.token();
                 t.dst.reserve_write(&mut m.regs, tok, PlaceId::from_index(0));
-                fired_fwd_at.set(m.cycle);
+                fired_fwd_at.store(m.cycle, Ordering::Relaxed);
             })
             .done();
     }
@@ -314,9 +318,13 @@ fn forwarding_is_not_visible_in_the_same_cycle() {
                 let v = t.src.value().wrapping_add(t.imm);
                 let tok = fx.token();
                 t.dst.set(&mut m.regs, tok, v);
-                if entered_wb_at.get() == u64::MAX {
-                    entered_wb_at.set(m.cycle); // first producer only
-                }
+                // first producer only
+                let _ = entered_wb_at.compare_exchange(
+                    u64::MAX,
+                    m.cycle,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                );
             })
             .done();
     }
@@ -348,13 +356,13 @@ fn forwarding_is_not_visible_in_the_same_cycle() {
     });
     let mut e = Engine::new(model, Machine::new(rf, feed));
     e.run(40);
-    assert_ne!(fired_fwd_at.get(), u64::MAX, "forwarding path must have been used");
+    let fired = fired_fwd_at.load(Ordering::Relaxed);
+    let entered = entered_wb_at.load(Ordering::Relaxed);
+    assert_ne!(fired, u64::MAX, "forwarding path must have been used");
     assert!(
-        fired_fwd_at.get() > entered_wb_at.get(),
-        "forwarding fired at {} but the value entered WB at {} — same-cycle \
+        fired > entered,
+        "forwarding fired at {fired} but the value entered WB at {entered} — same-cycle \
          forwarding through a two-list place is illegal",
-        fired_fwd_at.get(),
-        entered_wb_at.get()
     );
 }
 

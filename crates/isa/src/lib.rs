@@ -7,7 +7,7 @@
 //!
 //! * [`instr`] — a symbolic instruction representation with a full
 //!   disassembler ([`std::fmt::Display`]).
-//! * [`encode`] / [`decode`] — binary machine-code conversion, covering the
+//! * [`mod@encode`] / [`mod@decode`] — binary machine-code conversion, covering the
 //!   ARMv4 integer subset (data processing, multiply and long multiply,
 //!   word/byte and halfword/signed transfers, block transfers, branches,
 //!   software interrupts).

@@ -44,4 +44,4 @@ pub mod xscale;
 
 pub use armtok::{ArmClass, ArmTok, DecInstr};
 pub use res::{ArmRes, SimConfig};
-pub use sim::{CaSim, CompiledSim, ProcModel, SimResult};
+pub use sim::{BatchOutcome, CaSim, CompiledSim, ProcModel, SimResult};

@@ -5,9 +5,11 @@
 //! and [`CaSim`] is one runnable instance of it bound to a program.
 
 use arm_isa::program::Program;
+use rcpn::batch::BatchRunner;
 use rcpn::compiled::CompiledModel;
 use rcpn::engine::{Engine, RunOutcome};
 use rcpn::ids::RegId;
+use rcpn::stats::Stats;
 
 use crate::armtok::ArmTok;
 use crate::res::{ArmRes, SimConfig};
@@ -90,6 +92,39 @@ impl CompiledSim {
         let machine = ArmRes::machine(program, &self.config);
         CaSim { engine: self.compiled.instantiate(machine), model: self.model }
     }
+
+    /// Runs one program batch through this compiled simulator, fanned
+    /// across `runner`'s workers.
+    ///
+    /// Each worker instantiates its own engine from the shared compiled
+    /// artifact (per-run state — memory image, caches, decode cache —
+    /// never crosses threads), runs it to completion or `max_cycles`, and
+    /// reports the [`SimResult`] plus the engine's [`Stats`]. Results come
+    /// back in program order regardless of worker count, and since each
+    /// simulation is deterministic, the whole batch is bit-identical to a
+    /// serial run (`BatchRunner::new(1)`).
+    pub fn run_batch(
+        &self,
+        programs: &[Program],
+        max_cycles: u64,
+        runner: &BatchRunner,
+    ) -> Vec<BatchOutcome> {
+        runner.run(programs, |_idx, program| {
+            let mut sim = self.instantiate(program);
+            let result = sim.run(max_cycles);
+            BatchOutcome { result, stats: sim.engine.stats().clone() }
+        })
+    }
+}
+
+/// One per-program result of [`CompiledSim::run_batch`]: the architectural
+/// outcome plus the engine's microarchitectural statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchOutcome {
+    /// Architectural outcome (cycles, instructions, exit code, fault).
+    pub result: SimResult,
+    /// Engine statistics of the run (fires, stalls, occupancy, ...).
+    pub stats: Stats,
 }
 
 impl std::fmt::Debug for CompiledSim {
@@ -220,5 +255,33 @@ impl std::fmt::Debug for CaSim {
             .field("model", &self.model)
             .field("cycles", &self.engine.stats().cycles)
             .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arm_isa::asm::assemble;
+
+    /// The compiled artifact is the thing batch workers share by
+    /// reference; this is the compile-time proof that sharing is legal.
+    #[test]
+    fn compiled_sim_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CompiledSim>();
+    }
+
+    #[test]
+    fn run_batch_matches_serial_in_order() {
+        let compiled = CompiledSim::strongarm();
+        let programs: Vec<Program> =
+            (0u32..6).map(|i| assemble(&format!("mov r0, #{i}\nswi #0\n")).unwrap()).collect();
+        let serial = compiled.run_batch(&programs, 10_000, &BatchRunner::new(1));
+        for (i, out) in serial.iter().enumerate() {
+            assert_eq!(out.result.exit, Some(i as u32), "results stay in program order");
+            assert_eq!(out.stats.cycles, out.result.cycles);
+        }
+        let parallel = compiled.run_batch(&programs, 10_000, &BatchRunner::new(4));
+        assert_eq!(parallel, serial, "parallel batch must be bit-identical to serial");
     }
 }

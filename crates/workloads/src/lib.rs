@@ -81,6 +81,15 @@ impl Kernel {
         }
     }
 
+    /// Problem size at `scale` relative to [`Kernel::bench_size`], floored
+    /// at [`Kernel::test_size`] so a scaled workload always does real work.
+    ///
+    /// `1.0` is the paper-style bench size, `0.0` the test size; this is
+    /// the size axis used by sweep job matrices.
+    pub fn scaled_size(self, scale: f64) -> usize {
+        ((self.bench_size() as f64 * scale) as usize).max(self.test_size())
+    }
+
     /// Small problem size for tests (tens of thousands of cycles).
     pub fn test_size(self) -> usize {
         match self {
@@ -139,9 +148,30 @@ impl Workload {
         Kernel::ALL.iter().map(|&k| Workload::build(k, k.bench_size())).collect()
     }
 
-    /// The benchmark suite at small sizes, for tests.
+    /// The benchmark suite at small sizes, for tests (`scaled_size` floors
+    /// at the test size, so scale 0 selects it for every kernel).
     pub fn test_suite() -> Vec<Workload> {
-        Kernel::ALL.iter().map(|&k| Workload::build(k, k.test_size())).collect()
+        Workload::suite(0.0)
+    }
+
+    /// The full suite at one size scale (see [`Kernel::scaled_size`]).
+    pub fn suite(scale: f64) -> Vec<Workload> {
+        Workload::matrix(&Kernel::ALL, &[scale])
+    }
+
+    /// Enumerates the workload axis of a sweep job matrix: the cartesian
+    /// product `kernels × scales`, in row-major order (all scales of the
+    /// first kernel, then the next kernel).
+    ///
+    /// Sweep harnesses cross this axis with simulator-side axes (processor
+    /// model, engine configuration) to form the full job matrix; keeping
+    /// the enumeration order fixed here is what gives batched sweeps a
+    /// stable job numbering, and therefore a deterministic merge order.
+    pub fn matrix(kernels: &[Kernel], scales: &[f64]) -> Vec<Workload> {
+        kernels
+            .iter()
+            .flat_map(|&k| scales.iter().map(move |&s| Workload::build(k, k.scaled_size(s))))
+            .collect()
     }
 }
 
@@ -185,6 +215,22 @@ mod tests {
             iss.instr_count()
         };
         assert!(count(&big) > 3 * count(&small));
+    }
+
+    #[test]
+    fn matrix_enumeration_is_row_major_and_floored() {
+        let m = Workload::matrix(&[Kernel::Crc, Kernel::Go], &[0.0, 1.0]);
+        assert_eq!(m.len(), 4);
+        assert_eq!(
+            m.iter().map(|w| (w.kernel, w.size)).collect::<Vec<_>>(),
+            vec![
+                (Kernel::Crc, Kernel::Crc.test_size()),
+                (Kernel::Crc, Kernel::Crc.bench_size()),
+                (Kernel::Go, Kernel::Go.test_size()),
+                (Kernel::Go, Kernel::Go.bench_size()),
+            ]
+        );
+        assert_eq!(Kernel::Crc.scaled_size(1e-9), Kernel::Crc.test_size(), "floor at test size");
     }
 
     #[test]

@@ -1,0 +1,63 @@
+//! Determinism of the batch layer, end to end: running the whole
+//! benchmark suite through a shared compiled simulator must produce
+//! bit-identical per-job and merged [`rcpn::stats::Stats`] at any worker
+//! count. This is the invariant every scaling feature (sweeps, sharding,
+//! serving) builds on — if it breaks, parallel results silently stop
+//! being results.
+
+use processors::sim::{BatchOutcome, CompiledSim};
+use rcpn::batch::{merge_stats, BatchRunner};
+use workloads::Workload;
+
+const MAX_CYCLES: u64 = 200_000_000;
+
+fn run_suite(compiled: &CompiledSim, workers: usize) -> Vec<BatchOutcome> {
+    let suite = Workload::test_suite();
+    let programs: Vec<_> = suite.iter().map(|w| w.program.clone()).collect();
+    let outcomes = compiled.run_batch(&programs, MAX_CYCLES, &BatchRunner::new(workers));
+    for (w, out) in suite.iter().zip(&outcomes) {
+        assert_eq!(
+            out.result.exit,
+            Some(w.expected),
+            "{}: wrong checksum at {workers} workers",
+            w.kernel
+        );
+    }
+    outcomes
+}
+
+#[test]
+fn parallel_batch_stats_are_bit_identical_to_serial() {
+    for compiled in [CompiledSim::strongarm(), CompiledSim::xscale()] {
+        let serial = run_suite(&compiled, 1);
+        let serial_merged = merge_stats(serial.iter().map(|o| &o.stats));
+        for workers in [1, 2, 8] {
+            let parallel = run_suite(&compiled, workers);
+            for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+                assert_eq!(s.result, p.result, "job {i} result at {workers} workers");
+                assert_eq!(s.stats, p.stats, "job {i} stats at {workers} workers");
+            }
+            let merged = merge_stats(parallel.iter().map(|o| &o.stats));
+            assert_eq!(
+                serial_merged,
+                merged,
+                "merged aggregate diverged at {workers} workers ({:?})",
+                compiled.model()
+            );
+        }
+    }
+}
+
+#[test]
+fn merged_aggregate_reflects_the_whole_suite() {
+    let compiled = CompiledSim::strongarm();
+    let outcomes = run_suite(&compiled, 8);
+    let merged = merge_stats(outcomes.iter().map(|o| &o.stats));
+    assert_eq!(merged.cycles, outcomes.iter().map(|o| o.stats.cycles).sum::<u64>());
+    assert!(merged.retired > 0);
+    assert_eq!(
+        merged.retired,
+        outcomes.iter().map(|o| o.stats.retired).sum::<u64>(),
+        "merge must lose nothing"
+    );
+}

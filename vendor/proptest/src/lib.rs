@@ -274,7 +274,7 @@ tuple_strategy! {
 pub mod collection {
     use super::{Strategy, TestRng};
 
-    /// Length bounds for [`vec`].
+    /// Length bounds for [`fn@vec`].
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         lo: usize,
