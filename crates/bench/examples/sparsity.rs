@@ -1,0 +1,47 @@
+//! Prints the activity-driven scheduler's sparsity counters for each
+//! RCPN simulator over the benchmark kernels: how many place scans,
+//! token examinations and candidate-transition evaluations the
+//! dirty-place worklist skipped relative to the exhaustive Figure-8
+//! sweep (which is also run, as the 0%-skip reference).
+//!
+//! ```text
+//! cargo run --release -p rcpn-bench --example sparsity
+//! ```
+
+use rcpn_bench::{compiled_sim, Simulator, MAX_CYCLES};
+use workloads::{Kernel, Workload};
+
+fn main() {
+    println!(
+        "{:<32}{:>10}{:>14}{:>12}{:>8}{:>14}{:>14}",
+        "simulator/kernel",
+        "cycles",
+        "place_visits",
+        "skips",
+        "ratio",
+        "trans_visits",
+        "trans_skips"
+    );
+    for sim in [Simulator::RcpnStrongArm, Simulator::RcpnXScale, Simulator::RcpnStrongArmExhaustive]
+    {
+        let compiled = compiled_sim(sim).expect("RCPN simulator");
+        for kernel in Kernel::ALL {
+            let size = (kernel.bench_size() / 20).max(kernel.test_size());
+            let w = Workload::build(kernel, size);
+            let mut s = compiled.instantiate(&w.program);
+            let r = s.run(MAX_CYCLES);
+            assert_eq!(r.exit, Some(w.expected), "{}/{}", sim.name(), kernel);
+            let sc = s.sched();
+            println!(
+                "{:<32}{:>10}{:>14}{:>12}{:>7.1}%{:>14}{:>14}",
+                format!("{}/{}", sim.name(), kernel.name()),
+                r.cycles,
+                sc.place_visits,
+                sc.place_skips,
+                100.0 * sc.place_skip_ratio(),
+                sc.trans_visits,
+                sc.trans_visits_skipped,
+            );
+        }
+    }
+}

@@ -84,7 +84,7 @@ fn fig10(scale: f64) {
     println!("(workload scale {scale}; paper: SimpleScalar ~0.6, RCPN-XScale ~8.2, RCPN-StrongArm ~12.2 on a P4/1.8GHz)");
     let ws = suite(scale);
     let mut rows = Vec::new();
-    for sim in [Simulator::Baseline, Simulator::RcpnXScale, Simulator::RcpnStrongArm] {
+    for sim in Simulator::FIG10 {
         let values: Vec<f64> = ws.iter().map(|w| measure(sim, w).mcps()).collect();
         rows.push((sim.name(), values));
     }
@@ -92,11 +92,13 @@ fn fig10(scale: f64) {
     let base = average(&rows[0].1);
     let xs = average(&rows[1].1);
     let sa = average(&rows[2].1);
+    let sa_exh = average(&rows[3].1);
     println!(
         "speedup vs baseline:  RCPN-XScale {:.1}x   RCPN-StrongArm {:.1}x   (paper: ~14x / ~20x, \"order of magnitude\")",
         xs / base,
         sa / base
     );
+    println!("activity-driven scheduler vs exhaustive sweep (StrongARM): {:.2}x", sa / sa_exh);
 }
 
 /// Figure 11: CPI of the baseline vs the RCPN StrongARM simulator.

@@ -59,6 +59,9 @@ fn main() {
         serial.simulation_identical(&parallel),
         "parallel sweep diverged from the serial run — determinism is broken"
     );
+    // Engine knobs are speed knobs: identical timing across the whole
+    // axis, and the activity-driven scheduler bit-matches its oracle.
+    sweep.assert_cross_engine_identity(&serial);
 
     println!("{:<34}{:>12}{:>12}{:>10}", "", "cycles", "instrs", "cpi");
     for row in &parallel.rows {

@@ -24,7 +24,7 @@ use arm_isa::iss::Iss;
 use baseline_sim::SsArm;
 use processors::res::SimConfig;
 use processors::sim::{CompiledSim, ProcModel};
-use rcpn::engine::{EngineConfig, TableMode};
+use rcpn::engine::{EngineConfig, SchedulerMode, TableMode};
 use workloads::Workload;
 
 /// Cycle budget nothing should ever hit.
@@ -62,17 +62,34 @@ pub enum Simulator {
     RcpnXScale,
     /// RCPN-generated StrongARM.
     RcpnStrongArm,
+    /// RCPN-generated StrongARM running the exhaustive-sweep scheduler
+    /// oracle (same simulation, no activity skipping) — recorded alongside
+    /// the default engine so the scheduler's speedup is a measured number.
+    RcpnStrongArmExhaustive,
     /// The functional ISS (no timing; context number).
     FunctionalIss,
 }
 
 impl Simulator {
+    /// The Figure 10 measurement matrix: the paper's three simulators
+    /// plus the exhaustive-scheduler oracle. The fig10 bench, the
+    /// `figures` table, and the `bench_gate` CI gate all iterate this
+    /// list, so it is the single source of truth for which rows exist in
+    /// `BENCH_fig10.json` — extending it extends all three in lockstep.
+    pub const FIG10: [Simulator; 4] = [
+        Simulator::Baseline,
+        Simulator::RcpnXScale,
+        Simulator::RcpnStrongArm,
+        Simulator::RcpnStrongArmExhaustive,
+    ];
+
     /// Display name matching the paper's legends.
     pub fn name(self) -> &'static str {
         match self {
             Simulator::Baseline => "SimpleScalar-Arm",
             Simulator::RcpnXScale => "RCPN-XScale",
             Simulator::RcpnStrongArm => "RCPN-StrongArm",
+            Simulator::RcpnStrongArmExhaustive => "RCPN-StrongArm-Exhaustive",
             Simulator::FunctionalIss => "Functional-ISS",
         }
     }
@@ -94,7 +111,7 @@ pub fn measure(sim: Simulator, w: &Workload) -> Measurement {
             assert_eq!(r.exit, Some(w.expected), "baseline/{}", w.kernel);
             Measurement { cycles: r.cycles, instrs: r.instrs, seconds }
         }
-        Simulator::RcpnXScale | Simulator::RcpnStrongArm => {
+        Simulator::RcpnXScale | Simulator::RcpnStrongArm | Simulator::RcpnStrongArmExhaustive => {
             let compiled = compiled_sim(sim).expect("RCPN simulator has a compiled form");
             measure_compiled(&compiled, w)
         }
@@ -118,6 +135,13 @@ pub fn compiled_sim(sim: Simulator) -> Option<CompiledSim> {
         Simulator::RcpnXScale => Some(CompiledSim::new(ProcModel::XScale, &SimConfig::xscale())),
         Simulator::RcpnStrongArm => {
             Some(CompiledSim::new(ProcModel::StrongArm, &SimConfig::strongarm()))
+        }
+        Simulator::RcpnStrongArmExhaustive => {
+            let config = SimConfig {
+                engine: EngineConfig { scheduler: SchedulerMode::Exhaustive, ..Default::default() },
+                ..SimConfig::strongarm()
+            };
+            Some(CompiledSim::new(ProcModel::StrongArm, &config))
         }
         Simulator::Baseline | Simulator::FunctionalIss => None,
     }
@@ -165,6 +189,11 @@ pub fn ablation_configs() -> Vec<(&'static str, EngineConfig, bool)> {
             EngineConfig { two_list_everywhere: true, ..Default::default() },
             true,
         ),
+        (
+            "sched:exhaustive",
+            EngineConfig { scheduler: SchedulerMode::Exhaustive, ..Default::default() },
+            true,
+        ),
         ("no-decode-cache", EngineConfig::default(), false),
     ]
 }
@@ -210,12 +239,7 @@ mod tests {
     #[test]
     fn small_measurements_run() {
         let w = Workload::build(Kernel::Crc, 64);
-        for sim in [
-            Simulator::Baseline,
-            Simulator::RcpnStrongArm,
-            Simulator::RcpnXScale,
-            Simulator::FunctionalIss,
-        ] {
+        for sim in Simulator::FIG10.into_iter().chain([Simulator::FunctionalIss]) {
             let m = measure(sim, &w);
             assert!(m.cycles > 0);
         }

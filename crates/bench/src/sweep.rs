@@ -19,8 +19,8 @@ use std::time::Instant;
 use processors::res::SimConfig;
 use processors::sim::{CompiledSim, ProcModel};
 use rcpn::batch::{merge_stats, BatchRunner};
-use rcpn::engine::{EngineConfig, TableMode};
-use rcpn::stats::Stats;
+use rcpn::engine::{EngineConfig, SchedulerMode, TableMode};
+use rcpn::stats::{SchedStats, Stats};
 use workloads::{Kernel, Workload};
 
 use crate::MAX_CYCLES;
@@ -59,7 +59,9 @@ impl EngineVariant {
 }
 
 /// The default engine axis: both processor models × every candidate-table
-/// mode, plus the two-list-everywhere evaluation scheme on StrongARM.
+/// mode, the exhaustive-sweep scheduler oracle on both models (so every
+/// sweep records both the activity-driven engine and its oracle), plus
+/// the two-list-everywhere evaluation scheme on StrongARM.
 pub fn engine_axis() -> Vec<EngineVariant> {
     let modes = [
         ("tables:per-place-class", TableMode::PerPlaceClass),
@@ -72,6 +74,11 @@ pub fn engine_axis() -> Vec<EngineVariant> {
             let engine = EngineConfig { table_mode: mode, ..Default::default() };
             axis.push(EngineVariant::new(proc, name, engine));
         }
+        axis.push(EngineVariant::new(
+            proc,
+            "sched:exhaustive",
+            EngineConfig { scheduler: SchedulerMode::Exhaustive, ..Default::default() },
+        ));
     }
     axis.push(EngineVariant::new(
         ProcModel::StrongArm,
@@ -156,11 +163,59 @@ impl Sweep {
                 instrs: r.instrs,
                 seconds,
                 stats: sim.engine.stats().clone(),
+                sched: sim.sched().clone(),
             }
         });
         let wall_seconds = t0.elapsed().as_secs_f64();
         let merged = merge_stats(rows.iter().map(|r| &r.stats));
         SweepRun { rows, merged, wall_seconds, workers: runner.workers() }
+    }
+}
+
+impl Sweep {
+    /// Panics unless the engine axis was a pure *speed* axis for this
+    /// run: every variant of the same processor model must simulate each
+    /// workload to identical cycle and instruction counts, and the
+    /// `sched:exhaustive` oracle rows must be bit-identical in their full
+    /// [`Stats`] block to their activity-driven default siblings
+    /// (`tables:per-place-class`). The sweep binary runs this on the full
+    /// matrix before recording results.
+    pub fn assert_cross_engine_identity(&self, run: &SweepRun) {
+        let nw = self.workloads.len();
+        let row = |v: usize, w: usize| &run.rows[v * nw + w];
+        let proc_of = |label: &str| label.split('/').next().unwrap_or("").to_string();
+        let find = |label: &str| self.variants.iter().position(|v| v.label == label);
+        for w in 0..nw {
+            let kernel = self.workloads[w].kernel;
+            let mut per_proc: Vec<(String, u64, u64, String)> = Vec::new();
+            for (v, variant) in self.variants.iter().enumerate() {
+                let r = row(v, w);
+                let proc = proc_of(&variant.label);
+                match per_proc.iter().find(|(p, ..)| *p == proc) {
+                    None => per_proc.push((proc, r.cycles, r.instrs, variant.label.clone())),
+                    Some((_, cycles, instrs, first)) => assert_eq!(
+                        (r.cycles, r.instrs),
+                        (*cycles, *instrs),
+                        "{}/{kernel} diverged from {first}/{kernel}: engine knobs must never \
+                         change simulated timing",
+                        variant.label,
+                    ),
+                }
+            }
+            for proc in ["strongarm", "xscale"] {
+                let (Some(act), Some(exh)) = (
+                    find(&format!("{proc}/tables:per-place-class")),
+                    find(&format!("{proc}/sched:exhaustive")),
+                ) else {
+                    continue;
+                };
+                assert_eq!(
+                    row(act, w).stats,
+                    row(exh, w).stats,
+                    "{proc}/{kernel}: activity-driven Stats diverged from the exhaustive oracle"
+                );
+            }
+        }
     }
 }
 
@@ -182,6 +237,9 @@ pub struct SweepRow {
     pub seconds: f64,
     /// The engine's full statistics block.
     pub stats: Stats,
+    /// The engine's scheduler counters (evaluated vs skipped work;
+    /// deterministic per variant, so included in the identity check).
+    pub sched: SchedStats,
 }
 
 /// The result of running a [`Sweep`]: rows in job order, the merged
@@ -213,6 +271,7 @@ impl SweepRun {
                     && a.cycles == b.cycles
                     && a.instrs == b.instrs
                     && a.stats == b.stats
+                    && a.sched == b.sched
             })
     }
 
@@ -238,8 +297,21 @@ pub fn render_json(serial: &SweepRun, parallel: &SweepRun) -> String {
         let cpi = row.cycles as f64 / row.instrs as f64;
         out.push_str(&format!(
             "{{\"group\":\"sweep\",\"bench\":\"{}/{}\",\"size\":{},\"cycles\":{},\
-             \"instrs\":{},\"cpi\":{:.4},\"job_seconds\":{:.6},\"mcps\":{:.3}}}\n",
-            row.variant, row.kernel, row.size, row.cycles, row.instrs, cpi, row.seconds, mcps,
+             \"instrs\":{},\"cpi\":{:.4},\"job_seconds\":{:.6},\"mcps\":{:.3},\
+             \"place_visits\":{},\"place_skips\":{},\"trans_visits\":{},\
+             \"trans_visits_skipped\":{}}}\n",
+            row.variant,
+            row.kernel,
+            row.size,
+            row.cycles,
+            row.instrs,
+            cpi,
+            row.seconds,
+            mcps,
+            row.sched.place_visits,
+            row.sched.place_skips,
+            row.sched.trans_visits,
+            row.sched.trans_visits_skipped,
         ));
     }
     let speedup = serial.wall_seconds / parallel.wall_seconds;
@@ -294,6 +366,38 @@ mod tests {
         // variants must simulate the same cycle counts.
         assert_eq!(serial.rows[0].cycles, serial.rows[2].cycles);
         assert_eq!(serial.rows[1].cycles, serial.rows[3].cycles);
+    }
+
+    /// The full default axis passes the cross-engine identity check on a
+    /// small workload slice (the sweep binary re-asserts it on the full
+    /// matrix every run).
+    #[test]
+    fn full_axis_cross_engine_identity_on_test_sizes() {
+        let s = Sweep::with(engine_axis(), Workload::matrix(&[Kernel::Crc], &[0.0]));
+        let run = s.run(&BatchRunner::new(2));
+        s.assert_cross_engine_identity(&run);
+        // Both processor models carry an oracle variant on the axis.
+        for proc in ["strongarm", "xscale"] {
+            assert!(s.variants.iter().any(|v| v.label == format!("{proc}/sched:exhaustive")));
+        }
+    }
+
+    #[test]
+    fn exhaustive_oracle_simulates_identically_and_skips_nothing() {
+        let variants = vec![
+            EngineVariant::new(ProcModel::StrongArm, "tables:per-place-class", Default::default()),
+            EngineVariant::new(
+                ProcModel::StrongArm,
+                "sched:exhaustive",
+                EngineConfig { scheduler: SchedulerMode::Exhaustive, ..Default::default() },
+            ),
+        ];
+        let s = Sweep::with(variants, Workload::matrix(&[Kernel::Crc], &[0.0]));
+        let run = s.run(&BatchRunner::new(1));
+        assert_eq!(run.rows[0].cycles, run.rows[1].cycles, "scheduler is a speed knob only");
+        assert_eq!(run.rows[0].stats, run.rows[1].stats, "Stats are scheduler-independent");
+        assert!(run.rows[0].sched.place_skips > 0, "activity variant shows sparsity");
+        assert_eq!(run.rows[1].sched.place_skips, 0, "the oracle never skips");
     }
 
     #[test]

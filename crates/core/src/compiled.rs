@@ -54,6 +54,10 @@ pub(crate) struct HotPlace {
     pub(crate) delay: u64,
     pub(crate) cap: u32,
     pub(crate) is_end: bool,
+    /// Number of transitions that consume tokens from this place (input or
+    /// extra-input arcs) — `dependents[p].len()`, denormalized so the
+    /// activity scheduler's skip accounting never touches the index lists.
+    pub(crate) n_dependents: u32,
 }
 
 /// Partially evaluated per-source facts.
@@ -89,7 +93,6 @@ pub(crate) struct ExecPlan {
     /// Run the generic two-storage fixpoint scheme instead of the single
     /// reverse-topological pass.
     pub(crate) fixpoint: bool,
-    pub(crate) two_list_places: Vec<PlaceId>,
     pub(crate) res_places: Vec<PlaceId>,
     pub(crate) lookup: Lookup,
     /// Sub-net of each operation class (dynamic class checks).
@@ -98,6 +101,15 @@ pub(crate) struct ExecPlan {
     pub(crate) subnet_of_trans: Vec<u32>,
     /// Input place of each transition (full-scan filtering).
     pub(crate) input_of_trans: Vec<u32>,
+    /// Reverse index: for each place, the transitions whose enabling
+    /// depends on that place's token population (input or extra-input
+    /// arcs, sorted, deduplicated). This is the dependency structure the
+    /// activity-driven scheduler's dirty-place worklist is justified by —
+    /// a transition can only become newly enabled through one of its input
+    /// places changing, a delayed token maturing, capacity freeing, or a
+    /// guard flipping, and the scheduler re-evaluates on every one of
+    /// those events (see `engine.rs`).
+    pub(crate) dependents: Vec<Box<[TransitionId]>>,
     pub(crate) hot: Vec<HotTrans>,
     pub(crate) hot_place: Vec<HotPlace>,
     pub(crate) hot_source: Vec<HotSource>,
@@ -115,12 +127,28 @@ impl ExecPlan {
                 (0..n_places).map(|i| model.analysis.two_list[i]).collect(),
             )
         };
-        let two_list_places: Vec<PlaceId> =
-            (0..n_places).map(PlaceId::from_index).filter(|p| two_list[p.index()]).collect();
         let mut res_places: Vec<PlaceId> =
             model.transitions.iter().flat_map(|t| t.reservations.iter().map(|r| r.place)).collect();
         res_places.sort();
         res_places.dedup();
+
+        // Reverse index: which transitions consume from each place.
+        let mut dep_lists: Vec<Vec<TransitionId>> = vec![Vec::new(); n_places];
+        for (ti, t) in model.transitions.iter().enumerate() {
+            let tid = TransitionId::from_index(ti);
+            dep_lists[t.input.index()].push(tid);
+            for x in &t.extra_inputs {
+                dep_lists[x.index()].push(tid);
+            }
+        }
+        let dependents: Vec<Box<[TransitionId]>> = dep_lists
+            .into_iter()
+            .map(|mut l| {
+                l.sort_unstable();
+                l.dedup();
+                l.into_boxed_slice()
+            })
+            .collect();
 
         // Partial evaluation of the static structure into flat tables.
         let hot_place: Vec<HotPlace> = model
@@ -135,6 +163,7 @@ impl ExecPlan {
                     delay: u64::from(p.delay),
                     cap: st.capacity,
                     is_end: st.is_end,
+                    n_dependents: dependents[i].len() as u32,
                 }
             })
             .collect();
@@ -206,12 +235,12 @@ impl ExecPlan {
         ExecPlan {
             order,
             fixpoint: cfg.two_list_everywhere,
-            two_list_places,
             res_places,
             lookup,
             subnet_of_class,
             subnet_of_trans,
             input_of_trans,
+            dependents,
             hot,
             hot_place,
             hot_source,
@@ -300,6 +329,16 @@ impl<D: InstrData, R> CompiledModel<D, R> {
     /// The candidate-lookup variant this model was compiled for.
     pub fn table_mode(&self) -> TableMode {
         self.cfg.table_mode
+    }
+
+    /// The transitions whose enabling depends on `place`'s token
+    /// population (input or extra-input arcs; sorted, deduplicated).
+    ///
+    /// This is the compiled place→transitions reverse index the
+    /// activity-driven scheduler accounts skipped work against; it is
+    /// exposed so tests can validate the dependency structure.
+    pub fn dependents_of(&self, place: PlaceId) -> &[TransitionId] {
+        &self.plan.dependents[place.index()]
     }
 
     /// Creates an independent engine over fresh mutable state (token pool,

@@ -27,6 +27,39 @@
 //! one call for convenience; use [`crate::compiled::CompiledModel`]
 //! directly to build once and instantiate many times.
 //!
+//! ## Activity-driven scheduling
+//!
+//! The `foreach place p in P` of Figure 8 is exhaustive: it visits every
+//! place every cycle even when most of the pipeline is quiescent (drained
+//! bubbles, tokens parked on multi-cycle latencies). The default
+//! [`SchedulerMode::ActivityDriven`] scheduler makes that sweep sparse
+//! with a dirty-place worklist built on three per-place facts maintained
+//! incrementally by every token movement:
+//!
+//! * `n_instr[p]` — live instruction tokens resident in `p`;
+//! * `wake[p]` — a lower bound on the earliest cycle at which any token in
+//!   `p` can enable a transition (min token `ready_at`; a token that was
+//!   ready but found no enabled transition re-arms `wake` to the next
+//!   cycle, because capacity, guards, or join inputs may change);
+//! * `res_wake[p]` — the earliest reservation expiry in `p`.
+//!
+//! A place is processed in a cycle only when `n_instr[p] > 0` and
+//! `wake[p]` has arrived; latch commits walk a dirty list of two-list
+//! places with pending tokens, and reservation expiry walks only places
+//! whose earliest expiry has arrived. Skipped work is *provably* a no-op:
+//! a place is skipped only when every resident instruction token is still
+//! delayed, which is exactly the case where the exhaustive sweep scans it
+//! and does nothing — so retirement streams, traces, and [`Stats`] are
+//! bit-identical between the two schedulers (the differential property
+//! tests enforce this). Firing a transition re-dirties its output places
+//! through the token insertion itself, which preserves the paper's
+//! fixed-point semantics under `two_list_everywhere`. The amount of work
+//! skipped is observable through [`SchedStats`] (see [`Engine::sched`]),
+//! quantified against the compiled place→transitions reverse index.
+//!
+//! [`SchedulerMode::Exhaustive`] keeps the verbatim Figure 8 sweep as the
+//! differential-testing oracle (and as the honest ablation baseline).
+//!
 //! Three optimizations from the paper are implemented and individually
 //! switchable through [`EngineConfig`] so their contribution can be
 //! measured (see the `ablations` bench):
@@ -46,7 +79,7 @@ use std::sync::Arc;
 use crate::compiled::{CompiledModel, ExecPlan, HotTrans, Lookup};
 use crate::ids::{PlaceId, SourceId, TokenId, TransitionId};
 use crate::model::{Fx, Machine, Model};
-use crate::stats::Stats;
+use crate::stats::{SchedStats, Stats};
 use crate::token::{InstrData, TokenKind, TokenPool};
 
 /// How `Process(p)` locates candidate transitions for a token.
@@ -62,12 +95,26 @@ pub enum TableMode {
     FullScan,
 }
 
+/// How the per-cycle loop selects the places to process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerMode {
+    /// The sparse dirty-place worklist: a place is scanned only when it
+    /// holds an instruction token that can become ready this cycle, and
+    /// latch/expiry scans walk active lists. Bit-identical simulation to
+    /// [`SchedulerMode::Exhaustive`]; strictly less host work.
+    #[default]
+    ActivityDriven,
+    /// The verbatim Figure 8 sweep: every place in the evaluation order is
+    /// scanned every cycle. Kept as the differential-testing oracle.
+    Exhaustive,
+}
+
 /// Engine tuning knobs; the defaults enable every optimization.
 ///
 /// `table_mode` and `two_list_everywhere` are *compile-time* choices: they
 /// select which tables a [`CompiledModel`] materializes.
-/// `collect_occupancy` and `trace` are runtime flags carried into each
-/// instantiated engine.
+/// `scheduler`, `collect_occupancy` and `trace` are runtime flags carried
+/// into each instantiated engine.
 #[derive(Debug, Clone, Default)]
 pub struct EngineConfig {
     /// Candidate-transition lookup strategy.
@@ -77,6 +124,9 @@ pub struct EngineConfig {
     /// pass. This is the "usual, computationally expensive solution" the
     /// paper avoids.
     pub two_list_everywhere: bool,
+    /// Per-cycle place-selection strategy: the sparse activity-driven
+    /// worklist (default) or the exhaustive oracle sweep.
+    pub scheduler: SchedulerMode,
     /// Accumulate per-place occupancy statistics (small per-cycle cost).
     pub collect_occupancy: bool,
     /// Record a [`TraceEvent`] log (for model validation / CPN equivalence
@@ -152,18 +202,38 @@ pub struct Engine<D: InstrData, R> {
 /// The mutable per-run half of an [`Engine`], split from the shared
 /// model/plan so the per-cycle loop can borrow the read-only tables and
 /// the mutable state disjointly — no `Arc` traffic on the hot path.
+///
+/// All buffers used inside a cycle (`scratch`, `expired`, `flush_buf`,
+/// the `fx` side-effect collector) are owned here and reused, so the
+/// steady-state path allocates nothing per cycle.
 struct EngineState<D: InstrData, R> {
     machine: Machine<R>,
     pool: TokenPool<D>,
     live: Vec<Vec<TokenId>>,
     pending: Vec<Vec<TokenId>>,
     stage_occ: Vec<u32>,
+    /// Live instruction tokens per place (activity criterion).
+    n_instr: Vec<u32>,
+    /// Live reservation tokens per place (expiry-scan criterion).
+    n_res: Vec<u32>,
+    /// Earliest cycle at which a place may need processing; `u64::MAX`
+    /// when nothing resident can ever become ready without new arrivals.
+    wake: Vec<u64>,
+    /// Earliest reservation expiry per place; `u64::MAX` when none.
+    res_wake: Vec<u64>,
+    /// Two-list places with tokens written this cycle (the latch-commit
+    /// worklist; may hold stale/duplicate entries, resolved at commit).
+    pending_dirty: Vec<u32>,
     cfg: EngineConfig,
     stats: Stats,
+    sched: SchedStats,
     halted: bool,
     cycle: u64,
     trace: Vec<TraceEvent>,
     scratch: Vec<TokenId>,
+    expired: Vec<TokenId>,
+    flush_buf: Vec<TokenId>,
+    fx: Fx<D>,
 }
 
 impl<D: InstrData, R> Engine<D, R> {
@@ -189,12 +259,21 @@ impl<D: InstrData, R> Engine<D, R> {
                 live: vec![Vec::new(); n_places],
                 pending: vec![Vec::new(); n_places],
                 stage_occ: vec![0; plan.n_stages],
+                n_instr: vec![0; n_places],
+                n_res: vec![0; n_places],
+                wake: vec![u64::MAX; n_places],
+                res_wake: vec![u64::MAX; n_places],
+                pending_dirty: Vec::new(),
                 cfg,
                 stats,
+                sched: SchedStats::default(),
                 halted: false,
                 cycle: 0,
                 trace: Vec::new(),
                 scratch: Vec::new(),
+                expired: Vec::new(),
+                flush_buf: Vec::new(),
+                fx: Fx::new(None),
                 machine,
                 pool: TokenPool::new(),
             },
@@ -231,6 +310,15 @@ impl<D: InstrData, R> Engine<D, R> {
     /// Accumulated statistics.
     pub fn stats(&self) -> &Stats {
         &self.st.stats
+    }
+
+    /// Host-side scheduler counters: visited vs skipped places, tokens and
+    /// candidate transitions. Unlike [`Engine::stats`] these depend on the
+    /// [`SchedulerMode`] (that is their purpose — they make the sparsity
+    /// win observable), but they are deterministic for a fixed
+    /// configuration.
+    pub fn sched(&self) -> &SchedStats {
+        &self.st.sched
     }
 
     /// Current cycle number.
@@ -293,7 +381,7 @@ impl<D: InstrData, R> EngineState<D, R> {
     fn inject(&mut self, plan: &ExecPlan, payload: D, place: PlaceId) -> TokenId {
         let ready = self.cycle + plan.hot_place[place.index()].delay;
         let id = self.pool.alloc(TokenKind::Instruction, Some(payload), place, self.cycle, ready);
-        self.insert_token(plan, id, place.index() as u32);
+        self.insert_token(plan, id, place.index() as u32, ready);
         self.stats.generated += 1;
         id
     }
@@ -301,54 +389,112 @@ impl<D: InstrData, R> EngineState<D, R> {
     /// One clock cycle (Figure 8 main loop body).
     fn step(&mut self, model: &Model<D, R>, plan: &ExecPlan) {
         self.machine.cycle = self.cycle;
+        let exhaustive = self.cfg.scheduler == SchedulerMode::Exhaustive;
 
-        // 1. Two-list commit: written tokens become readable.
-        for &p in &plan.two_list_places {
-            if self.pending[p.index()].is_empty() {
-                continue;
+        // 1. Two-list commit: written tokens become readable. Walks the
+        //    dirty worklist (places that received pending tokens), sorted
+        //    into place-index order so the commit sequence is identical to
+        //    the full `two_list_places` sweep it replaces.
+        if !self.pending_dirty.is_empty() {
+            let mut dirty = std::mem::take(&mut self.pending_dirty);
+            dirty.sort_unstable();
+            dirty.dedup();
+            for &place in &dirty {
+                let pi = place as usize;
+                if self.pending[pi].is_empty() {
+                    continue; // stale entry (e.g. the place was flushed)
+                }
+                let p = PlaceId::from_index(pi);
+                for &id in &self.pending[pi] {
+                    self.machine.regs.note_move(id, p);
+                }
+                let moved = self.pending[pi].len();
+                self.stats.two_list_commits += moved as u64;
+                self.n_instr[pi] += moved as u32;
+                // Conservative wake: the committed tokens may be ready
+                // this very cycle; processing recomputes the exact bound.
+                self.wake[pi] = self.wake[pi].min(self.cycle);
+                let (live, pending) = (&mut self.live, &mut self.pending);
+                live[pi].append(&mut pending[pi]);
             }
-            let mut moved = std::mem::take(&mut self.pending[p.index()]);
-            for &id in &moved {
-                self.machine.regs.note_move(id, p);
-            }
-            self.stats.two_list_commits += moved.len() as u64;
-            self.live[p.index()].append(&mut moved);
+            dirty.clear();
+            self.pending_dirty = dirty;
         }
 
         // 2. Reservation expiry: reservation tokens whose residency elapsed
         //    release their stage capacity ("in the next cycle, this token
-        //    is consumed").
+        //    is consumed"). The activity scheduler scans a place only when
+        //    its earliest expiry has arrived; skipped scans could not have
+        //    removed anything.
         for &p in &plan.res_places {
-            if self.live[p.index()].is_empty() {
-                continue;
-            }
-            let cycle = self.cycle;
-            let mut expired: Vec<TokenId> = Vec::new();
-            self.live[p.index()].retain(|&id| {
-                let t = self.pool.get(id).expect("reservation token must be live");
-                if t.kind == TokenKind::Reservation && t.ready_at <= cycle {
-                    expired.push(id);
-                    false
-                } else {
-                    true
+            let pi = p.index();
+            if exhaustive {
+                if self.live[pi].is_empty() {
+                    continue;
                 }
+            } else {
+                if self.n_res[pi] == 0 {
+                    continue;
+                }
+                if self.res_wake[pi] > self.cycle {
+                    self.sched.expiry_skips += 1;
+                    continue;
+                }
+            }
+            self.sched.expiry_scans += 1;
+            let cycle = self.cycle;
+            let mut expired = std::mem::take(&mut self.expired);
+            expired.clear();
+            let mut next_expiry = u64::MAX;
+            self.live[pi].retain(|&id| {
+                let t = self.pool.get(id).expect("reservation token must be live");
+                if t.kind == TokenKind::Reservation {
+                    if t.ready_at <= cycle {
+                        expired.push(id);
+                        return false;
+                    }
+                    next_expiry = next_expiry.min(t.ready_at);
+                }
+                true
             });
-            let stage = plan.hot_place[p.index()].stage as usize;
-            for id in expired {
+            self.n_res[pi] -= expired.len() as u32;
+            self.res_wake[pi] = next_expiry;
+            let stage = plan.hot_place[pi].stage as usize;
+            for &id in &expired {
                 self.pool.take(id);
                 self.stage_occ[stage] -= 1;
             }
+            expired.clear();
+            self.expired = expired;
         }
 
         // 3. Process places.
         if !self.halted {
             if plan.fixpoint {
                 // Generic synchronous scheme: scan for enabled transitions
-                // until a fixpoint — the expensive search RCPN avoids.
+                // until a fixpoint — the expensive search RCPN avoids. The
+                // activity gate widens by one cycle after the first pass:
+                // a token that was ready but stalled re-arms its place to
+                // `cycle + 1`, and such places must be rescanned on every
+                // pass (the exhaustive fixpoint rescans them, counting
+                // their stalls again), while places whose tokens are all
+                // still delayed stay skippable — rescanning them is a
+                // no-op either way.
                 let max_passes = plan.order.len() + 1;
-                for _ in 0..max_passes {
+                for pass in 0..max_passes {
+                    let bound = if pass == 0 { self.cycle } else { self.cycle + 1 };
                     let mut any = false;
                     for &p in &plan.order {
+                        let pi = p.index();
+                        if !exhaustive {
+                            if self.n_instr[pi] == 0 {
+                                continue;
+                            }
+                            if self.wake[pi] > bound {
+                                self.note_place_skip(plan, pi);
+                                continue;
+                            }
+                        }
                         if self.process_place(model, plan, p) {
                             any = true;
                         }
@@ -362,6 +508,16 @@ impl<D: InstrData, R> EngineState<D, R> {
                 }
             } else {
                 for &p in &plan.order {
+                    let pi = p.index();
+                    if !exhaustive {
+                        if self.n_instr[pi] == 0 {
+                            continue;
+                        }
+                        if self.wake[pi] > self.cycle {
+                            self.note_place_skip(plan, pi);
+                            continue;
+                        }
+                    }
                     self.process_place(model, plan, p);
                     if self.halted {
                         break;
@@ -385,21 +541,45 @@ impl<D: InstrData, R> EngineState<D, R> {
         self.stats.cycles += 1;
     }
 
+    /// Accounts one activity skip of a non-empty place: the tokens that
+    /// were not rescanned, and (via the compiled reverse index) the
+    /// dependent transitions that were not reconsidered.
+    #[inline]
+    fn note_place_skip(&mut self, plan: &ExecPlan, pi: usize) {
+        self.sched.place_skips += 1;
+        self.sched.token_visits_skipped += self.live[pi].len() as u64;
+        self.sched.trans_visits_skipped += u64::from(plan.hot_place[pi].n_dependents);
+    }
+
     /// Figure 7: processes the instruction tokens of one place. Returns
     /// whether any transition fired.
+    ///
+    /// Also recomputes the place's `wake` bound from what it saw: delayed
+    /// tokens contribute their `ready_at`, a ready token that stalled
+    /// contributes `cycle + 1` (its enabling conditions may change), and
+    /// insertions that happen *during* the scan lower the bound through
+    /// [`EngineState::insert_token`].
     fn process_place(&mut self, model: &Model<D, R>, plan: &ExecPlan, p: PlaceId) -> bool {
         let pi = p.index();
         if self.live[pi].is_empty() {
             return false;
         }
+        self.sched.place_visits += 1;
+        self.wake[pi] = u64::MAX;
+        let mut next_wake = u64::MAX;
         let mut snapshot = std::mem::take(&mut self.scratch);
         snapshot.clear();
         snapshot.extend_from_slice(&self.live[pi]);
+        self.sched.token_visits += snapshot.len() as u64;
         let mut fired_any = false;
 
         for &id in &snapshot {
             let Some(tok) = self.pool.get(id) else { continue };
-            if tok.place != p || tok.kind != TokenKind::Instruction || tok.ready_at > self.cycle {
+            if tok.place != p || tok.kind != TokenKind::Instruction {
+                continue;
+            }
+            if tok.ready_at > self.cycle {
+                next_wake = next_wake.min(tok.ready_at);
                 continue;
             }
             let class = tok.data.as_ref().expect("instruction token has data").op_class();
@@ -455,6 +635,7 @@ impl<D: InstrData, R> EngineState<D, R> {
             } else {
                 self.stats.stalls += 1;
                 self.stats.place_stalls[pi] += 1;
+                next_wake = next_wake.min(self.cycle + 1);
             }
             if self.halted {
                 break;
@@ -462,6 +643,7 @@ impl<D: InstrData, R> EngineState<D, R> {
         }
 
         self.scratch = snapshot;
+        self.wake[pi] = self.wake[pi].min(next_wake);
         fired_any
     }
 
@@ -475,6 +657,7 @@ impl<D: InstrData, R> EngineState<D, R> {
         token: TokenId,
         place: PlaceId,
     ) -> bool {
+        self.sched.trans_visits += 1;
         let h = plan.hot[tid];
         if !h.cap_exempt && self.stage_occ[h.dest_stage as usize] >= h.cap {
             self.stats.capacity_blocks += 1;
@@ -511,21 +694,35 @@ impl<D: InstrData, R> EngineState<D, R> {
     }
 
     #[inline]
-    fn remove_from_place(&mut self, plan: &ExecPlan, place: usize, id: TokenId) {
+    fn remove_from_place(&mut self, plan: &ExecPlan, place: usize, id: TokenId, kind: TokenKind) {
         let list = &mut self.live[place];
         let pos = list.iter().position(|&x| x == id).expect("token listed in its place");
         list.remove(pos);
+        match kind {
+            TokenKind::Instruction => self.n_instr[place] -= 1,
+            TokenKind::Reservation => self.n_res[place] -= 1,
+        }
         self.stage_occ[plan.hot_place[place].stage as usize] -= 1;
     }
 
+    /// Inserts `id` (an instruction token becoming ready at `ready`) into
+    /// `place`, dirtying the place for the scheduler: a live insert lowers
+    /// the place's wake bound, a pending insert enlists it for the next
+    /// latch commit.
     #[inline]
-    fn insert_token(&mut self, plan: &ExecPlan, id: TokenId, place: u32) {
-        let hp = plan.hot_place[place as usize];
+    fn insert_token(&mut self, plan: &ExecPlan, id: TokenId, place: u32, ready: u64) {
+        let pi = place as usize;
+        let hp = plan.hot_place[pi];
         if hp.two_list {
-            self.pending[place as usize].push(id);
+            if self.pending[pi].is_empty() {
+                self.pending_dirty.push(place);
+            }
+            self.pending[pi].push(id);
         } else {
-            self.live[place as usize].push(id);
-            self.machine.regs.note_move(id, PlaceId::from_index(place as usize));
+            self.live[pi].push(id);
+            self.n_instr[pi] += 1;
+            self.wake[pi] = self.wake[pi].min(ready);
+            self.machine.regs.note_move(id, PlaceId::from_index(pi));
         }
         self.stage_occ[hp.stage as usize] += 1;
     }
@@ -549,7 +746,8 @@ impl<D: InstrData, R> EngineState<D, R> {
                 let x = model.transitions[tid].extra_inputs[k];
                 let victim =
                     self.oldest_ready(x).expect("extra input availability was checked in try_fire");
-                self.remove_from_place(plan, x.index(), victim);
+                let vkind = self.pool.get(victim).expect("victim is live").kind;
+                self.remove_from_place(plan, x.index(), victim, vkind);
                 let t = self.pool.take(victim);
                 if t.kind == TokenKind::Instruction {
                     self.machine.regs.release(victim);
@@ -557,10 +755,15 @@ impl<D: InstrData, R> EngineState<D, R> {
             }
         }
 
-        self.remove_from_place(plan, place.index(), token);
+        self.remove_from_place(plan, place.index(), token, TokenKind::Instruction);
 
-        // Run the action.
-        let mut fx = Fx::new(Some(token));
+        // Run the action, collecting side effects into the reusable
+        // scratch collector (its buffers persist across fires, so emitting
+        // actions stop allocating per fire).
+        let mut fx = std::mem::replace(&mut self.fx, Fx::new(None));
+        debug_assert!(fx.emits.is_empty() && fx.flush_places.is_empty() && !fx.halt);
+        fx.token = Some(token);
+        fx.token_delay = None;
         let mut has_fx = false;
         if h.has_action {
             let action = model.transitions[tid].action.as_ref().expect("has_action implies action");
@@ -592,39 +795,40 @@ impl<D: InstrData, R> EngineState<D, R> {
                 None => h.base_ready,
                 Some(d) => h.tdelay + u64::from(d),
             };
+            let ready = cycle + eff;
             let tok = self.pool.get_mut(token).expect("firing token is live");
             tok.place = PlaceId::from_index(h.dest as usize);
             tok.arrived_at = cycle;
-            tok.ready_at = cycle + eff;
+            tok.ready_at = ready;
             if self.cfg.trace {
                 seq = tok.seq;
             }
-            self.insert_token(plan, token, h.dest);
+            self.insert_token(plan, token, h.dest, ready);
         }
 
         // Reservation-token output arcs.
         if h.has_res {
             for k in 0..model.transitions[tid].reservations.len() {
                 let r = model.transitions[tid].reservations[k];
-                let rid = self.pool.alloc(
-                    TokenKind::Reservation,
-                    None,
-                    r.place,
-                    cycle,
-                    cycle + u64::from(r.expire),
-                );
+                let expiry = cycle + u64::from(r.expire);
+                let rid = self.pool.alloc(TokenKind::Reservation, None, r.place, cycle, expiry);
                 // Reservations occupy immediately; they are not deferred
                 // even on two-list places, since their only observable
                 // effect is stage occupancy (which is always next-state).
-                self.live[r.place.index()].push(rid);
-                self.stage_occ[plan.hot_place[r.place.index()].stage as usize] += 1;
+                let rp = r.place.index();
+                self.live[rp].push(rid);
+                self.n_res[rp] += 1;
+                self.res_wake[rp] = self.res_wake[rp].min(expiry);
+                self.stage_occ[plan.hot_place[rp].stage as usize] += 1;
                 self.stats.reservations += 1;
             }
         }
 
         if has_fx {
-            self.apply_fx(model, plan, fx);
+            self.apply_fx(model, plan, &mut fx);
         }
+        fx.token = None;
+        self.fx = fx;
         self.stats.fires[tid] += 1;
         if self.cfg.trace {
             self.trace.push(TraceEvent::Fired {
@@ -635,35 +839,39 @@ impl<D: InstrData, R> EngineState<D, R> {
         }
     }
 
-    fn apply_fx(&mut self, model: &Model<D, R>, plan: &ExecPlan, fx: Fx<D>) {
+    /// Applies and drains the collected side effects, leaving `fx` empty
+    /// (so its buffers can be reused by the next firing).
+    fn apply_fx(&mut self, model: &Model<D, R>, plan: &ExecPlan, fx: &mut Fx<D>) {
         let cycle = self.cycle;
-        for (payload, place, delay) in fx.emits {
-            let id = self.pool.alloc(
-                TokenKind::Instruction,
-                Some(payload),
-                place,
-                cycle,
-                cycle + u64::from(delay),
-            );
-            self.insert_token(plan, id, place.index() as u32);
+        for (payload, place, delay) in fx.emits.drain(..) {
+            let ready = cycle + u64::from(delay);
+            let id = self.pool.alloc(TokenKind::Instruction, Some(payload), place, cycle, ready);
+            self.insert_token(plan, id, place.index() as u32, ready);
             self.stats.emitted += 1;
         }
-        for place in fx.flush_places {
+        for place in fx.flush_places.drain(..) {
             self.flush_place(model, plan, place);
         }
         if fx.halt {
             self.halted = true;
+            fx.halt = false;
         }
     }
 
     /// Squashes every token in `place`, releasing register reservations.
     fn flush_place(&mut self, model: &Model<D, R>, plan: &ExecPlan, place: PlaceId) {
-        let ids: Vec<TokenId> = self.live[place.index()]
-            .drain(..)
-            .chain(self.pending[place.index()].drain(..))
-            .collect();
-        let stage = plan.hot_place[place.index()].stage as usize;
-        for id in ids {
+        let pi = place.index();
+        let mut ids = std::mem::take(&mut self.flush_buf);
+        ids.clear();
+        ids.append(&mut self.live[pi]);
+        ids.append(&mut self.pending[pi]);
+        // The place is now empty; reset its activity metadata wholesale.
+        self.n_instr[pi] = 0;
+        self.n_res[pi] = 0;
+        self.wake[pi] = u64::MAX;
+        self.res_wake[pi] = u64::MAX;
+        let stage = plan.hot_place[pi].stage as usize;
+        for &id in &ids {
             let mut tok = self.pool.take(id);
             if tok.kind == TokenKind::Instruction {
                 self.machine.regs.release(id);
@@ -678,6 +886,8 @@ impl<D: InstrData, R> EngineState<D, R> {
                 self.trace.push(TraceEvent::Flushed { cycle: self.cycle, place, seq: tok.seq });
             }
         }
+        ids.clear();
+        self.flush_buf = ids;
     }
 
     /// Executes the instruction-independent sub-net (all sources).
@@ -695,7 +905,10 @@ impl<D: InstrData, R> EngineState<D, R> {
                         break;
                     }
                 }
-                let mut fx = Fx::new(None);
+                let mut fx = std::mem::replace(&mut self.fx, Fx::new(None));
+                debug_assert!(fx.emits.is_empty() && fx.flush_places.is_empty() && !fx.halt);
+                fx.token = None;
+                fx.token_delay = None;
                 let payload = {
                     let produce = &model.sources[si].produce;
                     produce(&mut self.machine, &mut fx)
@@ -706,14 +919,15 @@ impl<D: InstrData, R> EngineState<D, R> {
                         None => hp.delay,
                         Some(d) => u64::from(d),
                     };
+                    let ready = cycle + eff;
                     let id = self.pool.alloc(
                         TokenKind::Instruction,
                         Some(data),
                         PlaceId::from_index(hs.dest as usize),
                         cycle,
-                        cycle + eff,
+                        ready,
                     );
-                    self.insert_token(plan, id, hs.dest);
+                    self.insert_token(plan, id, hs.dest, ready);
                     self.stats.generated += 1;
                     self.stats.source_fires[si] += 1;
                     if self.cfg.trace {
@@ -726,8 +940,9 @@ impl<D: InstrData, R> EngineState<D, R> {
                     }
                 }
                 if !fx.emits.is_empty() || !fx.flush_places.is_empty() || fx.halt {
-                    self.apply_fx(model, plan, fx);
+                    self.apply_fx(model, plan, &mut fx);
                 }
+                self.fx = fx;
                 if self.halted || !produced {
                     break;
                 }

@@ -85,11 +85,11 @@ pub mod prelude {
     pub use crate::batch::BatchRunner;
     pub use crate::builder::ModelBuilder;
     pub use crate::compiled::CompiledModel;
-    pub use crate::engine::{Engine, EngineConfig, RunOutcome, TableMode};
+    pub use crate::engine::{Engine, EngineConfig, RunOutcome, SchedulerMode, TableMode};
     pub use crate::error::BuildError;
     pub use crate::ids::{OpClassId, PlaceId, RegId, StageId, SubnetId, TokenId, TransitionId};
     pub use crate::model::{Fx, Machine, Model, UNLIMITED};
     pub use crate::reg::{Operand, RegRef, RegisterFile};
-    pub use crate::stats::Stats;
+    pub use crate::stats::{SchedStats, Stats};
     pub use crate::token::{InstrData, TokenKind};
 }

@@ -226,6 +226,11 @@ impl<D, R> TransitionDef<D, R> {
         self.input
     }
 
+    /// Additional input places consumed when the transition fires (joins).
+    pub fn extra_inputs(&self) -> &[PlaceId] {
+        &self.extra_inputs
+    }
+
     /// The destination place of the instruction token.
     pub fn dest(&self) -> PlaceId {
         self.dest

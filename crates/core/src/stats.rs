@@ -42,6 +42,83 @@ pub struct Stats {
     pub occupancy: Vec<u64>,
 }
 
+/// Host-side scheduler counters: how much per-cycle work the engine
+/// actually performed versus skipped.
+///
+/// These are deliberately **not** part of [`Stats`]. `Stats` describes the
+/// simulated machine and is bit-identical between the activity-driven
+/// scheduler and the exhaustive-sweep oracle (that identity is the
+/// correctness contract, enforced by the differential tests). `SchedStats`
+/// describes the *host execution strategy* — the two schedulers do
+/// different amounts of work by design, so these counters live in their
+/// own block where they can differ freely. They are still deterministic
+/// for a fixed engine configuration, so batch/sweep determinism checks may
+/// include them.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Places scanned for enabled transitions (one per processed place per
+    /// cycle, or per fixpoint pass).
+    pub place_visits: u64,
+    /// Non-empty places skipped because no resident token becomes ready
+    /// before the place's wake cycle. The exhaustive sweep would have
+    /// scanned these; an all-zero value under the activity scheduler means
+    /// the workload never goes quiescent.
+    pub place_skips: u64,
+    /// Tokens examined during place scans.
+    pub token_visits: u64,
+    /// Token examinations avoided by place skips (tokens resident in
+    /// skipped places).
+    pub token_visits_skipped: u64,
+    /// Candidate-transition evaluations performed (enabling checks).
+    pub trans_visits: u64,
+    /// Dependent transitions of skipped places that were not reconsidered
+    /// (from the compiled place→transitions reverse index; one count per
+    /// dependent per skip).
+    pub trans_visits_skipped: u64,
+    /// Reservation-expiry scans performed.
+    pub expiry_scans: u64,
+    /// Reservation-expiry scans skipped because no reservation in the
+    /// place can have expired yet.
+    pub expiry_skips: u64,
+}
+
+impl SchedStats {
+    /// Accumulates `other` into `self` (exhaustive destructuring, like
+    /// [`Stats::merge`]: a new counter that is not merged is a compile
+    /// error).
+    pub fn merge(&mut self, other: &SchedStats) {
+        let SchedStats {
+            place_visits,
+            place_skips,
+            token_visits,
+            token_visits_skipped,
+            trans_visits,
+            trans_visits_skipped,
+            expiry_scans,
+            expiry_skips,
+        } = other;
+        self.place_visits += place_visits;
+        self.place_skips += place_skips;
+        self.token_visits += token_visits;
+        self.token_visits_skipped += token_visits_skipped;
+        self.trans_visits += trans_visits;
+        self.trans_visits_skipped += trans_visits_skipped;
+        self.expiry_scans += expiry_scans;
+        self.expiry_skips += expiry_skips;
+    }
+
+    /// Fraction of place visits avoided: `skips / (visits + skips)`, or
+    /// 0.0 before any cycle ran.
+    pub fn place_skip_ratio(&self) -> f64 {
+        let total = self.place_visits + self.place_skips;
+        if total == 0 {
+            0.0
+        } else {
+            self.place_skips as f64 / total as f64
+        }
+    }
+}
+
 impl Stats {
     pub(crate) fn new(n_transitions: usize, n_sources: usize, n_places: usize) -> Self {
         Stats {

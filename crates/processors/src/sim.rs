@@ -9,7 +9,7 @@ use rcpn::batch::BatchRunner;
 use rcpn::compiled::CompiledModel;
 use rcpn::engine::{Engine, RunOutcome};
 use rcpn::ids::RegId;
-use rcpn::stats::Stats;
+use rcpn::stats::{SchedStats, Stats};
 
 use crate::armtok::ArmTok;
 use crate::res::{ArmRes, SimConfig};
@@ -112,7 +112,11 @@ impl CompiledSim {
         runner.run(programs, |_idx, program| {
             let mut sim = self.instantiate(program);
             let result = sim.run(max_cycles);
-            BatchOutcome { result, stats: sim.engine.stats().clone() }
+            BatchOutcome {
+                result,
+                stats: sim.engine.stats().clone(),
+                sched: sim.engine.sched().clone(),
+            }
         })
     }
 }
@@ -125,6 +129,11 @@ pub struct BatchOutcome {
     pub result: SimResult,
     /// Engine statistics of the run (fires, stalls, occupancy, ...).
     pub stats: Stats,
+    /// Host-side scheduler counters (visited vs skipped work; depends on
+    /// the configured [`rcpn::engine::SchedulerMode`], but deterministic
+    /// for a fixed configuration, so it participates in the batch
+    /// determinism contract).
+    pub sched: SchedStats,
 }
 
 impl std::fmt::Debug for CompiledSim {
@@ -222,6 +231,13 @@ impl CaSim {
         self.engine.halted()
     }
 
+    /// Host-side scheduler counters of the underlying engine (evaluated
+    /// vs skipped places/tokens/transitions — the activity scheduler's
+    /// observability block).
+    pub fn sched(&self) -> &SchedStats {
+        self.engine.sched()
+    }
+
     /// Outcome helper mirroring [`Engine::run`]'s result.
     pub fn run_outcome(&mut self, max_cycles: u64) -> RunOutcome {
         self.engine.run(max_cycles)
@@ -269,6 +285,40 @@ mod tests {
     fn compiled_sim_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<CompiledSim>();
+    }
+
+    /// The activity-driven scheduler must (a) skip real work on a real
+    /// kernel — otherwise the tentpole is dead code — and (b) be
+    /// bit-identical to the exhaustive oracle in everything simulated.
+    #[test]
+    fn activity_scheduler_skips_work_and_matches_exhaustive_oracle() {
+        use rcpn::engine::SchedulerMode;
+        let program = assemble(
+            "mov r0, #0\nmov r1, #200\nloop:\nadd r0, r0, #3\nsubs r1, r1, #1\nbne loop\nswi #0\n",
+        )
+        .unwrap();
+        let mut outcomes = Vec::new();
+        for scheduler in [SchedulerMode::ActivityDriven, SchedulerMode::Exhaustive] {
+            let config = SimConfig {
+                engine: rcpn::engine::EngineConfig { scheduler, ..Default::default() },
+                ..SimConfig::strongarm()
+            };
+            let mut sim = CompiledSim::new(ProcModel::StrongArm, &config).instantiate(&program);
+            let result = sim.run(100_000);
+            assert_eq!(result.exit, Some(600), "{scheduler:?}");
+            outcomes.push((result, sim.engine.stats().clone(), sim.sched().clone()));
+        }
+        let (act, exh) = (&outcomes[0], &outcomes[1]);
+        assert_eq!(act.0, exh.0, "SimResult must not depend on the scheduler");
+        assert_eq!(act.1, exh.1, "Stats must not depend on the scheduler");
+        assert!(act.2.place_skips > 0, "no sparsity on a real kernel: {:?}", act.2);
+        assert!(act.2.trans_visits_skipped > 0);
+        assert_eq!(exh.2.place_skips, 0, "the oracle never skips");
+        assert!(
+            act.2.place_visits + act.2.place_skips <= exh.2.place_visits,
+            "activity scheduling must not visit more than the oracle sweeps"
+        );
+        assert_eq!(act.1.retired, exh.1.retired);
     }
 
     #[test]

@@ -11,6 +11,17 @@ use workloads::Workload;
 
 const MAX_CYCLES: u64 = 200_000_000;
 
+/// Worker counts the parallel runs are checked at. Defaults to 1/2/8;
+/// CI overrides with `RCPN_BATCH_WORKERS=1,8` to pin the 1-vs-8 contract
+/// explicitly per push.
+fn worker_counts() -> Vec<usize> {
+    std::env::var("RCPN_BATCH_WORKERS")
+        .ok()
+        .map(|s| s.split(',').filter_map(|w| w.trim().parse().ok()).collect::<Vec<usize>>())
+        .filter(|v| !v.is_empty())
+        .unwrap_or_else(|| vec![1, 2, 8])
+}
+
 fn run_suite(compiled: &CompiledSim, workers: usize) -> Vec<BatchOutcome> {
     let suite = Workload::test_suite();
     let programs: Vec<_> = suite.iter().map(|w| w.program.clone()).collect();
@@ -31,11 +42,12 @@ fn parallel_batch_stats_are_bit_identical_to_serial() {
     for compiled in [CompiledSim::strongarm(), CompiledSim::xscale()] {
         let serial = run_suite(&compiled, 1);
         let serial_merged = merge_stats(serial.iter().map(|o| &o.stats));
-        for workers in [1, 2, 8] {
+        for workers in worker_counts() {
             let parallel = run_suite(&compiled, workers);
             for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
                 assert_eq!(s.result, p.result, "job {i} result at {workers} workers");
                 assert_eq!(s.stats, p.stats, "job {i} stats at {workers} workers");
+                assert_eq!(s.sched, p.sched, "job {i} sched counters at {workers} workers");
             }
             let merged = merge_stats(parallel.iter().map(|o| &o.stats));
             assert_eq!(

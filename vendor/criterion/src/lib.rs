@@ -141,15 +141,20 @@ fn report(group: &str, id: &str, samples: &[Duration], throughput: Option<Throug
                 Some(Throughput::Bytes(n)) => ("bytes", n),
                 None => ("none", 0),
             };
+            // Both rate estimators are recorded: the mean (legacy field)
+            // and the best sample (`per_sec_best`, from min_ns), which is
+            // robust to scheduler-preemption outliers and what regression
+            // gates should compare.
             let _ = writeln!(
                 file,
                 "{{\"group\":\"{group}\",\"bench\":\"{id}\",\"mean_ns\":{},\"min_ns\":{},\
                  \"samples\":{},\"throughput\":\"{tp_kind}\",\"throughput_per_iter\":{tp_n},\
-                 \"per_sec_mean\":{:.1}}}",
+                 \"per_sec_mean\":{:.1},\"per_sec_best\":{:.1}}}",
                 mean.as_nanos(),
                 min.as_nanos(),
                 samples.len(),
                 if tp_n > 0 { tp_n as f64 / mean.as_secs_f64() } else { 0.0 },
+                if tp_n > 0 { tp_n as f64 / min.as_secs_f64() } else { 0.0 },
             );
         }
     }
