@@ -9,7 +9,6 @@
 //! (RCPN vs CPN model size), `ablations` (Section 4 optimizations),
 //! `effort` (Section 5 model statistics), `all`.
 
-use processors::res::SimConfig;
 use processors::sim::{CaSim, ProcModel};
 use rcpn_bench::{ablation_configs, average, measure, measure_ablation, suite, Simulator};
 use workloads::{Kernel, Workload};
@@ -78,7 +77,7 @@ fn print_table(rows: &[(&str, Vec<f64>)], prec: usize) {
 }
 
 /// Figure 10: simulation performance (million simulated cycles per host
-/// second) of the baseline and both RCPN-generated simulators.
+/// second) of the baseline and every RCPN-generated simulator.
 fn fig10(scale: f64) {
     header("Figure 10 — Simulation performance (Mcycles/s)");
     println!("(workload scale {scale}; paper: SimpleScalar ~0.6, RCPN-XScale ~8.2, RCPN-StrongArm ~12.2 on a P4/1.8GHz)");
@@ -89,15 +88,18 @@ fn fig10(scale: f64) {
         rows.push((sim.name(), values));
     }
     print_table(&rows, 2);
-    let base = average(&rows[0].1);
-    let xs = average(&rows[1].1);
-    let sa = average(&rows[2].1);
-    let sa_exh = average(&rows[3].1);
-    println!(
-        "speedup vs baseline:  RCPN-XScale {:.1}x   RCPN-StrongArm {:.1}x   (paper: ~14x / ~20x, \"order of magnitude\")",
-        xs / base,
-        sa / base
-    );
+    let avg_of = |name: &str| {
+        let (_, values) = rows.iter().find(|(n, _)| *n == name).expect("fig10 row exists");
+        average(values)
+    };
+    let base = avg_of(Simulator::Baseline.name());
+    print!("speedup vs baseline: ");
+    for proc in ProcModel::ALL {
+        print!("  {} {:.1}x", proc.figure_name(), avg_of(proc.figure_name()) / base);
+    }
+    println!("   (paper: ~14x / ~20x, \"order of magnitude\")");
+    let sa = avg_of(Simulator::RcpnStrongArm.name());
+    let sa_exh = avg_of(Simulator::RcpnStrongArmExhaustive.name());
     println!("activity-driven scheduler vs exhaustive sweep (StrongARM): {:.2}x", sa / sa_exh);
 }
 
@@ -190,16 +192,13 @@ fn ablations(scale: f64) {
 fn effort() {
     header("Section 5 — model statistics");
     let w = Workload::build(Kernel::Crc, 64);
-    for (name, model) in [("StrongARM", ProcModel::StrongArm), ("XScale", ProcModel::XScale)] {
-        let config = match model {
-            ProcModel::StrongArm => SimConfig::strongarm(),
-            ProcModel::XScale => SimConfig::xscale(),
-        };
-        let sim = CaSim::with_config(model, &w.program, &config);
+    for model in ProcModel::ALL {
+        let name = model.figure_name();
+        let sim = CaSim::with_config(model, &w.program, &model.default_config());
         let m = sim.engine.model();
         let a = m.analysis();
         println!(
-            "{name:<10} sub-nets={} op-classes={} places={} transitions={} sources={} two-list={} (flow cycles {}, feedback {})",
+            "{name:<16} sub-nets={} op-classes={} places={} transitions={} sources={} two-list={} (flow cycles {}, feedback {})",
             m.subnet_count(),
             m.op_class_count(),
             m.place_count(),

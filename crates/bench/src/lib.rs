@@ -62,6 +62,8 @@ pub enum Simulator {
     RcpnXScale,
     /// RCPN-generated StrongARM.
     RcpnStrongArm,
+    /// RCPN-generated SuperARM (the spec-defined seven-stage core).
+    RcpnSuperArm,
     /// RCPN-generated StrongARM running the exhaustive-sweep scheduler
     /// oracle (same simulation, no activity skipping) — recorded alongside
     /// the default engine so the scheduler's speedup is a measured number.
@@ -71,26 +73,43 @@ pub enum Simulator {
 }
 
 impl Simulator {
-    /// The Figure 10 measurement matrix: the paper's three simulators
-    /// plus the exhaustive-scheduler oracle. The fig10 bench, the
-    /// `figures` table, and the `bench_gate` CI gate all iterate this
-    /// list, so it is the single source of truth for which rows exist in
-    /// `BENCH_fig10.json` — extending it extends all three in lockstep.
-    pub const FIG10: [Simulator; 4] = [
+    /// The Figure 10 measurement matrix: the paper's simulators, every
+    /// [`ProcModel`] of the processor registry, plus the
+    /// exhaustive-scheduler oracle. The fig10 bench, the `figures` table,
+    /// and the `bench_gate` CI gate all iterate this list, so it is the
+    /// single source of truth for which rows exist in `BENCH_fig10.json`
+    /// — extending it extends all three in lockstep (and the
+    /// registry-guard test fails if a `ProcModel` is missing here).
+    pub const FIG10: [Simulator; 5] = [
         Simulator::Baseline,
         Simulator::RcpnXScale,
         Simulator::RcpnStrongArm,
+        Simulator::RcpnSuperArm,
         Simulator::RcpnStrongArmExhaustive,
     ];
+
+    /// For RCPN-backed simulators: the processor-registry model plus the
+    /// scheduler it runs — the single place a [`Simulator`] row is tied
+    /// to a [`ProcModel`]. `None` for the non-RCPN comparators.
+    pub fn rcpn_config(self) -> Option<(ProcModel, SchedulerMode)> {
+        match self {
+            Simulator::RcpnXScale => Some((ProcModel::XScale, SchedulerMode::ActivityDriven)),
+            Simulator::RcpnStrongArm => Some((ProcModel::StrongArm, SchedulerMode::ActivityDriven)),
+            Simulator::RcpnSuperArm => Some((ProcModel::SuperArm, SchedulerMode::ActivityDriven)),
+            Simulator::RcpnStrongArmExhaustive => {
+                Some((ProcModel::StrongArm, SchedulerMode::Exhaustive))
+            }
+            Simulator::Baseline | Simulator::FunctionalIss => None,
+        }
+    }
 
     /// Display name matching the paper's legends.
     pub fn name(self) -> &'static str {
         match self {
             Simulator::Baseline => "SimpleScalar-Arm",
-            Simulator::RcpnXScale => "RCPN-XScale",
-            Simulator::RcpnStrongArm => "RCPN-StrongArm",
             Simulator::RcpnStrongArmExhaustive => "RCPN-StrongArm-Exhaustive",
             Simulator::FunctionalIss => "Functional-ISS",
+            rcpn => rcpn.rcpn_config().expect("RCPN simulator").0.figure_name(),
         }
     }
 }
@@ -102,6 +121,9 @@ impl Simulator {
 /// Panics if the simulation does not exit with the gold checksum — a
 /// mis-simulating benchmark must never be timed.
 pub fn measure(sim: Simulator, w: &Workload) -> Measurement {
+    if let Some(compiled) = compiled_sim(sim) {
+        return measure_compiled(&compiled, w);
+    }
     match sim {
         Simulator::Baseline => {
             let mut s = SsArm::new(&w.program);
@@ -111,10 +133,6 @@ pub fn measure(sim: Simulator, w: &Workload) -> Measurement {
             assert_eq!(r.exit, Some(w.expected), "baseline/{}", w.kernel);
             Measurement { cycles: r.cycles, instrs: r.instrs, seconds }
         }
-        Simulator::RcpnXScale | Simulator::RcpnStrongArm | Simulator::RcpnStrongArmExhaustive => {
-            let compiled = compiled_sim(sim).expect("RCPN simulator has a compiled form");
-            measure_compiled(&compiled, w)
-        }
         Simulator::FunctionalIss => {
             let mut s = Iss::from_program(&w.program);
             let t0 = Instant::now();
@@ -123,6 +141,7 @@ pub fn measure(sim: Simulator, w: &Workload) -> Measurement {
             assert_eq!(s.exit_code(), w.expected, "iss/{}", w.kernel);
             Measurement { cycles: s.instr_count(), instrs: s.instr_count(), seconds }
         }
+        rcpn => unreachable!("{rcpn:?} is RCPN-backed and measured above"),
     }
 }
 
@@ -131,20 +150,10 @@ pub fn measure(sim: Simulator, w: &Workload) -> Measurement {
 /// [`measure_compiled`] to keep model compilation out of the timed region
 /// and out of per-iteration bench loops.
 pub fn compiled_sim(sim: Simulator) -> Option<CompiledSim> {
-    match sim {
-        Simulator::RcpnXScale => Some(CompiledSim::new(ProcModel::XScale, &SimConfig::xscale())),
-        Simulator::RcpnStrongArm => {
-            Some(CompiledSim::new(ProcModel::StrongArm, &SimConfig::strongarm()))
-        }
-        Simulator::RcpnStrongArmExhaustive => {
-            let config = SimConfig {
-                engine: EngineConfig { scheduler: SchedulerMode::Exhaustive, ..Default::default() },
-                ..SimConfig::strongarm()
-            };
-            Some(CompiledSim::new(ProcModel::StrongArm, &config))
-        }
-        Simulator::Baseline | Simulator::FunctionalIss => None,
-    }
+    let (proc, scheduler) = sim.rcpn_config()?;
+    let mut config = proc.default_config();
+    config.engine.scheduler = scheduler;
+    Some(CompiledSim::new(proc, &config))
 }
 
 /// Runs one instantiation of a compiled simulator over one workload,
@@ -161,11 +170,7 @@ pub fn measure_compiled(compiled: &CompiledSim, w: &Workload) -> Measurement {
     let t0 = Instant::now();
     let r = s.run(MAX_CYCLES);
     let seconds = t0.elapsed().as_secs_f64();
-    let name = match compiled.model() {
-        ProcModel::XScale => "RCPN-XScale",
-        ProcModel::StrongArm => "RCPN-StrongArm",
-    };
-    assert_eq!(r.exit, Some(w.expected), "{}/{}", name, w.kernel);
+    assert_eq!(r.exit, Some(w.expected), "{}/{}", compiled.model().figure_name(), w.kernel);
     Measurement { cycles: r.cycles, instrs: r.instrs, seconds }
 }
 
@@ -242,6 +247,25 @@ mod tests {
         for sim in Simulator::FIG10.into_iter().chain([Simulator::FunctionalIss]) {
             let m = measure(sim, &w);
             assert!(m.cycles > 0);
+        }
+    }
+
+    /// The registry guard: a processor added to [`ProcModel::ALL`] must
+    /// appear on every measurement harness — the fig10 matrix (bench,
+    /// figures table, CI gate) and the sweep engine axis. This is what
+    /// makes "new processor silently missing from a harness" a test
+    /// failure instead of a data gap.
+    #[test]
+    fn processor_registry_reaches_every_harness() {
+        for proc in ProcModel::ALL {
+            assert!(
+                Simulator::FIG10.iter().any(|s| s.rcpn_config().map(|(p, _)| p) == Some(proc)),
+                "{proc:?} missing from the fig10 matrix"
+            );
+            assert!(
+                crate::sweep::engine_axis().iter().any(|v| v.proc == proc),
+                "{proc:?} missing from the sweep engine axis"
+            );
         }
     }
 

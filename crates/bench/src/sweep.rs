@@ -40,28 +40,21 @@ pub struct EngineVariant {
 impl EngineVariant {
     /// A variant labeled `"<proc>/<mode>"`.
     pub fn new(proc: ProcModel, mode: &str, engine: EngineConfig) -> Self {
-        let p = match proc {
-            ProcModel::StrongArm => "strongarm",
-            ProcModel::XScale => "xscale",
-        };
-        EngineVariant { label: format!("{p}/{mode}"), proc, engine }
+        EngineVariant { label: format!("{}/{mode}", proc.label()), proc, engine }
     }
 
     /// The simulator configuration for this variant (model defaults with
     /// the variant's engine config).
     pub fn sim_config(&self) -> SimConfig {
-        let base = match self.proc {
-            ProcModel::StrongArm => SimConfig::strongarm(),
-            ProcModel::XScale => SimConfig::xscale(),
-        };
-        SimConfig { engine: self.engine.clone(), ..base }
+        SimConfig { engine: self.engine.clone(), ..self.proc.default_config() }
     }
 }
 
-/// The default engine axis: both processor models × every candidate-table
-/// mode, the exhaustive-sweep scheduler oracle on both models (so every
-/// sweep records both the activity-driven engine and its oracle), plus
-/// the two-list-everywhere evaluation scheme on StrongARM.
+/// The default engine axis: every registered processor model
+/// ([`ProcModel::ALL`]) × every candidate-table mode, the
+/// exhaustive-sweep scheduler oracle on every model (so every sweep
+/// records both the activity-driven engine and its oracle), plus the
+/// two-list-everywhere evaluation scheme on StrongARM.
 pub fn engine_axis() -> Vec<EngineVariant> {
     let modes = [
         ("tables:per-place-class", TableMode::PerPlaceClass),
@@ -69,7 +62,7 @@ pub fn engine_axis() -> Vec<EngineVariant> {
         ("tables:full-scan", TableMode::FullScan),
     ];
     let mut axis = Vec::new();
-    for proc in [ProcModel::StrongArm, ProcModel::XScale] {
+    for proc in ProcModel::ALL {
         for (name, mode) in modes {
             let engine = EngineConfig { table_mode: mode, ..Default::default() };
             axis.push(EngineVariant::new(proc, name, engine));
@@ -202,7 +195,7 @@ impl Sweep {
                     ),
                 }
             }
-            for proc in ["strongarm", "xscale"] {
+            for proc in ProcModel::ALL.map(ProcModel::label) {
                 let (Some(act), Some(exh)) = (
                     find(&format!("{proc}/tables:per-place-class")),
                     find(&format!("{proc}/sched:exhaustive")),
@@ -376,8 +369,9 @@ mod tests {
         let s = Sweep::with(engine_axis(), Workload::matrix(&[Kernel::Crc], &[0.0]));
         let run = s.run(&BatchRunner::new(2));
         s.assert_cross_engine_identity(&run);
-        // Both processor models carry an oracle variant on the axis.
-        for proc in ["strongarm", "xscale"] {
+        // Every registered processor model carries an oracle variant on
+        // the axis.
+        for proc in ProcModel::ALL.map(ProcModel::label) {
             assert!(s.variants.iter().any(|v| v.label == format!("{proc}/sched:exhaustive")));
         }
     }

@@ -223,13 +223,17 @@ impl<D, R> ModelBuilder<D, R> {
 
         for (i, s) in self.stages.iter().enumerate() {
             if s.capacity == 0 {
-                return Err(BuildError::ZeroCapacity { stage: StageId::from_index(i) });
+                return Err(BuildError::ZeroCapacity {
+                    stage: StageId::from_index(i),
+                    stage_name: s.name.clone(),
+                });
             }
         }
         for (i, p) in self.places.iter().enumerate() {
             if p.stage.index() >= self.stages.len() {
                 return Err(BuildError::UnknownStage {
                     place: PlaceId::from_index(i),
+                    place_name: p.name.clone(),
                     stage: p.stage,
                 });
             }
@@ -241,15 +245,17 @@ impl<D, R> ModelBuilder<D, R> {
             if c.subnet.index() >= self.subnets.len() {
                 return Err(BuildError::UnknownSubnet {
                     class: OpClassId::from_index(i),
+                    class_name: c.name.clone(),
                     subnet: c.subnet,
                 });
             }
         }
         let n_places = self.places.len();
-        let check_place = |tid: usize, p: PlaceId| -> Result<(), BuildError> {
+        let check_place = |tid: usize, tname: &str, p: PlaceId| -> Result<(), BuildError> {
             if p.index() >= n_places {
                 Err(BuildError::UnknownPlace {
                     transition: TransitionId::from_index(tid),
+                    transition_name: tname.to_string(),
                     place: p,
                 })
             } else {
@@ -257,13 +263,13 @@ impl<D, R> ModelBuilder<D, R> {
             }
         };
         for (i, t) in self.transitions.iter().enumerate() {
-            check_place(i, t.input)?;
-            check_place(i, t.dest)?;
+            check_place(i, &t.name, t.input)?;
+            check_place(i, &t.name, t.dest)?;
             for &p in t.extra_inputs.iter().chain(t.reads_states.iter()) {
-                check_place(i, p)?;
+                check_place(i, &t.name, p)?;
             }
             for r in &t.reservations {
-                check_place(i, r.place)?;
+                check_place(i, &t.name, r.place)?;
             }
         }
 
@@ -281,10 +287,14 @@ impl<D, R> ModelBuilder<D, R> {
             if p1 == p2 && s1 == s2 && pr1 == pr2 {
                 return Err(BuildError::DuplicatePriority {
                     place: p1,
+                    place_name: self.places[p1.index()].name.clone(),
                     subnet: s1,
+                    subnet_name: self.subnets[s1.index()].name.clone(),
                     priority: pr1,
                     first: t1,
+                    first_name: self.transitions[t1.index()].name.clone(),
                     second: t2,
+                    second_name: self.transitions[t2.index()].name.clone(),
                 });
             }
         }

@@ -14,6 +14,12 @@
 //! latencies are captured by tokens, capacities and delays; **data hazards**
 //! are captured separately by the three-level register model in [`reg`].
 //!
+//! Models can be hand-wired with [`builder::ModelBuilder`] or — the
+//! paper's *generic modeling* claim — **generated** from a declarative
+//! [`spec::PipelineSpec`]: stages, per-class paths, an operand
+//! read/forwarding policy and redirect rules, lowered into a validated
+//! model with the per-class guards and actions synthesized.
+//!
 //! The same model drives a fast cycle-accurate simulator through an
 //! explicit **model → compile → run** pipeline: [`analysis`] statically
 //! extracts three properties (sorted per-(place, class) transition tables,
@@ -77,6 +83,7 @@ pub mod error;
 pub mod ids;
 pub mod model;
 pub mod reg;
+pub mod spec;
 pub mod stats;
 pub mod token;
 
@@ -90,6 +97,7 @@ pub mod prelude {
     pub use crate::ids::{OpClassId, PlaceId, RegId, StageId, SubnetId, TokenId, TransitionId};
     pub use crate::model::{Fx, Machine, Model, UNLIMITED};
     pub use crate::reg::{Operand, RegRef, RegisterFile};
+    pub use crate::spec::{Forward, HazardPolicy, OperandPolicy, PipelineSpec, SquashOrder};
     pub use crate::stats::{SchedStats, Stats};
     pub use crate::token::{InstrData, TokenKind};
 }

@@ -1,14 +1,17 @@
 //! The representative out-of-order-completion processor of the paper's
-//! Figures 4 and 5, reproduced literally, on a miniature ISA.
+//! Figures 4 and 5 on a miniature ISA — **the canonical
+//! [`rcpn::spec::PipelineSpec`] example**: the entire processor is a page
+//! of declarative description ([`build`]), where the original closure-wired
+//! version of this file spent ~200 lines on `ModelBuilder` plumbing.
 //!
 //! Block diagram (Figure 4a): fetch `F` feeds latch `L1`; decode moves
 //! instructions to `L2`; from there ALU instructions execute in `E` and
 //! write back from latch `L3` (`We`), loads/stores access memory in `M`
 //! and write back from `L4` (`Wm`), and branches resolve in `B`. A
 //! feedback path forwards `L3` results — used, exactly as the paper
-//! assumes, *only for the first source operand `s1` of ALU instructions*.
-//! Branches stall fetch by depositing a **reservation token** into `L1`
-//! (Figure 5's dotted arcs).
+//! assumes, *only for the first source operand `s1` of ALU instructions*
+//! (the priority-1 `D_alu_fwd` alternative). Branches stall fetch by
+//! depositing a **reservation token** into `L1` (Figure 5's dotted arcs).
 //!
 //! The three operation classes mirror Figure 4(b):
 //!
@@ -18,11 +21,11 @@
 //! LoadStore { L: true | false; r: Register; addr: Register | Constant }
 //! ```
 
-use rcpn::builder::ModelBuilder;
 use rcpn::engine::Engine;
 use rcpn::ids::{OpClassId, PlaceId, RegId};
-use rcpn::model::Machine;
+use rcpn::model::{Fx, Machine};
 use rcpn::reg::{Operand, RegisterFile};
+use rcpn::spec::PipelineSpec;
 use rcpn::token::InstrData;
 
 /// ALU operation of the toy ISA.
@@ -144,95 +147,81 @@ fn operand(src: ToySrc, n_regs: usize) -> Operand {
     }
 }
 
+/// Issue action shared by the two ALU decode arcs: latch both sources
+/// (`s1` from the L3 feedback path when `fwd`), reserve the destination.
+fn alu_issue(m: &mut Machine<ToyRes>, t: &mut ToyTok, fx: &mut Fx<ToyTok>, fwd: bool) {
+    if fwd {
+        t.s1.read_fwd(&m.regs);
+    } else {
+        t.s1.read(&m.regs);
+    }
+    t.s2.read(&m.regs);
+    let tok = fx.token();
+    t.d.reserve_write(&mut m.regs, tok, PlaceId::from_index(0));
+}
+
 /// Builds the Figure 4/5 processor over `program` with `n_regs` registers
 /// and `mem` as the initial data memory.
+///
+/// The whole processor is one [`PipelineSpec`]: four stages (L2 holding
+/// three per-class states), the L3 feedback path as the forwarding set,
+/// and one path per class — with the paper's two prioritized ALU decode
+/// arcs as an `alt`/`step` pair and the branch's fetch-stalling
+/// reservation token as a `reserve` arc.
 ///
 /// # Panics
 ///
 /// Panics if the model fails validation or an instruction names a register
 /// `>= n_regs`.
 pub fn build(program: Vec<ToyInstr>, n_regs: usize, mem: Vec<u32>) -> Engine<ToyTok, ToyRes> {
-    let mut b = ModelBuilder::<ToyTok, ToyRes>::new();
+    let mut s = PipelineSpec::<ToyTok, ToyRes>::new("figure4-5");
+    s.stage("L1", 1).stage("L2", 1).stage("L3", 1).stage("L4", 1);
+    // The writeback port drains the E-output buffer after two cycles; the
+    // feedback path exists to cover exactly that window.
+    s.latch("L1", "L1").latch("L2a", "L2").latch("L2b", "L2").latch("L2m", "L2");
+    s.latch_with_delay("L3", "L3", 2).latch("L4", "L4");
+    s.forwards(&["L3"]);
 
-    let s_l1 = b.stage("L1", 1);
-    let s_l2 = b.stage("L2", 1);
-    let s_l3 = b.stage("L3", 1);
-    let s_l4 = b.stage("L4", 1);
-    let l1 = b.place("L1", s_l1);
-    let l2a = b.place("L2a", s_l2); // ALU instructions in L2
-    let l2b = b.place("L2b", s_l2); // branches in L2
-    let l2m = b.place("L2m", s_l2); // loads/stores in L2
-                                    // The writeback port drains the E-output buffer after two cycles; the
-                                    // feedback path exists to cover exactly that window (the paper's
-                                    // technical report carries the latency details; the mechanism is the
-                                    // figure's).
-    let l3 = b.place_with_delay("L3", s_l3, 2);
-    let l4 = b.place("L4", s_l4);
-    let end = b.end_place();
-
-    let (alu, _) = b.class_net("ALU");
-    let (ldst, _) = b.class_net("LoadStore");
-    let (br, _) = b.class_net("Branch");
-
-    // --- ALU sub-net (Figure 5, with the two priority arcs) ---------------
-    b.transition(alu, "D_alu")
-        .from(l1)
-        .to(l2a)
+    // ALU: the two prioritized decode arcs of Figure 5 — read from the
+    // register file, or (priority 1) "verify that the writer instruction
+    // of operand s1 is in the state L3 and then read it".
+    s.class("ALU")
+        .alt("L2a")
+        .name("D_alu")
         .priority(0)
-        .guard(|m, t: &ToyTok| {
-            t.s1.can_read(&m.regs) && t.s2.can_read(&m.regs) && t.d.can_write(&m.regs)
-        })
-        .action(|m, t, fx| {
-            t.s1.read(&m.regs);
-            t.s2.read(&m.regs);
-            let tok = fx.token();
-            t.d.reserve_write(&mut m.regs, tok, PlaceId::from_index(0));
-        })
-        .done();
-    // Priority 1: "the second arc verifies that the writer instruction of
-    // operand s1 is in the state L3 and then reads it."
-    b.transition(alu, "D_alu_fwd")
-        .from(l1)
-        .to(l2a)
+        .guard(|m, t| t.s1.can_read(&m.regs) && t.s2.can_read(&m.regs) && t.d.can_write(&m.regs))
+        .act(|m, t, fx| alu_issue(m, t, fx, false))
+        .step("L2a")
+        .name("D_alu_fwd")
         .priority(1)
-        .reads_state(l3)
-        .guard(move |m, t: &ToyTok| {
-            t.s1.can_read_in(&m.regs, l3) && t.s2.can_read(&m.regs) && t.d.can_write(&m.regs)
+        .reads_forward()
+        .guard_ctx(|m, t, cx| {
+            t.s1.can_read_in(&m.regs, cx.fwd[0]) && t.s2.can_read(&m.regs) && t.d.can_write(&m.regs)
         })
-        .action(|m, t, fx| {
-            t.s1.read_fwd(&m.regs);
-            t.s2.read(&m.regs);
-            let tok = fx.token();
-            t.d.reserve_write(&mut m.regs, tok, PlaceId::from_index(0));
-        })
-        .done();
-    b.transition(alu, "E")
-        .from(l2a)
-        .to(l3)
-        .action(|m, t, fx| {
+        .act(|m, t, fx| alu_issue(m, t, fx, true))
+        .step("L3")
+        .name("E")
+        .act(|m, t, fx| {
             let v = t.op.apply(t.s1.value(), t.s2.value());
             let tok = fx.token();
             t.d.set(&mut m.regs, tok, v);
         })
-        .done();
-    b.transition(alu, "We")
-        .from(l3)
-        .to(end)
-        .action(|m, t, fx| {
+        .step("end")
+        .name("We")
+        .act(|m, t, fx| {
             let tok = fx.token();
             t.d.writeback(&mut m.regs, tok);
-        })
-        .done();
+        });
 
-    // --- LoadStore sub-net (Figure 5's M with the token delay) -------------
-    b.transition(ldst, "D_ls")
-        .from(l1)
-        .to(l2m)
-        .guard(|m, t: &ToyTok| {
+    // LoadStore: Figure 5's M with the data-dependent token delay.
+    s.class("LoadStore")
+        .step("L2m")
+        .name("D_ls")
+        .guard(|m, t| {
             t.addr.can_read(&m.regs)
                 && if t.load { t.d.can_write(&m.regs) } else { t.d.can_read(&m.regs) }
         })
-        .action(|m, t, fx| {
+        .act(|m, t, fx| {
             t.addr.read(&m.regs);
             let tok = fx.token();
             if t.load {
@@ -241,11 +230,9 @@ pub fn build(program: Vec<ToyInstr>, n_regs: usize, mem: Vec<u32>) -> Engine<Toy
                 t.d.read(&m.regs);
             }
         })
-        .done();
-    b.transition(ldst, "M")
-        .from(l2m)
-        .to(l4)
-        .action(|m, t, fx| {
+        .step("L4")
+        .name("M")
+        .act(|m, t, fx| {
             let addr = t.addr.value();
             let delay = m.res.delay(addr);
             if delay > 1 {
@@ -263,84 +250,70 @@ pub fn build(program: Vec<ToyInstr>, n_regs: usize, mem: Vec<u32>) -> Engine<Toy
                 m.res.mem[idx] = t.d.value();
             }
         })
-        .done();
-    b.transition(ldst, "Wm")
-        .from(l4)
-        .to(end)
-        .action(|m, t, fx| {
+        .step("end")
+        .name("Wm")
+        .act(|m, t, fx| {
             if t.load {
                 let tok = fx.token();
                 t.d.writeback(&mut m.regs, tok);
             }
-        })
-        .done();
+        });
 
-    // --- Branch sub-net (reservation token stalls fetch one cycle) ---------
-    // "When a branch instruction is issued, it stalls the fetch unit by
-    // occupying latch L1 with a reservation token ... in the next cycle,
-    // this token is consumed and the fetch unit is un-stalled."
-    b.transition(br, "D_br")
-        .from(l1)
-        .to(l2b)
-        .reserve(l1, 1)
-        .guard(|m, t: &ToyTok| t.addr.can_read(&m.regs))
-        .action(|m, t, _fx| t.addr.read(&m.regs))
-        .done();
-    b.transition(br, "B")
-        .from(l2b)
-        .to(end)
-        .action(|m, t, _fx| {
-            m.res.pc += i64::from(t.offset);
-        })
-        .done();
+    // Branch: "when a branch instruction is issued, it stalls the fetch
+    // unit by occupying latch L1 with a reservation token ... in the next
+    // cycle, this token is consumed and the fetch unit is un-stalled."
+    s.class("Branch")
+        .step("L2b")
+        .name("D_br")
+        .reserve("L1", 1)
+        .guard(|m, t| t.addr.can_read(&m.regs))
+        .act(|m, t, _fx| t.addr.read(&m.regs))
+        .step("end")
+        .name("B")
+        .act(|m, t, _fx| m.res.pc += i64::from(t.offset));
 
-    // --- Instruction-independent sub-net ------------------------------------
-    let n_regs_src = n_regs;
-    b.source("F")
-        .to(l1)
-        .produce(move |m, _fx| {
-            let pc = m.res.pc;
-            if pc < 0 || pc as usize >= m.res.program.len() {
-                return None;
-            }
-            let instr = m.res.program[pc as usize].clone();
-            m.res.pc = pc + 1;
-            Some(match instr {
-                ToyInstr::Alu { op, d, s1, s2 } => ToyTok {
-                    class: OpClassId::from_index(0),
-                    op,
-                    load: false,
-                    offset: 0,
-                    d: operand(ToySrc::Reg(d), n_regs_src),
-                    s1: operand(ToySrc::Reg(s1), n_regs_src),
-                    s2: operand(s2, n_regs_src),
-                    addr: Operand::Absent,
-                },
-                ToyInstr::LoadStore { l, r, addr } => ToyTok {
-                    class: OpClassId::from_index(1),
-                    op: AluOp::Add,
-                    load: l,
-                    offset: 0,
-                    d: operand(ToySrc::Reg(r), n_regs_src),
-                    s1: Operand::Absent,
-                    s2: Operand::Absent,
-                    addr: operand(addr, n_regs_src),
-                },
-                ToyInstr::Branch { offset } => ToyTok {
-                    class: OpClassId::from_index(2),
-                    op: AluOp::Add,
-                    load: false,
-                    offset,
-                    d: Operand::Absent,
-                    s1: Operand::Absent,
-                    s2: Operand::Absent,
-                    addr: Operand::imm(0),
-                },
-            })
+    s.source("F").to("L1").produce(move |m, _fx| {
+        let pc = m.res.pc;
+        if pc < 0 || pc as usize >= m.res.program.len() {
+            return None;
+        }
+        let instr = m.res.program[pc as usize].clone();
+        m.res.pc = pc + 1;
+        Some(match instr {
+            ToyInstr::Alu { op, d, s1, s2 } => ToyTok {
+                class: OpClassId::from_index(0),
+                op,
+                load: false,
+                offset: 0,
+                d: operand(ToySrc::Reg(d), n_regs),
+                s1: operand(ToySrc::Reg(s1), n_regs),
+                s2: operand(s2, n_regs),
+                addr: Operand::Absent,
+            },
+            ToyInstr::LoadStore { l, r, addr } => ToyTok {
+                class: OpClassId::from_index(1),
+                op: AluOp::Add,
+                load: l,
+                offset: 0,
+                d: operand(ToySrc::Reg(r), n_regs),
+                s1: Operand::Absent,
+                s2: Operand::Absent,
+                addr: operand(addr, n_regs),
+            },
+            ToyInstr::Branch { offset } => ToyTok {
+                class: OpClassId::from_index(2),
+                op: AluOp::Add,
+                load: false,
+                offset,
+                d: Operand::Absent,
+                s1: Operand::Absent,
+                s2: Operand::Absent,
+                addr: Operand::imm(0),
+            },
         })
-        .done();
+    });
 
-    let model = b.build().expect("figure 4/5 model validates");
+    let model = s.lower().expect("figure 4/5 model validates");
     let mut rf = RegisterFile::new();
     rf.add_bank("r", n_regs);
     let machine = Machine::new(rf, ToyRes { mem, pc: 0, program, slow_accesses: 0 });

@@ -6,6 +6,8 @@
 //!   sub-nets, forwarding from the E/M latches, predict-not-taken).
 //! * [`xscale`] — the Intel XScale superpipeline (Figure 9: X/D/MAC pipes,
 //!   BTB front end, out-of-order completion).
+//! * [`superarm`] — a seven-stage superpipelined in-order StrongARM
+//!   variant, defined entirely through the [`rcpn::spec`] API.
 //! * [`example`] — the representative out-of-order-completion processor of
 //!   Figures 4–5, on a miniature ISA.
 //! * [`tomasulo`] — a reservation-station (Tomasulo-style) model, the
@@ -38,7 +40,10 @@ pub mod example;
 pub mod res;
 pub mod semantics;
 pub mod sim;
+#[cfg(test)]
+mod spec_oracle;
 pub mod strongarm;
+pub mod superarm;
 pub mod tomasulo;
 pub mod xscale;
 

@@ -51,6 +51,13 @@ impl SimConfig {
             engine: rcpn::engine::EngineConfig::default(),
         }
     }
+
+    /// SuperARM defaults: the SA-110 memory system (16 KB caches,
+    /// predict-not-taken) under the seven-stage superpipeline — the knob
+    /// that differs is pipeline depth, not the cache hierarchy.
+    pub fn superarm() -> Self {
+        SimConfig::strongarm()
+    }
 }
 
 impl Default for SimConfig {

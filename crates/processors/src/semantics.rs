@@ -18,9 +18,32 @@ use memsys::Memory;
 use rcpn::ids::PlaceId;
 use rcpn::model::{Fx, Machine};
 use rcpn::reg::{Operand, RegisterFile};
+use rcpn::spec::OperandPolicy;
 
-use crate::armtok::{ArmTok, MulSpec, OffSpec, Op2Spec, Width};
+use crate::armtok::{reg_id, ArmClass, ArmTok, MulSpec, OffSpec, Op2Spec, Width};
 use crate::res::ArmRes;
+
+/// The ARM operand policy for [`rcpn::spec::PipelineSpec`] read steps:
+/// sources obtainable from the register file or a forwarding latch,
+/// destinations reservable ([`ready`]); latch everything and reserve the
+/// destinations on issue ([`acquire`]).
+#[derive(Debug, Clone, Copy)]
+pub struct ArmOperandPolicy;
+
+impl OperandPolicy<ArmTok, ArmRes> for ArmOperandPolicy {
+    fn ready(&self, m: &Machine<ArmRes>, t: &ArmTok, fwd: &[PlaceId]) -> bool {
+        ready(m, t, fwd)
+    }
+    fn acquire(
+        &self,
+        m: &mut Machine<ArmRes>,
+        t: &mut ArmTok,
+        fx: &mut Fx<ArmTok>,
+        fwd: &[PlaceId],
+    ) {
+        acquire(m, t, fx, fwd);
+    }
+}
 
 /// True if `op` can be supplied now: from the register file, or forwarded
 /// from a writer residing in one of the `fwd` states (paper: `canRead() ||
@@ -220,6 +243,99 @@ pub fn nth_reg(list: u16, k: u8) -> Reg {
         }
     }
     panic!("micro-op index {k} out of range for list {list:#06x}")
+}
+
+/// Issue guard of the block-transfer micro-op transition: the `uop`-th
+/// transferred register must be reservable (loads) or obtainable (stores,
+/// from the register file or a forwarding latch). PC transfers are always
+/// issueable — the PC is not scoreboarded.
+pub fn ldm_uop_ready(m: &Machine<ArmRes>, t: &ArmTok, fwd: &[PlaceId]) -> bool {
+    let spec = t.dec.mem.expect("block token");
+    let r = nth_reg(t.dec.reg_list, t.uop);
+    if spec.load {
+        r.is_pc() || m.regs.writable(reg_id(r))
+    } else if r.is_pc() {
+        true
+    } else {
+        obtainable(&Operand::reg(reg_id(r)), &m.regs, fwd)
+    }
+}
+
+/// Issue action of the block-transfer micro-op transition: binds the
+/// `uop`-th register (reserve for loads, latch for stores), and — while
+/// micro-ops remain — emits the continuation token back into `cont`, the
+/// place the parent currently occupies ("a token may stay in one stage
+/// and produce multiple tokens").
+pub fn ldm_uop_issue(
+    m: &mut Machine<ArmRes>,
+    t: &mut ArmTok,
+    fx: &mut Fx<ArmTok>,
+    fwd: &[PlaceId],
+    cont: PlaceId,
+) {
+    let spec = t.dec.mem.expect("block token");
+    let r = nth_reg(t.dec.reg_list, t.uop);
+    let tok = fx.token();
+    if spec.load {
+        if r.is_pc() {
+            t.writes_pc = true;
+        } else {
+            t.dst = Operand::reg(reg_id(r));
+            t.dst.reserve_write(&mut m.regs, tok, PlaceId::from_index(0));
+        }
+    } else {
+        let mut op =
+            if r.is_pc() { Operand::imm(t.pc.wrapping_add(8)) } else { Operand::reg(reg_id(r)) };
+        obtain(&mut op, &m.regs, fwd);
+        t.srcs[2] = op;
+    }
+    if t.uop + 1 < t.dec.n_uops {
+        let mut next = t.clone();
+        // The serialization travels with the last micro-op.
+        t.serialize_pending = false;
+        next.uop = t.uop + 1;
+        next.addr = t.addr.wrapping_add(4);
+        next.dst = Operand::Absent;
+        next.dst2 = Operand::Absent;
+        next.srcs = [Operand::Absent; 4];
+        next.writes_pc = false;
+        fx.emit(next, cont, 1);
+    }
+}
+
+/// Fetch-source guard shared by the ARM front ends: fetch while the
+/// program has not exited or faulted and no serializing instruction is
+/// pending.
+pub fn fetch_ready(m: &Machine<ArmRes>) -> bool {
+    m.res.exit.is_none() && m.res.fault.is_none() && m.res.pending_serialize == 0
+}
+
+/// Fetch-source producer shared by the ARM front ends: read the word at
+/// the PC through the I-cache, decode through the token cache, predict
+/// branch targets through the BTB when one is configured, and advance the
+/// PC. The token's fetch delay is the I-cache latency.
+pub fn fetch_produce(m: &mut Machine<ArmRes>, fx: &mut Fx<ArmTok>) -> Option<ArmTok> {
+    let pc = m.res.pc;
+    let lat = m.res.icache.access(pc);
+    let word = m.res.mem.read32(pc);
+    let dec = m.res.dec_cache.lookup(pc, word);
+    let mut tok = dec.instantiate(pc);
+    let mut next = pc.wrapping_add(4);
+    if dec.class == ArmClass::Branch {
+        if let Some(btb) = &mut m.res.btb {
+            if let Some(target) = btb.predict_target(pc) {
+                next = target;
+                tok.pred_target = Some(target);
+            }
+        }
+    }
+    m.res.pc = next;
+    if dec.serialize {
+        m.res.pending_serialize += 1;
+        tok.serialize_pending = true;
+    }
+    fx.set_token_delay(lat);
+    Some(tok)
 }
 
 /// Memory stage: performs the access against memory + D-cache, records the

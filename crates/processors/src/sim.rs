@@ -15,12 +15,67 @@ use crate::armtok::ArmTok;
 use crate::res::{ArmRes, SimConfig};
 
 /// Which processor model a [`CaSim`] runs.
+///
+/// This enum is the processor *registry*: every harness in the workspace
+/// — the sweep matrix, the fig10 figure/bench/gate rows, the batch
+/// determinism suite, the cosim tests — enumerates [`ProcModel::ALL`] and
+/// reads the per-variant facts from the methods below, so a new processor
+/// added here flows into every harness (and the registry-guard tests fail
+/// if one is bypassed with a hardcoded list).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ProcModel {
     /// The five-stage StrongARM SA-110.
     StrongArm,
     /// The superpipelined Intel XScale.
     XScale,
+    /// The seven-stage superpipelined in-order StrongARM variant
+    /// (spec-defined; see [`crate::superarm`]).
+    SuperArm,
+}
+
+impl ProcModel {
+    /// Every processor model, in registry order. Harnesses iterate this —
+    /// never a hand-maintained list.
+    pub const ALL: [ProcModel; 3] = [ProcModel::StrongArm, ProcModel::XScale, ProcModel::SuperArm];
+
+    /// The lowercase label used in sweep-variant rows and CLI output
+    /// (e.g. `"strongarm"` in `"strongarm/tables:full-scan"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            ProcModel::StrongArm => "strongarm",
+            ProcModel::XScale => "xscale",
+            ProcModel::SuperArm => "superarm",
+        }
+    }
+
+    /// The paper-figure legend name (e.g. `"RCPN-StrongArm"` in
+    /// `BENCH_fig10.json` rows).
+    pub fn figure_name(self) -> &'static str {
+        match self {
+            ProcModel::StrongArm => "RCPN-StrongArm",
+            ProcModel::XScale => "RCPN-XScale",
+            ProcModel::SuperArm => "RCPN-SuperArm",
+        }
+    }
+
+    /// The model's default simulator configuration.
+    pub fn default_config(self) -> SimConfig {
+        match self {
+            ProcModel::StrongArm => SimConfig::strongarm(),
+            ProcModel::XScale => SimConfig::xscale(),
+            ProcModel::SuperArm => SimConfig::superarm(),
+        }
+    }
+
+    /// Compiles the model under `config` (the single model→compiler
+    /// dispatch point; everything else goes through [`CompiledSim`]).
+    pub fn compile(self, config: &SimConfig) -> CompiledModel<ArmTok, ArmRes> {
+        match self {
+            ProcModel::StrongArm => crate::strongarm::compile(config),
+            ProcModel::XScale => crate::xscale::compile(config),
+            ProcModel::SuperArm => crate::superarm::compile(config),
+        }
+    }
 }
 
 /// A compiled ARM cycle-accurate simulator: the processor model analyzed
@@ -54,21 +109,22 @@ pub struct CompiledSim {
 impl CompiledSim {
     /// Compiles `model` under `config`.
     pub fn new(model: ProcModel, config: &SimConfig) -> Self {
-        let compiled = match model {
-            ProcModel::StrongArm => crate::strongarm::compile(config),
-            ProcModel::XScale => crate::xscale::compile(config),
-        };
-        CompiledSim { compiled, model, config: config.clone() }
+        CompiledSim { compiled: model.compile(config), model, config: config.clone() }
+    }
+
+    /// Compiles `model` with its default configuration.
+    pub fn of(model: ProcModel) -> Self {
+        Self::new(model, &model.default_config())
     }
 
     /// Compiled StrongARM with default configuration.
     pub fn strongarm() -> Self {
-        Self::new(ProcModel::StrongArm, &SimConfig::strongarm())
+        Self::of(ProcModel::StrongArm)
     }
 
     /// Compiled XScale with default configuration.
     pub fn xscale() -> Self {
-        Self::new(ProcModel::XScale, &SimConfig::xscale())
+        Self::of(ProcModel::XScale)
     }
 
     /// The processor model.
@@ -182,6 +238,11 @@ impl CaSim {
     /// Builds an XScale simulator with default configuration.
     pub fn xscale(program: &Program) -> Self {
         Self::with_config(ProcModel::XScale, program, &SimConfig::xscale())
+    }
+
+    /// Builds a SuperARM simulator with default configuration.
+    pub fn superarm(program: &Program) -> Self {
+        Self::with_config(ProcModel::SuperArm, program, &SimConfig::superarm())
     }
 
     /// Builds a simulator for an explicit model/configuration pair

@@ -6,10 +6,11 @@
 use arm_isa::asm::assemble;
 use arm_isa::iss::Iss;
 use arm_isa::program::Program;
-use processors::sim::CaSim;
+use processors::sim::{CaSim, ProcModel};
 
-/// Runs a program on the ISS and both CA models; checks architectural
-/// agreement and returns (strongarm, xscale) results.
+/// Runs a program on the ISS and every registered CA model; checks
+/// architectural agreement and returns the (strongarm, xscale) results
+/// (the pair the timing-relationship assertions reason about).
 fn cosim(src: &str) -> (processors::SimResult, processors::SimResult) {
     let program: Program = assemble(src).expect("assembles");
 
@@ -17,34 +18,30 @@ fn cosim(src: &str) -> (processors::SimResult, processors::SimResult) {
     iss.run(2_000_000).expect("ISS runs clean");
     assert!(iss.halted(), "gold model must exit");
 
-    let mut sa = CaSim::strongarm(&program);
-    let sa_result = sa.run(20_000_000);
-    assert_eq!(sa_result.fault, None, "StrongARM faulted");
-    assert_eq!(sa_result.exit, Some(iss.exit_code()), "StrongARM exit code differs from ISS");
-    assert_eq!(sa.output(), iss.output(), "StrongARM output differs");
-    for r in 0..13 {
-        assert_eq!(
-            sa.reg(r),
-            iss.regs[r],
-            "StrongARM r{r} differs from ISS (iss={:#x} ca={:#x})",
-            iss.regs[r],
-            sa.reg(r)
-        );
+    let mut results = Vec::new();
+    for proc in ProcModel::ALL {
+        let name = proc.label();
+        let mut ca = CaSim::with_config(proc, &program, &proc.default_config());
+        let result = ca.run(20_000_000);
+        assert_eq!(result.fault, None, "{name} faulted");
+        assert_eq!(result.exit, Some(iss.exit_code()), "{name} exit code differs from ISS");
+        assert_eq!(ca.output(), iss.output(), "{name} output differs");
+        for r in 0..13 {
+            assert_eq!(
+                ca.reg(r),
+                iss.regs[r],
+                "{name} r{r} differs from ISS (iss={:#x} ca={:#x})",
+                iss.regs[r],
+                ca.reg(r)
+            );
+        }
+        assert_eq!(result.instrs, iss.instr_count(), "{name} instruction count differs from ISS");
+        results.push((proc, result));
     }
-
-    let mut xs = CaSim::xscale(&program);
-    let xs_result = xs.run(20_000_000);
-    assert_eq!(xs_result.fault, None, "XScale faulted");
-    assert_eq!(xs_result.exit, Some(iss.exit_code()), "XScale exit code differs");
-    assert_eq!(xs.output(), iss.output(), "XScale output differs");
-    for r in 0..13 {
-        assert_eq!(xs.reg(r), iss.regs[r], "XScale r{r} differs from ISS");
-    }
-
-    assert_eq!(sa_result.instrs, iss.instr_count(), "StrongARM instruction count differs from ISS");
-    assert_eq!(xs_result.instrs, iss.instr_count(), "XScale instruction count");
-
-    (sa_result, xs_result)
+    let pick = |target: ProcModel| {
+        results.iter().find(|(p, _)| *p == target).expect("registry model ran").1.clone()
+    };
+    (pick(ProcModel::StrongArm), pick(ProcModel::XScale))
 }
 
 #[test]

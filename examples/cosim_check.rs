@@ -1,6 +1,6 @@
-//! Co-simulation harness: run every benchmark on the gold-model ISS, both
-//! RCPN cycle-accurate simulators and the SimpleScalar-style baseline, and
-//! cross-check all architectural results.
+//! Co-simulation harness: run every benchmark on the gold-model ISS, every
+//! registered RCPN cycle-accurate simulator and the SimpleScalar-style
+//! baseline, and cross-check all architectural results.
 //!
 //! ```text
 //! cargo run --release --example cosim_check [size-scale]
@@ -8,17 +8,18 @@
 
 use arm_isa::iss::Iss;
 use baseline_sim::SsArm;
-use processors::sim::CaSim;
+use processors::sim::{CaSim, ProcModel};
 use workloads::{Kernel, Workload};
 
 fn main() {
     let scale: f64 =
         std::env::args().nth(1).map(|s| s.parse().expect("scale must be a number")).unwrap_or(0.05);
 
-    println!(
-        "{:<10} {:>10} {:>12} {:>8} {:>8} {:>8}  verdict",
-        "kernel", "checksum", "instrs", "SA cpi", "XS cpi", "SS cpi"
-    );
+    print!("{:<10} {:>10} {:>12}", "kernel", "checksum", "instrs");
+    for proc in ProcModel::ALL {
+        print!(" {:>9}", format!("{} cpi", proc.label()));
+    }
+    println!(" {:>8}  verdict", "SS cpi");
     let mut all_ok = true;
     for kernel in Kernel::ALL {
         let size = ((kernel.bench_size() as f64 * scale) as usize).max(kernel.test_size());
@@ -27,30 +28,19 @@ fn main() {
         let mut iss = Iss::from_program(&w.program);
         iss.run(u64::MAX).expect("gold run clean");
 
-        let mut sa = CaSim::strongarm(&w.program);
-        let sa_r = sa.run(4_000_000_000);
-        let mut xs = CaSim::xscale(&w.program);
-        let xs_r = xs.run(4_000_000_000);
         let mut ss = SsArm::new(&w.program);
         let ss_r = ss.run(4_000_000_000);
+        let mut ok = iss.exit_code() == w.expected && ss_r.exit == Some(w.expected);
 
-        let ok = iss.exit_code() == w.expected
-            && sa_r.exit == Some(w.expected)
-            && xs_r.exit == Some(w.expected)
-            && ss_r.exit == Some(w.expected)
-            && sa_r.instrs == iss.instr_count()
-            && xs_r.instrs == iss.instr_count();
+        print!("{:<10} {:>#10x} {:>12}", kernel.name(), w.expected, iss.instr_count());
+        for proc in ProcModel::ALL {
+            let mut ca = CaSim::with_config(proc, &w.program, &proc.default_config());
+            let r = ca.run(4_000_000_000);
+            ok &= r.exit == Some(w.expected) && r.instrs == iss.instr_count();
+            print!(" {:>9.2}", r.cpi());
+        }
         all_ok &= ok;
-        println!(
-            "{:<10} {:>#10x} {:>12} {:>8.2} {:>8.2} {:>8.2}  {}",
-            kernel.name(),
-            w.expected,
-            iss.instr_count(),
-            sa_r.cpi(),
-            xs_r.cpi(),
-            ss_r.cpi(),
-            if ok { "agree" } else { "MISMATCH" }
-        );
+        println!(" {:>8.2}  {}", ss_r.cpi(), if ok { "agree" } else { "MISMATCH" });
     }
     assert!(all_ok, "at least one simulator disagreed with the gold model");
     println!("\nall simulators agree with the gold model on every kernel.");

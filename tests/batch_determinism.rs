@@ -5,7 +5,7 @@
 //! serving) builds on — if it breaks, parallel results silently stop
 //! being results.
 
-use processors::sim::{BatchOutcome, CompiledSim};
+use processors::sim::{BatchOutcome, CompiledSim, ProcModel};
 use rcpn::batch::{merge_stats, BatchRunner};
 use workloads::Workload;
 
@@ -39,7 +39,7 @@ fn run_suite(compiled: &CompiledSim, workers: usize) -> Vec<BatchOutcome> {
 
 #[test]
 fn parallel_batch_stats_are_bit_identical_to_serial() {
-    for compiled in [CompiledSim::strongarm(), CompiledSim::xscale()] {
+    for compiled in ProcModel::ALL.map(CompiledSim::of) {
         let serial = run_suite(&compiled, 1);
         let serial_merged = merge_stats(serial.iter().map(|o| &o.stats));
         for workers in worker_counts() {

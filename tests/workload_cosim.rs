@@ -1,12 +1,12 @@
 //! End-to-end co-simulation across the whole stack: every benchmark kernel
-//! must produce its gold checksum on the functional ISS, the RCPN
-//! StrongARM and XScale cycle-accurate simulators, and the
+//! must produce its gold checksum on the functional ISS, every registered
+//! RCPN cycle-accurate simulator ([`ProcModel::ALL`]), and the
 //! SimpleScalar-style baseline. Cycle counts must also be architecturally
 //! sane (CPI within the band of a scalar in-order pipeline).
 
 use arm_isa::iss::Iss;
 use baseline_sim::SsArm;
-use processors::sim::CaSim;
+use processors::sim::{CaSim, ProcModel};
 use workloads::{Kernel, Workload};
 
 const MAX_CYCLES: u64 = 200_000_000;
@@ -21,31 +21,29 @@ fn all_kernels_agree_on_all_simulators() {
         assert!(iss.halted(), "{kernel}: ISS did not exit");
         assert_eq!(iss.exit_code(), w.expected, "{kernel}: ISS vs gold");
 
-        let mut sa = CaSim::strongarm(&w.program);
-        let sa_r = sa.run(MAX_CYCLES);
-        assert_eq!(sa_r.fault, None, "{kernel}: StrongARM fault");
-        assert_eq!(sa_r.exit, Some(w.expected), "{kernel}: StrongARM vs gold");
-        assert_eq!(sa_r.instrs, iss.instr_count(), "{kernel}: StrongARM instr count");
-
-        let mut xs = CaSim::xscale(&w.program);
-        let xs_r = xs.run(MAX_CYCLES);
-        assert_eq!(xs_r.fault, None, "{kernel}: XScale fault");
-        assert_eq!(xs_r.exit, Some(w.expected), "{kernel}: XScale vs gold");
-        assert_eq!(xs_r.instrs, iss.instr_count(), "{kernel}: XScale instr count");
-
-        let mut ss = SsArm::new(&w.program);
-        let ss_r = ss.run(MAX_CYCLES);
-        assert_eq!(ss_r.exit, Some(w.expected), "{kernel}: baseline vs gold");
-        assert_eq!(ss_r.instrs, iss.instr_count(), "{kernel}: baseline instr count");
-
-        for (name, cpi) in
-            [("strongarm", sa_r.cpi()), ("xscale", xs_r.cpi()), ("baseline", ss_r.cpi())]
-        {
+        for proc in ProcModel::ALL {
+            let name = proc.label();
+            let mut ca = CaSim::with_config(proc, &w.program, &proc.default_config());
+            let r = ca.run(MAX_CYCLES);
+            assert_eq!(r.fault, None, "{kernel}: {name} fault");
+            assert_eq!(r.exit, Some(w.expected), "{kernel}: {name} vs gold");
+            assert_eq!(r.instrs, iss.instr_count(), "{kernel}: {name} instr count");
+            let cpi = r.cpi();
             assert!(
                 (1.0..8.0).contains(&cpi),
                 "{kernel}/{name}: CPI {cpi:.3} outside the plausible band"
             );
         }
+
+        let mut ss = SsArm::new(&w.program);
+        let ss_r = ss.run(MAX_CYCLES);
+        assert_eq!(ss_r.exit, Some(w.expected), "{kernel}: baseline vs gold");
+        assert_eq!(ss_r.instrs, iss.instr_count(), "{kernel}: baseline instr count");
+        let cpi = ss_r.cpi();
+        assert!(
+            (1.0..8.0).contains(&cpi),
+            "{kernel}/baseline: CPI {cpi:.3} outside the plausible band"
+        );
     }
 }
 
