@@ -1,8 +1,12 @@
-//! Prints the activity-driven scheduler's sparsity counters for each
-//! RCPN simulator over the benchmark kernels: how many place scans,
-//! token examinations and candidate-transition evaluations the
-//! dirty-place worklist skipped relative to the exhaustive Figure-8
-//! sweep (which is also run, as the 0%-skip reference).
+//! Prints the activity-driven scheduler's sparsity counters and the
+//! guard-dispatch counters for each RCPN simulator over the benchmark
+//! kernels: how many place scans, token examinations and
+//! candidate-transition evaluations the dirty-place worklist skipped
+//! relative to the exhaustive Figure-8 sweep (which is also run, as the
+//! 0%-skip reference), and how guard evaluations split between the
+//! micro-op IR interpreter (`ir`, with `fused` ready/acquire fires) and
+//! the closure hook path (`hook`) — the closure-lowered StrongARM row is
+//! the all-hook reference.
 //!
 //! ```text
 //! cargo run --release -p rcpn-bench --example sparsity
@@ -13,17 +17,23 @@ use workloads::{Kernel, Workload};
 
 fn main() {
     println!(
-        "{:<32}{:>10}{:>14}{:>12}{:>8}{:>14}{:>14}",
+        "{:<32}{:>10}{:>13}{:>11}{:>8}{:>13}{:>12}{:>12}{:>10}",
         "simulator/kernel",
         "cycles",
         "place_visits",
         "skips",
         "ratio",
-        "trans_visits",
-        "trans_skips"
+        "guard_ir",
+        "guard_hook",
+        "fused",
+        "trans"
     );
-    for sim in [Simulator::RcpnStrongArm, Simulator::RcpnXScale, Simulator::RcpnStrongArmExhaustive]
-    {
+    for sim in [
+        Simulator::RcpnStrongArm,
+        Simulator::RcpnXScale,
+        Simulator::RcpnStrongArmExhaustive,
+        Simulator::RcpnStrongArmClosure,
+    ] {
         let compiled = compiled_sim(sim).expect("RCPN simulator");
         for kernel in Kernel::ALL {
             let size = (kernel.bench_size() / 20).max(kernel.test_size());
@@ -32,15 +42,22 @@ fn main() {
             let r = s.run(MAX_CYCLES);
             assert_eq!(r.exit, Some(w.expected), "{}/{}", sim.name(), kernel);
             let sc = s.sched();
+            if sim == Simulator::RcpnStrongArmClosure {
+                assert_eq!(sc.guard_ir_evals, 0, "closure row must not dispatch through IR");
+            } else {
+                assert!(sc.guard_ir_evals > 0, "IR row must dispatch through IR");
+            }
             println!(
-                "{:<32}{:>10}{:>14}{:>12}{:>7.1}%{:>14}{:>14}",
+                "{:<32}{:>10}{:>13}{:>11}{:>7.1}%{:>13}{:>12}{:>12}{:>10}",
                 format!("{}/{}", sim.name(), kernel.name()),
                 r.cycles,
                 sc.place_visits,
                 sc.place_skips,
                 100.0 * sc.place_skip_ratio(),
+                sc.guard_ir_evals,
+                sc.guard_hook_evals,
+                sc.actions_fused,
                 sc.trans_visits,
-                sc.trans_visits_skipped,
             );
         }
     }

@@ -68,6 +68,11 @@ pub enum Simulator {
     /// oracle (same simulation, no activity skipping) — recorded alongside
     /// the default engine so the scheduler's speedup is a measured number.
     RcpnStrongArmExhaustive,
+    /// RCPN-generated StrongARM with spec lowering forced to
+    /// [`rcpn::spec::Lowering::Closures`] — the pre-IR `Box<dyn Fn>`
+    /// dispatch, recorded alongside the default (IR) engine so the
+    /// micro-op-IR win is a measured number, kernel by kernel.
+    RcpnStrongArmClosure,
     /// The functional ISS (no timing; context number).
     FunctionalIss,
 }
@@ -80,12 +85,13 @@ impl Simulator {
     /// single source of truth for which rows exist in `BENCH_fig10.json`
     /// — extending it extends all three in lockstep (and the
     /// registry-guard test fails if a `ProcModel` is missing here).
-    pub const FIG10: [Simulator; 5] = [
+    pub const FIG10: [Simulator; 6] = [
         Simulator::Baseline,
         Simulator::RcpnXScale,
         Simulator::RcpnStrongArm,
         Simulator::RcpnSuperArm,
         Simulator::RcpnStrongArmExhaustive,
+        Simulator::RcpnStrongArmClosure,
     ];
 
     /// For RCPN-backed simulators: the processor-registry model plus the
@@ -99,6 +105,9 @@ impl Simulator {
             Simulator::RcpnStrongArmExhaustive => {
                 Some((ProcModel::StrongArm, SchedulerMode::Exhaustive))
             }
+            Simulator::RcpnStrongArmClosure => {
+                Some((ProcModel::StrongArm, SchedulerMode::ActivityDriven))
+            }
             Simulator::Baseline | Simulator::FunctionalIss => None,
         }
     }
@@ -108,6 +117,7 @@ impl Simulator {
         match self {
             Simulator::Baseline => "SimpleScalar-Arm",
             Simulator::RcpnStrongArmExhaustive => "RCPN-StrongArm-Exhaustive",
+            Simulator::RcpnStrongArmClosure => "RCPN-StrongArm-Closure",
             Simulator::FunctionalIss => "Functional-ISS",
             rcpn => rcpn.rcpn_config().expect("RCPN simulator").0.figure_name(),
         }
@@ -153,6 +163,9 @@ pub fn compiled_sim(sim: Simulator) -> Option<CompiledSim> {
     let (proc, scheduler) = sim.rcpn_config()?;
     let mut config = proc.default_config();
     config.engine.scheduler = scheduler;
+    if sim == Simulator::RcpnStrongArmClosure {
+        config.lowering = rcpn::spec::Lowering::Closures;
+    }
     Some(CompiledSim::new(proc, &config))
 }
 

@@ -20,6 +20,7 @@ use processors::res::SimConfig;
 use processors::sim::{CompiledSim, ProcModel};
 use rcpn::batch::{merge_stats, BatchRunner};
 use rcpn::engine::{EngineConfig, SchedulerMode, TableMode};
+use rcpn::spec::Lowering;
 use rcpn::stats::{SchedStats, Stats};
 use workloads::{Kernel, Workload};
 
@@ -35,18 +36,40 @@ pub struct EngineVariant {
     pub proc: ProcModel,
     /// The engine configuration the model is compiled with.
     pub engine: EngineConfig,
+    /// How spec-synthesized read steps are lowered (the dispatch axis:
+    /// micro-op IR by default, closures for the ablation row).
+    pub lowering: Lowering,
 }
 
 impl EngineVariant {
     /// A variant labeled `"<proc>/<mode>"`.
     pub fn new(proc: ProcModel, mode: &str, engine: EngineConfig) -> Self {
-        EngineVariant { label: format!("{}/{mode}", proc.label()), proc, engine }
+        EngineVariant {
+            label: format!("{}/{mode}", proc.label()),
+            proc,
+            engine,
+            lowering: Lowering::Auto,
+        }
+    }
+
+    /// [`EngineVariant::new`] with an explicit spec-lowering mode.
+    pub fn with_lowering(proc: ProcModel, mode: &str, lowering: Lowering) -> Self {
+        EngineVariant {
+            label: format!("{}/{mode}", proc.label()),
+            proc,
+            engine: EngineConfig::default(),
+            lowering,
+        }
     }
 
     /// The simulator configuration for this variant (model defaults with
-    /// the variant's engine config).
+    /// the variant's engine config and lowering mode).
     pub fn sim_config(&self) -> SimConfig {
-        SimConfig { engine: self.engine.clone(), ..self.proc.default_config() }
+        SimConfig {
+            engine: self.engine.clone(),
+            lowering: self.lowering,
+            ..self.proc.default_config()
+        }
     }
 }
 
@@ -77,6 +100,14 @@ pub fn engine_axis() -> Vec<EngineVariant> {
         ProcModel::StrongArm,
         "two-list-everywhere",
         EngineConfig { two_list_everywhere: true, ..Default::default() },
+    ));
+    // The dispatch ablation: the same StrongARM spec lowered to closures
+    // instead of micro-op IR. A speed knob only — the cross-engine
+    // identity check pins it cycle-identical to the IR rows.
+    axis.push(EngineVariant::with_lowering(
+        ProcModel::StrongArm,
+        "dispatch:closures",
+        Lowering::Closures,
     ));
     axis
 }
@@ -292,7 +323,8 @@ pub fn render_json(serial: &SweepRun, parallel: &SweepRun) -> String {
             "{{\"group\":\"sweep\",\"bench\":\"{}/{}\",\"size\":{},\"cycles\":{},\
              \"instrs\":{},\"cpi\":{:.4},\"job_seconds\":{:.6},\"mcps\":{:.3},\
              \"place_visits\":{},\"place_skips\":{},\"trans_visits\":{},\
-             \"trans_visits_skipped\":{}}}\n",
+             \"trans_visits_skipped\":{},\"guard_ir_evals\":{},\"guard_hook_evals\":{},\
+             \"actions_fused\":{}}}\n",
             row.variant,
             row.kernel,
             row.size,
@@ -305,6 +337,9 @@ pub fn render_json(serial: &SweepRun, parallel: &SweepRun) -> String {
             row.sched.place_skips,
             row.sched.trans_visits,
             row.sched.trans_visits_skipped,
+            row.sched.guard_ir_evals,
+            row.sched.guard_hook_evals,
+            row.sched.actions_fused,
         ));
     }
     let speedup = serial.wall_seconds / parallel.wall_seconds;
@@ -392,6 +427,31 @@ mod tests {
         assert_eq!(run.rows[0].stats, run.rows[1].stats, "Stats are scheduler-independent");
         assert!(run.rows[0].sched.place_skips > 0, "activity variant shows sparsity");
         assert_eq!(run.rows[1].sched.place_skips, 0, "the oracle never skips");
+    }
+
+    /// The dispatch axis is a speed knob only: the closure-lowered row
+    /// simulates identically to the IR row, with the counters proving
+    /// which dispatch each one ran.
+    #[test]
+    fn dispatch_closures_row_is_identical_with_zero_ir_activity() {
+        let variants = vec![
+            EngineVariant::new(ProcModel::StrongArm, "tables:per-place-class", Default::default()),
+            EngineVariant::with_lowering(
+                ProcModel::StrongArm,
+                "dispatch:closures",
+                Lowering::Closures,
+            ),
+        ];
+        let s = Sweep::with(variants, Workload::matrix(&[Kernel::Crc], &[0.0]));
+        let run = s.run(&BatchRunner::new(1));
+        let (ir, cl) = (&run.rows[0], &run.rows[1]);
+        assert_eq!(ir.cycles, cl.cycles, "lowering must never change simulated timing");
+        assert_eq!(ir.stats, cl.stats);
+        assert_eq!(ir.sched.dispatch_normalized(), cl.sched.dispatch_normalized());
+        assert!(ir.sched.guard_ir_evals > 0, "IR row must run the IR interpreter");
+        assert!(ir.sched.actions_fused > 0, "IR row must fuse read steps");
+        assert_eq!(cl.sched.guard_ir_evals, 0, "closure row must not run IR");
+        assert_eq!(cl.sched.actions_fused, 0);
     }
 
     #[test]

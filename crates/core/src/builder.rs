@@ -48,9 +48,10 @@
 use crate::analysis::{analyze, AnalysisInput, TransView};
 use crate::error::BuildError;
 use crate::ids::{OpClassId, PlaceId, SourceId, StageId, SubnetId, TransitionId};
+use crate::ir::{MicroOp, Program};
 use crate::model::{
-    Action, Fx, Guard, Machine, Model, OpClassDef, PlaceDef, ResArc, SourceAction, SourceDef,
-    SourceGuard, StageDef, SubnetDef, TransitionDef, UNLIMITED,
+    Action, ActionKind, Fx, Guard, GuardKind, Hooks, Machine, Model, OpClassDef, PlaceDef, ResArc,
+    SourceAction, SourceDef, SourceGuard, StageDef, SubnetDef, TransitionDef, UNLIMITED,
 };
 
 /// Builder for [`Model`]. See the [module documentation](self) for an
@@ -62,6 +63,7 @@ pub struct ModelBuilder<D, R> {
     sources: Vec<SourceDef<D, R>>,
     subnets: Vec<SubnetDef>,
     classes: Vec<OpClassDef>,
+    hooks: Hooks<D, R>,
     end_stage: StageId,
     end_place: PlaceId,
     squash_handler: Option<crate::model::SquashHandler<D, R>>,
@@ -80,6 +82,7 @@ impl<D, R> ModelBuilder<D, R> {
             sources: Vec::new(),
             subnets: Vec::new(),
             classes: Vec::new(),
+            hooks: Hooks::new(),
             end_stage: StageId::from_index(0),
             end_place: PlaceId::from_index(0),
             squash_handler: None,
@@ -194,6 +197,28 @@ impl<D, R> ModelBuilder<D, R> {
         self.squash_handler = Some(Box::new(handler));
     }
 
+    /// Registers a guard hook in the model's [`Hooks`] table and returns
+    /// its index, for use in an IR guard program via
+    /// [`crate::ir::MicroOp::CallHook`].
+    pub fn hook_guard(
+        &mut self,
+        guard: impl Fn(&Machine<R>, &D) -> bool + Send + Sync + 'static,
+    ) -> u32 {
+        self.hooks.guards.push(Box::new(guard));
+        (self.hooks.guards.len() - 1) as u32
+    }
+
+    /// Registers an action hook in the model's [`Hooks`] table and returns
+    /// its index, for use in an IR action program via
+    /// [`crate::ir::MicroOp::CallHook`].
+    pub fn hook_action(
+        &mut self,
+        action: impl Fn(&mut Machine<R>, &mut D, &mut Fx<D>) + Send + Sync + 'static,
+    ) -> u32 {
+        self.hooks.actions.push(Box::new(action));
+        (self.hooks.actions.len() - 1) as u32
+    }
+
     /// Validates the net and computes the static analysis, producing an
     /// executable [`Model`].
     ///
@@ -273,6 +298,92 @@ impl<D, R> ModelBuilder<D, R> {
             }
         }
 
+        // IR program validation: guard programs are pure, hook indices
+        // resolve, referenced places exist.
+        let program_err = |tid: usize, tname: &str, detail: String| BuildError::InvalidProgram {
+            transition: TransitionId::from_index(tid),
+            transition_name: tname.to_string(),
+            detail,
+        };
+        for (i, t) in self.transitions.iter().enumerate() {
+            if let Some(GuardKind::Ir(prog)) = &t.guard {
+                for op in prog.ops() {
+                    if !op.is_guard_op() {
+                        return Err(program_err(
+                            i,
+                            &t.name,
+                            format!("guard program contains non-guard op {op:?}"),
+                        ));
+                    }
+                    if let MicroOp::CallHook(h) = op {
+                        if *h as usize >= self.hooks.guards.len() {
+                            return Err(program_err(
+                                i,
+                                &t.name,
+                                format!(
+                                    "guard program calls hook {h} but only {} guard hooks exist",
+                                    self.hooks.guards.len()
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+            if let Some(ActionKind::Ir(prog)) = &t.action {
+                for op in prog.ops() {
+                    if !op.is_action_op() {
+                        return Err(program_err(
+                            i,
+                            &t.name,
+                            format!("action program contains non-action op {op:?}"),
+                        ));
+                    }
+                    match op {
+                        MicroOp::CallHook(h) if *h as usize >= self.hooks.actions.len() => {
+                            return Err(program_err(
+                                i,
+                                &t.name,
+                                format!(
+                                    "action program calls hook {h} but only {} action hooks exist",
+                                    self.hooks.actions.len()
+                                ),
+                            ));
+                        }
+                        MicroOp::ReserveRes { place, .. } => check_place(i, &t.name, *place)?,
+                        MicroOp::EmitRedirect { flush } => {
+                            for &p in flush.iter() {
+                                check_place(i, &t.name, p)?;
+                            }
+                        }
+                        MicroOp::AcquireOperands { fwd_mask } => {
+                            // Acquire's contract is "only after a passing
+                            // CheckReady with the same mask": an unguarded
+                            // or mask-mismatched acquire would latch stale
+                            // operand values silently in release builds,
+                            // so reject it here instead.
+                            let guarded = matches!(
+                                &t.guard,
+                                Some(GuardKind::Ir(g))
+                                    if g.ops().contains(&MicroOp::CheckReady { fwd_mask: *fwd_mask })
+                            );
+                            if !guarded {
+                                return Err(program_err(
+                                    i,
+                                    &t.name,
+                                    format!(
+                                        "AcquireOperands {{ fwd_mask: {fwd_mask:#x} }} requires \
+                                         a CheckReady with the same mask in the transition's \
+                                         guard program"
+                                    ),
+                                ));
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+
         // Duplicate (input, subnet, priority) detection.
         let mut keyed: Vec<(PlaceId, SubnetId, u32, TransitionId)> = self
             .transitions
@@ -324,6 +435,7 @@ impl<D, R> ModelBuilder<D, R> {
             sources: self.sources,
             subnets: self.subnets,
             classes: self.classes,
+            hooks: self.hooks,
             analysis,
             squash_handler: self.squash_handler,
         })
@@ -379,21 +491,37 @@ impl<'b, D, R> TransitionBuilder<'b, D, R> {
         self
     }
 
-    /// Sets the guard condition.
+    /// Sets the guard condition (closure representation).
     pub fn guard(
         mut self,
         guard: impl Fn(&Machine<R>, &D) -> bool + Send + Sync + 'static,
     ) -> Self {
-        self.def.guard = Some(Box::new(guard) as Guard<D, R>);
+        self.def.guard = Some(GuardKind::Closure(Box::new(guard) as Guard<D, R>));
         self
     }
 
-    /// Sets the action executed when the transition fires.
+    /// Sets the guard as a typed micro-op [`Program`] interpreted inline
+    /// by the engine. Only pure guard ops are legal
+    /// ([`MicroOp::is_guard_op`]); validated in [`ModelBuilder::build`].
+    pub fn guard_ir(mut self, program: Program) -> Self {
+        self.def.guard = Some(GuardKind::Ir(program));
+        self
+    }
+
+    /// Sets the action executed when the transition fires (closure
+    /// representation).
     pub fn action(
         mut self,
         action: impl Fn(&mut Machine<R>, &mut D, &mut Fx<D>) + Send + Sync + 'static,
     ) -> Self {
-        self.def.action = Some(Box::new(action) as Action<D, R>);
+        self.def.action = Some(ActionKind::Closure(Box::new(action) as Action<D, R>));
+        self
+    }
+
+    /// Sets the action as a typed micro-op [`Program`]; validated in
+    /// [`ModelBuilder::build`].
+    pub fn action_ir(mut self, program: Program) -> Self {
+        self.def.action = Some(ActionKind::Ir(program));
         self
     }
 

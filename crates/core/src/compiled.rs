@@ -23,7 +23,8 @@ use std::sync::Arc;
 
 use crate::engine::{Engine, EngineConfig, TableMode};
 use crate::ids::{PlaceId, TransitionId};
-use crate::model::{Machine, Model};
+use crate::ir::{MicroOp, Program};
+use crate::model::{ActionKind, GuardKind, Machine, Model};
 use crate::token::InstrData;
 
 /// Partially evaluated per-transition facts (one cache line of PODs).
@@ -40,10 +41,54 @@ pub(crate) struct HotTrans {
     /// `transition.delay` alone (token-delay override case).
     pub(crate) tdelay: u64,
     pub(crate) cap: u32,
+    /// The transition gates on something ([`GuardCode`] is not `None`).
+    /// Honest by construction: empty IR guard programs compile to `None`.
     pub(crate) has_guard: bool,
+    /// Firing performs action work ([`ActionCode`] is not `None`, or the
+    /// guard is fused and acquires at fire time). Honest by construction.
     pub(crate) has_action: bool,
     pub(crate) has_extra: bool,
     pub(crate) has_res: bool,
+}
+
+/// Compiled guard representation of one transition: how `try_fire`
+/// evaluates its enabling condition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum GuardCode {
+    /// No guard: always enabled (capacity/joins permitting).
+    None,
+    /// Call the closure stored on the model's transition.
+    Closure,
+    /// Interpret `programs[idx]` (all ops pure).
+    Prog(u32),
+    /// The fusion product: the guard was exactly `[CheckReady {
+    /// fwd_mask }]` and the action began with a matching
+    /// `AcquireOperands`. `try_fire` runs the fused check (memoizing each
+    /// operand's source), and `fire` acquires from the memo before
+    /// running the remaining [`ActionCode`] — the acquire never re-probes
+    /// what the guard just established.
+    Fused {
+        /// Place-index bitmask of the resolved forwarding set.
+        fwd_mask: u64,
+    },
+}
+
+/// Compiled action representation of one transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ActionCode {
+    /// No action work at fire time.
+    None,
+    /// Call the closure stored on the model's transition.
+    Closure,
+    /// Interpret `programs[idx]` in order.
+    Prog(u32),
+}
+
+/// Per-transition dispatch pair, indexed like `hot`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct HotDispatch {
+    pub(crate) guard: GuardCode,
+    pub(crate) action: ActionCode,
 }
 
 /// Partially evaluated per-place facts.
@@ -113,6 +158,12 @@ pub(crate) struct ExecPlan {
     pub(crate) hot: Vec<HotTrans>,
     pub(crate) hot_place: Vec<HotPlace>,
     pub(crate) hot_source: Vec<HotSource>,
+    /// Per-transition guard/action dispatch (parallel to `hot`), produced
+    /// by the fold + fusion pass over the model's IR programs.
+    pub(crate) dispatch: Vec<HotDispatch>,
+    /// The folded program pool `GuardCode::Prog`/`ActionCode::Prog` index
+    /// into.
+    pub(crate) programs: Vec<Program>,
     pub(crate) n_stages: usize,
 }
 
@@ -127,10 +178,83 @@ impl ExecPlan {
                 (0..n_places).map(|i| model.analysis.two_list[i]).collect(),
             )
         };
+        // Every place the expiry scan must visit: static ResArc targets
+        // plus the targets of IR `ReserveRes` ops.
         let mut res_places: Vec<PlaceId> =
             model.transitions.iter().flat_map(|t| t.reservations.iter().map(|r| r.place)).collect();
+        for t in &model.transitions {
+            if let Some(ActionKind::Ir(prog)) = &t.action {
+                for op in prog.ops() {
+                    if let MicroOp::ReserveRes { place, .. } = op {
+                        res_places.push(*place);
+                    }
+                }
+            }
+        }
         res_places.sort();
         res_places.dedup();
+
+        // Fold + fuse the guard/action representations into dispatch
+        // codes. Folding drops empty programs (`has_guard`/`has_action`
+        // stay honest); fusion collapses a `[CheckReady]` guard with the
+        // `AcquireOperands` head of its action (same mask, no join
+        // inputs — joins release victim reservations between the guard
+        // and the action, which would invalidate the fused memo).
+        let mut programs: Vec<Program> = Vec::new();
+        let mut intern = |p: Program| -> u32 {
+            programs.push(p);
+            (programs.len() - 1) as u32
+        };
+        let dispatch: Vec<HotDispatch> = model
+            .transitions
+            .iter()
+            .map(|t| {
+                let guard_prog = match &t.guard {
+                    Some(GuardKind::Ir(p)) => Some(p.clone().fold()),
+                    _ => None,
+                };
+                let action_prog = match &t.action {
+                    Some(ActionKind::Ir(p)) => Some(p.clone().fold()),
+                    _ => None,
+                };
+                let fusable = match (&guard_prog, &action_prog) {
+                    (Some(g), Some(a)) if t.extra_inputs.is_empty() => match (g.ops(), a.ops()) {
+                        (
+                            [MicroOp::CheckReady { fwd_mask: gm }],
+                            [MicroOp::AcquireOperands { fwd_mask: am }, ..],
+                        ) => (gm == am).then_some(*gm),
+                        _ => None,
+                    },
+                    _ => None,
+                };
+                if let Some(fwd_mask) = fusable {
+                    let rest = Program::new(
+                        action_prog.expect("fusable implies action").ops()[1..].to_vec(),
+                    );
+                    let action = if rest.is_empty() {
+                        ActionCode::None
+                    } else {
+                        ActionCode::Prog(intern(rest))
+                    };
+                    return HotDispatch { guard: GuardCode::Fused { fwd_mask }, action };
+                }
+                let guard = match (&t.guard, guard_prog) {
+                    (None, _) => GuardCode::None,
+                    (Some(GuardKind::Closure(_)), _) => GuardCode::Closure,
+                    (Some(GuardKind::Ir(_)), Some(p)) if p.is_empty() => GuardCode::None,
+                    (Some(GuardKind::Ir(_)), Some(p)) => GuardCode::Prog(intern(p)),
+                    (Some(GuardKind::Ir(_)), None) => unreachable!("Ir guard folds to Some"),
+                };
+                let action = match (&t.action, action_prog) {
+                    (None, _) => ActionCode::None,
+                    (Some(ActionKind::Closure(_)), _) => ActionCode::Closure,
+                    (Some(ActionKind::Ir(_)), Some(p)) if p.is_empty() => ActionCode::None,
+                    (Some(ActionKind::Ir(_)), Some(p)) => ActionCode::Prog(intern(p)),
+                    (Some(ActionKind::Ir(_)), None) => unreachable!("Ir action folds to Some"),
+                };
+                HotDispatch { guard, action }
+            })
+            .collect();
 
         // Reverse index: which transitions consume from each place.
         let mut dep_lists: Vec<Vec<TransitionId>> = vec![Vec::new(); n_places];
@@ -170,9 +294,11 @@ impl ExecPlan {
         let hot: Vec<HotTrans> = model
             .transitions
             .iter()
-            .map(|t| {
+            .zip(&dispatch)
+            .map(|(t, d)| {
                 let dp = &hot_place[t.dest.index()];
                 let sp = &hot_place[t.input.index()];
+                let fused = matches!(d.guard, GuardCode::Fused { .. });
                 HotTrans {
                     dest: t.dest.index() as u32,
                     dest_stage: dp.stage,
@@ -181,8 +307,8 @@ impl ExecPlan {
                     base_ready: u64::from(t.delay) + dp.delay,
                     tdelay: u64::from(t.delay),
                     cap: dp.cap,
-                    has_guard: t.guard.is_some(),
-                    has_action: t.action.is_some(),
+                    has_guard: d.guard != GuardCode::None,
+                    has_action: d.action != ActionCode::None || fused,
                     has_extra: !t.extra_inputs.is_empty(),
                     has_res: !t.reservations.is_empty(),
                 }
@@ -244,6 +370,8 @@ impl ExecPlan {
             hot,
             hot_place,
             hot_source,
+            dispatch,
+            programs,
             n_stages: model.stage_count(),
         }
     }
@@ -339,6 +467,29 @@ impl<D: InstrData, R> CompiledModel<D, R> {
     /// exposed so tests can validate the dependency structure.
     pub fn dependents_of(&self, place: PlaceId) -> &[TransitionId] {
         &self.plan.dependents[place.index()]
+    }
+
+    /// Number of transitions whose guard or action is dispatched through
+    /// the micro-op IR (including fused ones) — zero for a purely
+    /// closure-wired model. Exposed so tests can assert the IR path is
+    /// actually reachable, not just compiled.
+    pub fn ir_transitions(&self) -> usize {
+        self.plan
+            .dispatch
+            .iter()
+            .filter(|d| {
+                !matches!(
+                    (d.guard, d.action),
+                    (GuardCode::None | GuardCode::Closure, ActionCode::None | ActionCode::Closure)
+                )
+            })
+            .count()
+    }
+
+    /// Number of transitions whose `CheckReady` guard was fused with the
+    /// `AcquireOperands` head of their action by the compile pass.
+    pub fn fused_transitions(&self) -> usize {
+        self.plan.dispatch.iter().filter(|d| matches!(d.guard, GuardCode::Fused { .. })).count()
     }
 
     /// Creates an independent engine over fresh mutable state (token pool,

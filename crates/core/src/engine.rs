@@ -76,9 +76,10 @@
 
 use std::sync::Arc;
 
-use crate::compiled::{CompiledModel, ExecPlan, HotTrans, Lookup};
+use crate::compiled::{ActionCode, CompiledModel, ExecPlan, GuardCode, HotTrans, Lookup};
 use crate::ids::{PlaceId, SourceId, TokenId, TransitionId};
-use crate::model::{Fx, Machine, Model};
+use crate::ir;
+use crate::model::{ActionKind, Fx, GuardKind, Machine, Model};
 use crate::stats::{SchedStats, Stats};
 use crate::token::{InstrData, TokenKind, TokenPool};
 
@@ -233,6 +234,10 @@ struct EngineState<D: InstrData, R> {
     scratch: Vec<TokenId>,
     expired: Vec<TokenId>,
     flush_buf: Vec<TokenId>,
+    /// Per-operand source decisions of the last passing fused guard
+    /// (`false` = register file, `true` = forwarding scoreboard);
+    /// consumed by the immediately following fused acquire.
+    fused_memo: Vec<bool>,
     fx: Fx<D>,
 }
 
@@ -273,6 +278,7 @@ impl<D: InstrData, R> Engine<D, R> {
                 scratch: Vec::new(),
                 expired: Vec::new(),
                 flush_buf: Vec::new(),
+                fused_memo: Vec::new(),
                 fx: Fx::new(None),
                 machine,
                 pool: TokenPool::new(),
@@ -672,10 +678,34 @@ impl<D: InstrData, R> EngineState<D, R> {
             }
         }
         if h.has_guard {
-            let guard = model.transitions[tid].guard.as_ref().expect("has_guard implies guard");
-            let tok = self.pool.get(token).expect("token live during guard");
-            let data = tok.data.as_ref().expect("instruction token has data");
-            if !guard(&self.machine, data) {
+            let passed = match plan.dispatch[tid].guard {
+                GuardCode::None => unreachable!("has_guard implies a guard code"),
+                GuardCode::Closure => {
+                    self.sched.guard_hook_evals += 1;
+                    let Some(GuardKind::Closure(guard)) = &model.transitions[tid].guard else {
+                        unreachable!("GuardCode::Closure implies a closure guard")
+                    };
+                    let tok = self.pool.get(token).expect("token live during guard");
+                    let data = tok.data.as_ref().expect("instruction token has data");
+                    guard(&self.machine, data)
+                }
+                GuardCode::Prog(idx) => {
+                    self.sched.guard_ir_evals += 1;
+                    let tok = self.pool.get(token).expect("token live during guard");
+                    let data = tok.data.as_ref().expect("instruction token has data");
+                    ir::eval_guard(&plan.programs[idx as usize], &self.machine, data, &model.hooks)
+                }
+                GuardCode::Fused { fwd_mask } => {
+                    self.sched.guard_ir_evals += 1;
+                    let mut memo = std::mem::take(&mut self.fused_memo);
+                    let tok = self.pool.get(token).expect("token live during guard");
+                    let data = tok.data.as_ref().expect("instruction token has data");
+                    let ok = ir::fused_check(&self.machine, data, fwd_mask, &mut memo);
+                    self.fused_memo = memo;
+                    ok
+                }
+            };
+            if !passed {
                 self.stats.guard_fails += 1;
                 return false;
             }
@@ -761,16 +791,44 @@ impl<D: InstrData, R> EngineState<D, R> {
         // scratch collector (its buffers persist across fires, so emitting
         // actions stop allocating per fire).
         let mut fx = std::mem::replace(&mut self.fx, Fx::new(None));
-        debug_assert!(fx.emits.is_empty() && fx.flush_places.is_empty() && !fx.halt);
+        debug_assert!(
+            fx.emits.is_empty() && fx.flush_places.is_empty() && fx.reserves.is_empty() && !fx.halt
+        );
         fx.token = Some(token);
         fx.token_delay = None;
         let mut has_fx = false;
         if h.has_action {
-            let action = model.transitions[tid].action.as_ref().expect("has_action implies action");
+            let disp = plan.dispatch[tid];
+            if matches!(disp.guard, GuardCode::Fused { .. }) {
+                self.sched.actions_fused += 1;
+            }
             let tok = self.pool.get_mut(token).expect("firing token is live");
             let data = tok.data.as_mut().expect("instruction token has data");
-            action(&mut self.machine, data, &mut fx);
-            has_fx = !fx.emits.is_empty() || !fx.flush_places.is_empty() || fx.halt;
+            if matches!(disp.guard, GuardCode::Fused { .. }) {
+                // The fused guard just passed for this very token; latch
+                // each operand from the source it memoized.
+                ir::fused_acquire(&mut self.machine, data, &mut fx, &self.fused_memo);
+            }
+            match disp.action {
+                ActionCode::None => {}
+                ActionCode::Closure => {
+                    let Some(ActionKind::Closure(action)) = &model.transitions[tid].action else {
+                        unreachable!("ActionCode::Closure implies a closure action")
+                    };
+                    action(&mut self.machine, data, &mut fx);
+                }
+                ActionCode::Prog(idx) => ir::run_action(
+                    plan.programs[idx as usize].ops(),
+                    &mut self.machine,
+                    data,
+                    &mut fx,
+                    &model.hooks,
+                ),
+            }
+            has_fx = !fx.emits.is_empty()
+                || !fx.flush_places.is_empty()
+                || !fx.reserves.is_empty()
+                || fx.halt;
         }
 
         // Move the token.
@@ -843,6 +901,25 @@ impl<D: InstrData, R> EngineState<D, R> {
     /// (so its buffers can be reused by the next firing).
     fn apply_fx(&mut self, model: &Model<D, R>, plan: &ExecPlan, fx: &mut Fx<D>) {
         let cycle = self.cycle;
+        for (place, expire) in fx.reserves.drain(..) {
+            // Always-on (res_places is sorted; the search is cheap and
+            // reserves are rare): a reservation in a place the expiry
+            // scan never visits would occupy its stage forever, which in
+            // release would read as a silent wedge, not a bug report.
+            assert!(
+                plan.res_places.binary_search(&place).is_ok(),
+                "Fx::reserve into {place}, which is not a compiled reservation target (no ResArc \
+                 or IR ReserveRes op names it) — the expiry scan would never release it"
+            );
+            let expiry = cycle + u64::from(expire);
+            let rid = self.pool.alloc(TokenKind::Reservation, None, place, cycle, expiry);
+            let rp = place.index();
+            self.live[rp].push(rid);
+            self.n_res[rp] += 1;
+            self.res_wake[rp] = self.res_wake[rp].min(expiry);
+            self.stage_occ[plan.hot_place[rp].stage as usize] += 1;
+            self.stats.reservations += 1;
+        }
         for (payload, place, delay) in fx.emits.drain(..) {
             let ready = cycle + u64::from(delay);
             let id = self.pool.alloc(TokenKind::Instruction, Some(payload), place, cycle, ready);
@@ -906,7 +983,12 @@ impl<D: InstrData, R> EngineState<D, R> {
                     }
                 }
                 let mut fx = std::mem::replace(&mut self.fx, Fx::new(None));
-                debug_assert!(fx.emits.is_empty() && fx.flush_places.is_empty() && !fx.halt);
+                debug_assert!(
+                    fx.emits.is_empty()
+                        && fx.flush_places.is_empty()
+                        && fx.reserves.is_empty()
+                        && !fx.halt
+                );
                 fx.token = None;
                 fx.token_delay = None;
                 let payload = {
@@ -939,7 +1021,11 @@ impl<D: InstrData, R> EngineState<D, R> {
                         });
                     }
                 }
-                if !fx.emits.is_empty() || !fx.flush_places.is_empty() || fx.halt {
+                if !fx.emits.is_empty()
+                    || !fx.flush_places.is_empty()
+                    || !fx.reserves.is_empty()
+                    || fx.halt
+                {
                     self.apply_fx(model, plan, &mut fx);
                 }
                 self.fx = fx;

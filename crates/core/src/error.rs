@@ -93,6 +93,17 @@ pub enum BuildError {
         /// The reused name.
         name: String,
     },
+    /// A transition carries an invalid micro-op [`crate::ir::Program`]: a
+    /// mutating op in a guard program, a `CallHook` index outside the
+    /// model's hook table, or a reference to an undeclared place.
+    InvalidProgram {
+        /// The transition carrying the bad program.
+        transition: TransitionId,
+        /// The offending transition's name.
+        transition_name: String,
+        /// What was wrong with the program.
+        detail: String,
+    },
     /// A [`crate::spec::PipelineSpec`] could not be lowered: a dangling
     /// latch/stage/rule name, a read step without an operand policy, or an
     /// incomplete source declaration.
@@ -156,6 +167,9 @@ impl fmt::Display for BuildError {
             }
             BuildError::DuplicateName { kind, name } => {
                 write!(f, "duplicate {kind} name {name:?}")
+            }
+            BuildError::InvalidProgram { transition, transition_name, detail } => {
+                write!(f, "transition {transition} ({transition_name:?}): {detail}")
             }
             BuildError::Spec { spec, detail } => {
                 write!(f, "pipeline spec {spec:?}: {detail}")

@@ -1,0 +1,497 @@
+//! The typed micro-op IR for guards and actions (the compile-target of
+//! the spec layer's synthesized behavior).
+//!
+//! The paper's claim is that an RCPN model is *compiled into* a
+//! high-performance simulator. Opaque `Box<dyn Fn>` guards and actions
+//! resist that compilation: the engine can only call them. Most of the
+//! per-cycle guard/action work, however, is not custom at all — it is the
+//! standard operand discipline [`crate::spec::PipelineSpec`] synthesizes
+//! from an [`crate::spec::OperandPolicy`] (check sources obtainable,
+//! latch them, reserve destinations) plus squash lists and delays that
+//! are pure *data*. This module turns that majority into data too: a
+//! [`Program`] is a short sequence of [`MicroOp`]s that the engine
+//! interprets inline over flat state, with [`MicroOp::CallHook`] as the
+//! escape hatch into a per-model hook table for genuinely custom
+//! semantics (e.g. the ARM block-transfer micro-op issue).
+//!
+//! The payoff over closures:
+//!
+//! * **no indirect calls** on the hot path for synthesized steps — the
+//!   interpreter is a small `match` the optimizer sees through;
+//! * **forwarding as a bitmask** — `CheckReady`/`AcquireOperands` carry
+//!   the resolved forwarding set as a place-index bitmask, so membership
+//!   is one mask test against the scoreboard entry
+//!   ([`crate::reg::RegisterFile::can_read_masked`]) instead of a loop
+//!   over captured `PlaceId`s;
+//! * **optimizable programs** — [`Program::fold`] constant-folds, and the
+//!   compile step ([`crate::compiled`]) fuses a `[CheckReady]` guard with
+//!   the `AcquireOperands` head of its action so the fire path latches
+//!   operands from the sources the guard already probed.
+//!
+//! Micro-ops that touch operands (`CheckReady`, `AcquireOperands`,
+//! `WriteBack`) see the token through the operand views of
+//! [`crate::token::InstrData`] (`src_operands`, `dst_operand`); payload
+//! types that keep the default empty views simply make those ops no-ops.
+//!
+//! Programs are validated by [`crate::builder::ModelBuilder::build`]:
+//! guard programs may contain only pure ops ([`MicroOp::is_guard_op`]),
+//! hook indices must resolve in the model's [`crate::model::Hooks`]
+//! table, and every referenced place must exist.
+
+use crate::ids::PlaceId;
+use crate::model::{Fx, Hooks, Machine};
+use crate::token::InstrData;
+
+/// Width of the forwarding bitmask: place indices `0..64` are maskable.
+/// Specs whose forwarding set reaches places beyond this fall back to
+/// closure lowering (see [`place_mask`]).
+pub const MASK_BITS: usize = 64;
+
+/// One IR instruction. See the [module documentation](self) for the
+/// overall design; per-op semantics are documented on each variant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MicroOp {
+    /// Guard op: passes iff every source operand of the token is
+    /// obtainable — readable from the register file, or forwardable from
+    /// an in-flight writer residing in a place whose index bit is set in
+    /// `fwd_mask` — and every destination operand is reservable.
+    CheckReady {
+        /// Place-index bitmask of the resolved forwarding set.
+        fwd_mask: u64,
+    },
+    /// Action op: latches every source operand from its best source
+    /// (register file first, then the forwarding scoreboard under
+    /// `fwd_mask`) and reserves every destination operand for the firing
+    /// token. Must be guarded by a matching [`MicroOp::CheckReady`] —
+    /// enforced at build time: the transition's guard program must
+    /// contain a `CheckReady` with the same mask.
+    AcquireOperands {
+        /// Place-index bitmask of the resolved forwarding set.
+        fwd_mask: u64,
+    },
+    /// Action op: writes every destination operand back to the register
+    /// file and clears the firing token's reservations on them, highest
+    /// destination index first (so a model exposing `(dst, dst2)` commits
+    /// the secondary destination before the primary — the ARM "load
+    /// wins" base-writeback order).
+    WriteBack,
+    /// Action op: deposits a dataless reservation token into `place`,
+    /// occupying its stage for `expire` cycles — the program-controlled
+    /// form of a [`crate::model::ResArc`] output arc.
+    ReserveRes {
+        /// The place whose stage the reservation occupies.
+        place: PlaceId,
+        /// Cycles until the reservation expires.
+        expire: u32,
+    },
+    /// Action op: releases every register reservation held by the firing
+    /// token (the annul/squash bookkeeping made expressible as data).
+    ReleaseRes,
+    /// Action op: issues the flushes of a resolved redirect — every place
+    /// in `flush` is squashed, in order. The squash list is the lowered
+    /// form of a spec redirect rule's resolved places.
+    EmitRedirect {
+        /// The ordered squash list.
+        flush: Box<[PlaceId]>,
+    },
+    /// Action op: overrides the token's delay in its destination place
+    /// ([`Fx::set_token_delay`]).
+    SetDelay(u32),
+    /// Escape hatch: calls entry `n` of the model's hook table — the
+    /// guard table when interpreted in a guard program, the action table
+    /// in an action program. This is where genuinely custom semantics
+    /// (user-supplied `read_then` steps, model-specific issue logic)
+    /// live; everything else in a program is data.
+    CallHook(u32),
+}
+
+impl MicroOp {
+    /// Whether the op is legal in a guard program (pure: inspects the
+    /// machine and token, mutates nothing).
+    pub fn is_guard_op(&self) -> bool {
+        matches!(self, MicroOp::CheckReady { .. } | MicroOp::CallHook(_))
+    }
+
+    /// Whether the op is legal in an action program. Every op except
+    /// [`MicroOp::CheckReady`] (whose only meaning is gating a firing,
+    /// which an action can no longer do) may appear in an action.
+    pub fn is_action_op(&self) -> bool {
+        !matches!(self, MicroOp::CheckReady { .. })
+    }
+}
+
+/// A sequence of [`MicroOp`]s — the IR form of one guard or one action.
+///
+/// Guard programs pass iff every op passes (all ops must be
+/// [`MicroOp::is_guard_op`]); action programs execute their ops in order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    ops: Vec<MicroOp>,
+}
+
+impl Program {
+    /// Creates a program from an op sequence.
+    pub fn new(ops: impl Into<Vec<MicroOp>>) -> Self {
+        Program { ops: ops.into() }
+    }
+
+    /// The op sequence.
+    pub fn ops(&self) -> &[MicroOp] {
+        &self.ops
+    }
+
+    /// Whether the program contains no ops. The compile step drops empty
+    /// programs entirely, so `has_guard`/`has_action` stay honest.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Number of ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Constant-folds the program:
+    ///
+    /// * [`MicroOp::EmitRedirect`] with an empty squash list is dropped
+    ///   (a redirect rule that resolved to nothing flushes nothing);
+    /// * runs of [`MicroOp::SetDelay`] collapse to the last one (the
+    ///   token-delay override is last-writer-wins).
+    ///
+    /// Folding never changes observable behavior; the fusion pass in
+    /// [`crate::compiled`] builds on folded programs.
+    pub fn fold(mut self) -> Program {
+        self.ops.retain(|op| !matches!(op, MicroOp::EmitRedirect { flush } if flush.is_empty()));
+        let mut folded: Vec<MicroOp> = Vec::with_capacity(self.ops.len());
+        for op in self.ops {
+            if matches!(op, MicroOp::SetDelay(_))
+                && matches!(folded.last(), Some(MicroOp::SetDelay(_)))
+            {
+                *folded.last_mut().expect("just matched") = op;
+            } else {
+                folded.push(op);
+            }
+        }
+        Program { ops: folded }
+    }
+}
+
+/// Builds the place-index bitmask of a forwarding set; `None` when any
+/// place index is outside the [`MASK_BITS`] mask width (callers fall
+/// back to closure lowering — correctness never depends on the mask).
+pub fn place_mask(places: &[PlaceId]) -> Option<u64> {
+    let mut mask = 0u64;
+    for p in places {
+        if p.index() >= MASK_BITS {
+            return None;
+        }
+        mask |= 1u64 << p.index();
+    }
+    Some(mask)
+}
+
+/// [`MicroOp::CheckReady`]: every source operand obtainable under
+/// `fwd_mask`, every destination operand reservable.
+pub fn check_ready<D: InstrData, R>(m: &Machine<R>, t: &D, fwd_mask: u64) -> bool {
+    t.src_operands().iter().all(|s| s.obtainable_masked(&m.regs, fwd_mask))
+        && (0..t.dst_count()).all(|i| t.dst_operand(i).can_write(&m.regs))
+}
+
+/// [`MicroOp::AcquireOperands`]: latch every source operand, reserve
+/// every destination for the firing token. Must be guarded by a passing
+/// [`check_ready`] in the same cycle.
+pub fn acquire_operands<D: InstrData, R>(
+    m: &mut Machine<R>,
+    t: &mut D,
+    fx: &mut Fx<D>,
+    fwd_mask: u64,
+) {
+    for s in t.src_operands_mut() {
+        s.obtain_masked(&m.regs, fwd_mask);
+    }
+    let tok = fx.token();
+    // The engine re-points the writer state to the destination place right
+    // after the action; the initial place is a placeholder.
+    let here = PlaceId::from_index(0);
+    for i in 0..t.dst_count() {
+        t.dst_operand_mut(i).reserve_write(&mut m.regs, tok, here);
+    }
+}
+
+/// [`MicroOp::WriteBack`]: commit every destination operand, highest
+/// index first.
+pub fn write_back<D: InstrData, R>(m: &mut Machine<R>, t: &mut D, fx: &mut Fx<D>) {
+    let tok = fx.token();
+    for i in (0..t.dst_count()).rev() {
+        t.dst_operand(i).writeback(&mut m.regs, tok);
+    }
+}
+
+/// Interprets a guard program: every op must pass.
+///
+/// Programs reaching the engine were validated at build time, so a
+/// non-guard op here is a compiler bug, not a model error.
+pub(crate) fn eval_guard<D: InstrData, R>(
+    prog: &Program,
+    m: &Machine<R>,
+    t: &D,
+    hooks: &Hooks<D, R>,
+) -> bool {
+    prog.ops.iter().all(|op| match op {
+        MicroOp::CheckReady { fwd_mask } => check_ready(m, t, *fwd_mask),
+        MicroOp::CallHook(i) => (hooks.guards[*i as usize])(m, t),
+        other => unreachable!("non-guard op {other:?} in guard program (validated at build)"),
+    })
+}
+
+/// Interprets an action program in order.
+pub(crate) fn run_action<D: InstrData, R>(
+    ops: &[MicroOp],
+    m: &mut Machine<R>,
+    t: &mut D,
+    fx: &mut Fx<D>,
+    hooks: &Hooks<D, R>,
+) {
+    for op in ops {
+        match op {
+            MicroOp::AcquireOperands { fwd_mask } => acquire_operands(m, t, fx, *fwd_mask),
+            MicroOp::WriteBack => write_back(m, t, fx),
+            MicroOp::ReserveRes { place, expire } => fx.reserve(*place, *expire),
+            MicroOp::ReleaseRes => {
+                m.regs.release(fx.token());
+            }
+            MicroOp::EmitRedirect { flush } => {
+                for &p in flush.iter() {
+                    fx.flush(p);
+                }
+            }
+            MicroOp::SetDelay(d) => fx.set_token_delay(*d),
+            MicroOp::CallHook(i) => (hooks.actions[*i as usize])(m, t, fx),
+            MicroOp::CheckReady { .. } => {
+                unreachable!("CheckReady in action program (validated at build)")
+            }
+        }
+    }
+}
+
+/// Fused-guard phase of a `CheckReady`+`AcquireOperands` pair: checks
+/// readiness while memoizing, per source operand, whether it will latch
+/// from the forwarding scoreboard (`true`) or the register file
+/// (`false`). The memo is only meaningful when this returns `true`, and
+/// only until the machine state next changes — the engine fires the
+/// transition immediately on a pass.
+pub(crate) fn fused_check<D: InstrData, R>(
+    m: &Machine<R>,
+    t: &D,
+    fwd_mask: u64,
+    memo: &mut Vec<bool>,
+) -> bool {
+    memo.clear();
+    for s in t.src_operands() {
+        if s.can_read(&m.regs) {
+            memo.push(false);
+        } else if s.can_read_fwd_masked(&m.regs, fwd_mask) {
+            memo.push(true);
+        } else {
+            return false;
+        }
+    }
+    (0..t.dst_count()).all(|i| t.dst_operand(i).can_write(&m.regs))
+}
+
+/// Fused-acquire phase: latches each source from the memoized source
+/// decided by [`fused_check`] (no re-probing) and reserves the
+/// destinations — the whole point of the fusion.
+pub(crate) fn fused_acquire<D: InstrData, R>(
+    m: &mut Machine<R>,
+    t: &mut D,
+    fx: &mut Fx<D>,
+    memo: &[bool],
+) {
+    for (s, &from_fwd) in t.src_operands_mut().iter_mut().zip(memo) {
+        if from_fwd {
+            s.read_fwd(&m.regs);
+        } else {
+            s.read(&m.regs);
+        }
+    }
+    let tok = fx.token();
+    let here = PlaceId::from_index(0);
+    for i in 0..t.dst_count() {
+        t.dst_operand_mut(i).reserve_write(&mut m.regs, tok, here);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{OpClassId, RegId, TokenId};
+    use crate::reg::{Operand, RegisterFile};
+
+    /// A token exposing two sources and one destination.
+    #[derive(Debug)]
+    struct Tok {
+        srcs: [Operand; 2],
+        dst: Operand,
+    }
+    impl InstrData for Tok {
+        fn op_class(&self) -> OpClassId {
+            OpClassId::from_index(0)
+        }
+        fn src_operands(&self) -> &[Operand] {
+            &self.srcs
+        }
+        fn src_operands_mut(&mut self) -> &mut [Operand] {
+            &mut self.srcs
+        }
+        fn dst_count(&self) -> usize {
+            1
+        }
+        fn dst_operand(&self, i: usize) -> &Operand {
+            assert_eq!(i, 0);
+            &self.dst
+        }
+        fn dst_operand_mut(&mut self, i: usize) -> &mut Operand {
+            assert_eq!(i, 0);
+            &mut self.dst
+        }
+    }
+
+    fn machine(n: usize) -> (Machine<()>, Vec<RegId>) {
+        let mut rf = RegisterFile::new();
+        let regs = rf.add_bank("r", n);
+        (Machine::new(rf, ()), regs)
+    }
+
+    fn tid(n: u32) -> TokenId {
+        TokenId { slot: n, gen: 0 }
+    }
+
+    #[test]
+    fn place_mask_builds_and_rejects_wide_sets() {
+        let ps = [PlaceId::from_index(1), PlaceId::from_index(3)];
+        assert_eq!(place_mask(&ps), Some(0b1010));
+        assert_eq!(place_mask(&[]), Some(0));
+        assert_eq!(place_mask(&[PlaceId::from_index(MASK_BITS)]), None);
+    }
+
+    #[test]
+    fn guard_op_classification() {
+        assert!(MicroOp::CheckReady { fwd_mask: 0 }.is_guard_op());
+        assert!(MicroOp::CallHook(0).is_guard_op());
+        assert!(!MicroOp::AcquireOperands { fwd_mask: 0 }.is_guard_op());
+        assert!(!MicroOp::WriteBack.is_guard_op());
+        assert!(!MicroOp::CheckReady { fwd_mask: 0 }.is_action_op());
+        assert!(MicroOp::SetDelay(1).is_action_op());
+    }
+
+    #[test]
+    fn fold_drops_empty_redirects_and_merges_delays() {
+        let p = Program::new(vec![
+            MicroOp::EmitRedirect { flush: Box::from([]) },
+            MicroOp::SetDelay(1),
+            MicroOp::SetDelay(7),
+            MicroOp::CallHook(0),
+            MicroOp::SetDelay(2),
+        ])
+        .fold();
+        assert_eq!(
+            p.ops(),
+            &[MicroOp::SetDelay(7), MicroOp::CallHook(0), MicroOp::SetDelay(2)],
+            "last delay of a run wins; hooks break the run"
+        );
+        let kept = Program::new(vec![MicroOp::EmitRedirect {
+            flush: Box::from([PlaceId::from_index(1)]),
+        }])
+        .fold();
+        assert_eq!(kept.len(), 1, "non-empty redirects survive folding");
+    }
+
+    #[test]
+    fn check_ready_matches_scoreboard_state() {
+        let (mut m, regs) = machine(3);
+        let t = Tok { srcs: [Operand::reg(regs[0]), Operand::imm(5)], dst: Operand::reg(regs[1]) };
+        assert!(check_ready(&m, &t, 0), "clean scoreboard: ready");
+
+        // A writer on the source blocks readiness from the register file…
+        m.regs.reserve_write(regs[0], tid(9), PlaceId::from_index(2));
+        assert!(!check_ready(&m, &t, 0));
+        // …until it publishes in a masked forwarding place.
+        m.regs.publish(regs[0], tid(9), 42);
+        assert!(check_ready(&m, &t, 1 << 2), "writer in masked place forwards");
+        assert!(!check_ready(&m, &t, 1 << 3), "writer outside the mask does not");
+
+        // A writer on the destination blocks reservation regardless.
+        m.regs.release(tid(9));
+        m.regs.reserve_write(regs[1], tid(8), PlaceId::from_index(2));
+        assert!(!check_ready(&m, &t, u64::MAX));
+    }
+
+    #[test]
+    fn acquire_latches_and_reserves_like_the_closure_discipline() {
+        let (mut m, regs) = machine(3);
+        m.regs.poke(regs[0], 11);
+        let mut t = Tok {
+            srcs: [Operand::reg(regs[0]), Operand::reg(regs[2])],
+            dst: Operand::reg(regs[1]),
+        };
+        // r2 is forwarded from a writer in place 4.
+        m.regs.reserve_write(regs[2], tid(7), PlaceId::from_index(4));
+        m.regs.publish(regs[2], tid(7), 33);
+        let mask = 1u64 << 4;
+        assert!(check_ready(&m, &t, mask));
+
+        let mut fx = Fx::new(Some(tid(1)));
+        acquire_operands(&mut m, &mut t, &mut fx, mask);
+        assert_eq!(t.srcs[0].value(), 11, "register-file source latched");
+        assert_eq!(t.srcs[1].value(), 33, "forwarded source latched");
+        assert!(!m.regs.writable(regs[1]), "destination reserved");
+
+        // Fused check+acquire produces the exact same outcome.
+        let (mut m2, regs2) = machine(3);
+        m2.regs.poke(regs2[0], 11);
+        let mut t2 = Tok {
+            srcs: [Operand::reg(regs2[0]), Operand::reg(regs2[2])],
+            dst: Operand::reg(regs2[1]),
+        };
+        m2.regs.reserve_write(regs2[2], tid(7), PlaceId::from_index(4));
+        m2.regs.publish(regs2[2], tid(7), 33);
+        let mut memo = Vec::new();
+        assert!(fused_check(&m2, &t2, mask, &mut memo));
+        assert_eq!(memo, vec![false, true]);
+        let mut fx2 = Fx::new(Some(tid(1)));
+        fused_acquire(&mut m2, &mut t2, &mut fx2, &memo);
+        assert_eq!((t2.srcs[0].value(), t2.srcs[1].value()), (11, 33));
+        assert!(!m2.regs.writable(regs2[1]));
+    }
+
+    #[test]
+    fn write_back_commits_reverse_index_order() {
+        let (mut m, regs) = machine(2);
+        let mut t = Tok { srcs: [Operand::Absent, Operand::Absent], dst: Operand::reg(regs[0]) };
+        let id = tid(3);
+        let mut fx = Fx::new(Some(id));
+        t.dst.reserve_write(&mut m.regs, id, PlaceId::from_index(0));
+        t.dst.set(&mut m.regs, id, 99);
+        write_back(&mut m, &mut t, &mut fx);
+        assert_eq!(m.regs.value_of(regs[0]), 99);
+        assert!(m.regs.writable(regs[0]), "reservation cleared by writeback");
+    }
+
+    #[test]
+    fn default_operand_views_make_operand_ops_trivial() {
+        /// A payload that keeps the default (empty) operand views.
+        #[derive(Debug)]
+        struct Plain;
+        impl InstrData for Plain {
+            fn op_class(&self) -> OpClassId {
+                OpClassId::from_index(0)
+            }
+        }
+        let (mut m, _) = machine(1);
+        assert!(check_ready(&m, &Plain, 0), "no operands: trivially ready");
+        let mut fx = Fx::new(Some(tid(0)));
+        acquire_operands(&mut m, &mut Plain, &mut fx, 0);
+        assert_eq!(m.regs.reserved_cells(), 0);
+    }
+}

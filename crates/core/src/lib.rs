@@ -81,6 +81,7 @@ pub mod cpn;
 pub mod engine;
 pub mod error;
 pub mod ids;
+pub mod ir;
 pub mod model;
 pub mod reg;
 pub mod spec;
@@ -95,9 +96,12 @@ pub mod prelude {
     pub use crate::engine::{Engine, EngineConfig, RunOutcome, SchedulerMode, TableMode};
     pub use crate::error::BuildError;
     pub use crate::ids::{OpClassId, PlaceId, RegId, StageId, SubnetId, TokenId, TransitionId};
+    pub use crate::ir::{MicroOp, Program};
     pub use crate::model::{Fx, Machine, Model, UNLIMITED};
     pub use crate::reg::{Operand, RegRef, RegisterFile};
-    pub use crate::spec::{Forward, HazardPolicy, OperandPolicy, PipelineSpec, SquashOrder};
+    pub use crate::spec::{
+        Forward, HazardPolicy, Lowering, OperandPolicy, PipelineSpec, SquashOrder,
+    };
     pub use crate::stats::{SchedStats, Stats};
     pub use crate::token::{InstrData, TokenKind};
 }

@@ -21,6 +21,7 @@
 
 use crate::analysis::Analysis;
 use crate::ids::{OpClassId, PlaceId, SourceId, StageId, SubnetId, TransitionId};
+use crate::ir::Program;
 use crate::reg::RegisterFile;
 
 /// Unlimited stage capacity (used by the virtual `end` stage).
@@ -76,6 +77,104 @@ pub type SourceGuard<R> = Box<dyn Fn(&Machine<R>) -> bool + Send + Sync>;
 /// `Send + Sync` for the same reason as [`Guard`].
 pub type SourceAction<D, R> = Box<dyn Fn(&mut Machine<R>, &mut Fx<D>) -> Option<D> + Send + Sync>;
 
+/// How a transition's guard is represented: an opaque closure, or a typed
+/// micro-op [`Program`] the engine interprets inline (see [`crate::ir`]).
+///
+/// Synthesized behavior (spec-layer read steps) lowers to `Ir`; closures
+/// remain for user-supplied custom semantics. The compile step
+/// ([`crate::compiled`]) folds and fuses IR programs; the engine counts
+/// each representation separately in
+/// [`crate::stats::SchedStats::guard_ir_evals`] /
+/// [`crate::stats::SchedStats::guard_hook_evals`].
+pub enum GuardKind<D, R> {
+    /// An opaque user-supplied guard closure.
+    Closure(Guard<D, R>),
+    /// A typed micro-op program (pure guard ops only; validated at build).
+    Ir(Program),
+}
+
+/// How a transition's action is represented; see [`GuardKind`].
+pub enum ActionKind<D, R> {
+    /// An opaque user-supplied action closure.
+    Closure(Action<D, R>),
+    /// A typed micro-op program.
+    Ir(Program),
+}
+
+impl<D, R> GuardKind<D, R> {
+    /// The IR program, when this guard is IR-represented.
+    pub fn ir(&self) -> Option<&Program> {
+        match self {
+            GuardKind::Ir(p) => Some(p),
+            GuardKind::Closure(_) => None,
+        }
+    }
+}
+
+impl<D, R> ActionKind<D, R> {
+    /// The IR program, when this action is IR-represented.
+    pub fn ir(&self) -> Option<&Program> {
+        match self {
+            ActionKind::Ir(p) => Some(p),
+            ActionKind::Closure(_) => None,
+        }
+    }
+}
+
+impl<D, R> std::fmt::Debug for GuardKind<D, R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GuardKind::Closure(_) => f.write_str("Closure(..)"),
+            GuardKind::Ir(p) => f.debug_tuple("Ir").field(p).finish(),
+        }
+    }
+}
+
+impl<D, R> std::fmt::Debug for ActionKind<D, R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ActionKind::Closure(_) => f.write_str("Closure(..)"),
+            ActionKind::Ir(p) => f.debug_tuple("Ir").field(p).finish(),
+        }
+    }
+}
+
+/// The model's hook table: the closures [`crate::ir::MicroOp::CallHook`]
+/// escapes into. A `CallHook(n)` in a guard program calls `guards[n]`; in
+/// an action program, `actions[n]`. Hook indices are handed out by
+/// [`crate::builder::ModelBuilder::hook_guard`] /
+/// [`crate::builder::ModelBuilder::hook_action`] and validated against
+/// this table at build time.
+pub struct Hooks<D, R> {
+    pub(crate) guards: Vec<Guard<D, R>>,
+    pub(crate) actions: Vec<Action<D, R>>,
+}
+
+impl<D, R> Hooks<D, R> {
+    pub(crate) fn new() -> Self {
+        Hooks { guards: Vec::new(), actions: Vec::new() }
+    }
+
+    /// Number of registered guard hooks.
+    pub fn guard_count(&self) -> usize {
+        self.guards.len()
+    }
+
+    /// Number of registered action hooks.
+    pub fn action_count(&self) -> usize {
+        self.actions.len()
+    }
+}
+
+impl<D, R> std::fmt::Debug for Hooks<D, R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Hooks")
+            .field("guards", &self.guards.len())
+            .field("actions", &self.actions.len())
+            .finish()
+    }
+}
+
 /// Side-effect collector passed to actions while a transition fires.
 ///
 /// Mutations requested through `Fx` are applied by the engine after the
@@ -86,12 +185,20 @@ pub struct Fx<D> {
     pub(crate) token_delay: Option<u32>,
     pub(crate) emits: Vec<(D, PlaceId, u32)>,
     pub(crate) flush_places: Vec<PlaceId>,
+    pub(crate) reserves: Vec<(PlaceId, u32)>,
     pub(crate) halt: bool,
 }
 
 impl<D> Fx<D> {
     pub(crate) fn new(token: Option<crate::ids::TokenId>) -> Self {
-        Fx { token, token_delay: None, emits: Vec::new(), flush_places: Vec::new(), halt: false }
+        Fx {
+            token,
+            token_delay: None,
+            emits: Vec::new(),
+            flush_places: Vec::new(),
+            reserves: Vec::new(),
+            halt: false,
+        }
     }
 
     /// The id of the firing token. Needed for `reserveWrite`/`writeback`.
@@ -127,6 +234,20 @@ impl<D> Fx<D> {
     #[inline]
     pub fn flush(&mut self, place: PlaceId) {
         self.flush_places.push(place);
+    }
+
+    /// Deposits a dataless reservation token into `place`, occupying its
+    /// stage for `expire` cycles — the dynamic twin of a [`ResArc`]
+    /// output arc (used by the IR `ReserveRes` micro-op).
+    ///
+    /// `place` must be a reservation target the compile step knows about
+    /// (it appears in some transition's `ResArc` or IR `ReserveRes` op):
+    /// reservations in places the expiry scan never visits would occupy
+    /// their stage forever, so the engine rejects the request with a
+    /// panic when the effects are applied.
+    #[inline]
+    pub fn reserve(&mut self, place: PlaceId, expire: u32) {
+        self.reserves.push((place, expire));
     }
 
     /// Stops the simulation at the end of this cycle (e.g. an exit system
@@ -202,8 +323,8 @@ pub struct TransitionDef<D, R> {
     pub(crate) input: PlaceId,
     pub(crate) priority: u32,
     pub(crate) extra_inputs: Vec<PlaceId>,
-    pub(crate) guard: Option<Guard<D, R>>,
-    pub(crate) action: Option<Action<D, R>>,
+    pub(crate) guard: Option<GuardKind<D, R>>,
+    pub(crate) action: Option<ActionKind<D, R>>,
     pub(crate) dest: PlaceId,
     pub(crate) reservations: Vec<ResArc>,
     pub(crate) delay: u32,
@@ -244,6 +365,16 @@ impl<D, R> TransitionDef<D, R> {
     /// Execution delay of the transition's functionality.
     pub fn delay(&self) -> u32 {
         self.delay
+    }
+
+    /// The guard's representation, if the transition has one.
+    pub fn guard_kind(&self) -> Option<&GuardKind<D, R>> {
+        self.guard.as_ref()
+    }
+
+    /// The action's representation, if the transition has one.
+    pub fn action_kind(&self) -> Option<&ActionKind<D, R>> {
+        self.action.as_ref()
     }
 }
 
@@ -340,6 +471,7 @@ pub struct Model<D, R> {
     pub(crate) sources: Vec<SourceDef<D, R>>,
     pub(crate) subnets: Vec<SubnetDef>,
     pub(crate) classes: Vec<OpClassDef>,
+    pub(crate) hooks: Hooks<D, R>,
     pub(crate) analysis: Analysis,
     pub(crate) squash_handler: Option<SquashHandler<D, R>>,
 }
@@ -415,6 +547,11 @@ impl<D, R> Model<D, R> {
     /// The static analysis results (Section 4).
     pub fn analysis(&self) -> &Analysis {
         &self.analysis
+    }
+
+    /// The hook table IR `CallHook` micro-ops escape into.
+    pub fn hooks(&self) -> &Hooks<D, R> {
+        &self.hooks
     }
 
     /// Iterates over place ids.

@@ -232,6 +232,26 @@ impl RegisterFile {
         self.writer_of(reg).and_then(|w| w.value)
     }
 
+    /// The bitmask form of `canRead(s)` over a whole forwarding set: true
+    /// if the in-flight writer of `reg` has published its value *and*
+    /// resides in a place whose index bit is set in `mask`.
+    ///
+    /// Because a register has at most one in-flight writer, testing the
+    /// writer's place against the mask is exactly equivalent to probing
+    /// each forwarding place in turn with [`RegisterFile::can_read_in`] —
+    /// which place matches never changes the value read (the writer's
+    /// published value). This is the flat test the micro-op IR
+    /// ([`crate::ir`]) compiles forwarding-set membership down to.
+    #[inline]
+    pub fn can_read_masked(&self, reg: RegId, mask: u64) -> bool {
+        match self.writer_of(reg) {
+            Some(w) => {
+                w.value.is_some() && w.place.index() < 64 && (mask >> w.place.index()) & 1 == 1
+            }
+            None => false,
+        }
+    }
+
     /// Records that `token` has moved to `place`; updates every scoreboard
     /// entry the token holds. Called by the engine on every token move.
     pub fn note_move(&mut self, token: TokenId, place: PlaceId) {
@@ -475,6 +495,39 @@ impl Operand {
         }
     }
 
+    /// Masked `canRead(s)`: the writer of the operand's register has
+    /// published and sits in a place covered by `mask`
+    /// ([`RegisterFile::can_read_masked`]).
+    #[inline]
+    pub fn can_read_fwd_masked(&self, rf: &RegisterFile, mask: u64) -> bool {
+        match self {
+            Operand::Reg(r) => rf.can_read_masked(r.reg(), mask),
+            Operand::Imm(_) | Operand::Absent => false,
+        }
+    }
+
+    /// True if the operand can be supplied now: from the register file, or
+    /// forwarded from a writer in a place covered by `mask` — the bitmask
+    /// twin of the spec layer's list-based obtainability probe.
+    #[inline]
+    pub fn obtainable_masked(&self, rf: &RegisterFile, mask: u64) -> bool {
+        self.can_read(rf) || self.can_read_fwd_masked(rf, mask)
+    }
+
+    /// Latches the operand from its best available source (register file
+    /// first, then the masked forwarding scoreboard). Must be guarded by
+    /// [`Operand::obtainable_masked`].
+    #[inline]
+    pub fn obtain_masked(&mut self, rf: &RegisterFile, mask: u64) {
+        if self.can_read(rf) {
+            self.read(rf);
+        } else if self.can_read_fwd_masked(rf, mask) {
+            self.read_fwd(rf);
+        } else {
+            debug_assert!(false, "obtain_masked() without obtainable_masked() guard");
+        }
+    }
+
     /// `read(s)`.
     ///
     /// # Panics
@@ -649,6 +702,41 @@ mod tests {
         assert_eq!(rf.find("r2"), Some(regs[2]));
         assert_eq!(rf.find("nope"), None);
         assert_eq!(rf.name(regs[3]), "r3");
+    }
+
+    #[test]
+    fn masked_forwarding_matches_the_list_probe() {
+        let (mut rf, regs) = rf_with(2);
+        let mut w = RegRef::new(regs[0]);
+        let t = tid(4);
+        w.reserve_write(&mut rf, t, pid(2));
+        let op = Operand::reg(regs[0]);
+
+        // Unpublished: neither form forwards.
+        assert!(!rf.can_read_masked(regs[0], u64::MAX));
+        assert!(!op.obtainable_masked(&rf, u64::MAX));
+
+        w.set(&mut rf, t, 7);
+        for place in 0..8usize {
+            let mask = 1u64 << place;
+            assert_eq!(
+                op.can_read_fwd_masked(&rf, mask),
+                op.can_read_in(&rf, pid(place)),
+                "mask bit {place} must agree with the per-place probe"
+            );
+        }
+        let mut fwd = Operand::reg(regs[0]);
+        assert!(fwd.obtainable_masked(&rf, 1 << 2));
+        fwd.obtain_masked(&rf, 1 << 2);
+        assert_eq!(fwd.value(), 7, "masked obtain latches the forwarded value");
+
+        // A free register obtains from the file regardless of the mask.
+        rf.poke(regs[1], 9);
+        let mut free = Operand::reg(regs[1]);
+        assert!(free.obtainable_masked(&rf, 0));
+        free.obtain_masked(&rf, 0);
+        assert_eq!(free.value(), 9);
+        assert!(Operand::imm(3).obtainable_masked(&rf, 0), "constants are always obtainable");
     }
 
     #[test]

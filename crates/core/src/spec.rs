@@ -71,7 +71,27 @@ use std::sync::Arc;
 use crate::builder::ModelBuilder;
 use crate::error::BuildError;
 use crate::ids::PlaceId;
+use crate::ir::{self, MicroOp, Program};
 use crate::model::{Fx, Machine, Model, SourceAction, SourceGuard};
+
+/// How [`PipelineSpec::lower`] represents the guards/actions it
+/// *synthesizes* (read steps). User-supplied closures are always kept as
+/// closures; this knob only selects the representation of synthesized
+/// behavior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Lowering {
+    /// Lower synthesized read steps to micro-op IR ([`crate::ir`])
+    /// whenever the [`OperandPolicy`] opts in
+    /// ([`OperandPolicy::lowers_to_ir`]) and the forwarding set fits the
+    /// place bitmask; fall back to closures otherwise.
+    #[default]
+    Auto,
+    /// Force closure lowering everywhere — the pre-IR representation,
+    /// kept as the compile-time differential oracle: an `Auto`-lowered
+    /// model must simulate bit-identically to its `Closures`-lowered
+    /// twin.
+    Closures,
+}
 
 /// How a path's read step checks and latches operands.
 ///
@@ -86,6 +106,19 @@ pub trait OperandPolicy<D, R>: Send + Sync {
     /// Latches operand values and reserves destinations. Only called when
     /// [`OperandPolicy::ready`] held in the same cycle.
     fn acquire(&self, m: &mut Machine<R>, t: &mut D, fx: &mut Fx<D>, fwd: &[PlaceId]);
+    /// Opt-in to micro-op IR lowering ([`crate::ir`]): return `true` iff
+    /// this policy's `ready`/`acquire` are *exactly* the standard
+    /// scoreboard discipline the `CheckReady`/`AcquireOperands` micro-ops
+    /// implement over the token's [`crate::token::InstrData`] operand
+    /// views — every source obtainable (register file, or forwarded from
+    /// a writer resident in the forwarding set) and every destination
+    /// reservable; acquire latches each source from its best source and
+    /// reserves the destinations. The spec layer then compiles read
+    /// steps to IR instead of closures; the oracle tests pin the two
+    /// representations bit-identical. Defaults to `false`.
+    fn lowers_to_ir(&self) -> bool {
+        false
+    }
 }
 
 /// How a redirect rule's resolve point maps to squashed places.
@@ -418,6 +451,7 @@ pub struct PipelineSpec<D, R> {
     classes: Vec<PathSpec<D, R>>,
     sources: Vec<SourceSpec<D, R>>,
     squash: Option<Squash<D, R>>,
+    lowering: Lowering,
 }
 
 impl<D, R> PipelineSpec<D, R> {
@@ -436,7 +470,16 @@ impl<D, R> PipelineSpec<D, R> {
             classes: Vec::new(),
             sources: Vec::new(),
             squash: None,
+            lowering: Lowering::Auto,
         }
+    }
+
+    /// Selects how synthesized read steps are represented; defaults to
+    /// [`Lowering::Auto`] (micro-op IR where the policy permits). Force
+    /// [`Lowering::Closures`] to build the closure-dispatch oracle twin.
+    pub fn lowering(&mut self, mode: Lowering) -> &mut Self {
+        self.lowering = mode;
+        self
     }
 
     /// Declares a pipeline stage (a storage element with a capacity).
@@ -569,6 +612,7 @@ impl<D: 'static, R: 'static> PipelineSpec<D, R> {
             classes,
             sources,
             squash,
+            lowering,
         } = self;
         let err = |detail: String| BuildError::Spec { spec: spec_name.clone(), detail };
 
@@ -655,6 +699,39 @@ impl<D: 'static, R: 'static> PipelineSpec<D, R> {
                 let step_fwd =
                     if step.read == Some(Forward::None) { Vec::new() } else { fwd.clone() };
                 let ctx = Arc::new(StepCtx { fwd: step_fwd, flush, from, to });
+                // Read steps: decide the representation (IR vs closure)
+                // and register the read_then hook *before* the transition
+                // builder borrows `b`. Hook ids are handed out in
+                // declaration order, keeping lowering deterministic.
+                let read_plan = if step.read.is_some() {
+                    if step.guard.is_some() {
+                        return Err(err(format!(
+                            "class {:?} step {si}: read() and guard() are mutually exclusive",
+                            class.name
+                        )));
+                    }
+                    let pol = policy.clone().ok_or_else(|| {
+                        err(format!(
+                            "class {:?} step {si} is a read step but no operand_policy is set",
+                            class.name
+                        ))
+                    })?;
+                    let ir_mask = match lowering {
+                        Lowering::Closures => None,
+                        Lowering::Auto if pol.lowers_to_ir() => ir::place_mask(&ctx.fwd),
+                        Lowering::Auto => None,
+                    };
+                    let then_hook = match (&step.read_then, ir_mask) {
+                        (Some(f), Some(_)) => {
+                            let f = Arc::clone(f);
+                            Some(b.hook_action(move |m, t, fx| f(m, t, fx)))
+                        }
+                        _ => None,
+                    };
+                    Some((pol, ir_mask, then_hook))
+                } else {
+                    None
+                };
                 let tname = step
                     .name
                     .clone()
@@ -674,29 +751,31 @@ impl<D: 'static, R: 'static> PipelineSpec<D, R> {
                 for (latch, expire) in &step.reserve {
                     tb = tb.reserve(resolve(latch)?, *expire);
                 }
-                if step.read.is_some() {
-                    if step.guard.is_some() {
-                        return Err(err(format!(
-                            "class {:?} step {si}: read() and guard() are mutually exclusive",
-                            class.name
-                        )));
-                    }
-                    let pol = policy.clone().ok_or_else(|| {
-                        err(format!(
-                            "class {:?} step {si} is a read step but no operand_policy is set",
-                            class.name
-                        ))
-                    })?;
-                    let (p2, c2) = (Arc::clone(&pol), Arc::clone(&ctx));
-                    tb = tb.guard(move |m, t| p2.ready(m, t, &c2.fwd));
-                    let then = step.read_then.clone();
-                    let c3 = Arc::clone(&ctx);
-                    tb = tb.action(move |m, t, fx| {
-                        pol.acquire(m, t, fx, &c3.fwd);
-                        if let Some(f) = &then {
-                            f(m, t, fx);
+                if let Some((pol, ir_mask, then_hook)) = read_plan {
+                    if let Some(mask) = ir_mask {
+                        // Synthesized discipline as data: the guard is one
+                        // CheckReady, the action an AcquireOperands (the
+                        // compile step fuses the pair) plus the user's
+                        // read_then hook, if any, via the escape hatch.
+                        tb =
+                            tb.guard_ir(Program::new(vec![MicroOp::CheckReady { fwd_mask: mask }]));
+                        let mut ops = vec![MicroOp::AcquireOperands { fwd_mask: mask }];
+                        if let Some(h) = then_hook {
+                            ops.push(MicroOp::CallHook(h));
                         }
-                    });
+                        tb = tb.action_ir(Program::new(ops));
+                    } else {
+                        let (p2, c2) = (Arc::clone(&pol), Arc::clone(&ctx));
+                        tb = tb.guard(move |m, t| p2.ready(m, t, &c2.fwd));
+                        let then = step.read_then.clone();
+                        let c3 = Arc::clone(&ctx);
+                        tb = tb.action(move |m, t, fx| {
+                            pol.acquire(m, t, fx, &c3.fwd);
+                            if let Some(f) = &then {
+                                f(m, t, fx);
+                            }
+                        });
+                    }
                 } else {
                     if let Some(g) = &step.guard {
                         let (g, c) = (Arc::clone(g), Arc::clone(&ctx));

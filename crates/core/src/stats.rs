@@ -80,6 +80,20 @@ pub struct SchedStats {
     /// Reservation-expiry scans skipped because no reservation in the
     /// place can have expired yet.
     pub expiry_skips: u64,
+    /// Guard evaluations dispatched through the micro-op IR interpreter
+    /// (including fused ready/acquire checks). Together with
+    /// `guard_hook_evals` this makes the dispatch refactor observable:
+    /// an IR-lowered model shows its synthesized guards here instead of
+    /// in the closure counter.
+    pub guard_ir_evals: u64,
+    /// Guard evaluations dispatched through `Box<dyn Fn>` closures (the
+    /// hook path — user-supplied custom guards, or everything on a
+    /// closure-lowered model).
+    pub guard_hook_evals: u64,
+    /// Firings that went through a fused `CheckReady`+`AcquireOperands`
+    /// pair: the acquire latched operands from the sources the passing
+    /// guard had just memoized instead of re-probing the scoreboard.
+    pub actions_fused: u64,
 }
 
 impl SchedStats {
@@ -96,6 +110,9 @@ impl SchedStats {
             trans_visits_skipped,
             expiry_scans,
             expiry_skips,
+            guard_ir_evals,
+            guard_hook_evals,
+            actions_fused,
         } = other;
         self.place_visits += place_visits;
         self.place_skips += place_skips;
@@ -105,6 +122,28 @@ impl SchedStats {
         self.trans_visits_skipped += trans_visits_skipped;
         self.expiry_scans += expiry_scans;
         self.expiry_skips += expiry_skips;
+        self.guard_ir_evals += guard_ir_evals;
+        self.guard_hook_evals += guard_hook_evals;
+        self.actions_fused += actions_fused;
+    }
+
+    /// Total guard evaluations, independent of dispatch representation.
+    pub fn guard_evals(&self) -> u64 {
+        self.guard_ir_evals + self.guard_hook_evals
+    }
+
+    /// A copy with the dispatch-representation counters folded away:
+    /// `guard_ir_evals` merged into `guard_hook_evals` and
+    /// `actions_fused` zeroed. An IR-lowered model and its
+    /// closure-lowered twin must agree on *this* view bit-for-bit (the
+    /// oracle tests compare it); the raw counters differ by design —
+    /// that difference is the refactor's observability.
+    pub fn dispatch_normalized(&self) -> SchedStats {
+        let mut s = self.clone();
+        s.guard_hook_evals += s.guard_ir_evals;
+        s.guard_ir_evals = 0;
+        s.actions_fused = 0;
+        s
     }
 
     /// Fraction of place visits avoided: `skips / (visits + skips)`, or

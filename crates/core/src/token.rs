@@ -14,18 +14,66 @@
 //! squashed and its slot recycled.
 
 use crate::ids::{OpClassId, PlaceId, TokenId};
+use crate::reg::Operand;
 
 /// Payload carried by instruction tokens.
 ///
 /// Implemented by the ISA-specific decoded-instruction type. The engine only
 /// needs to know the operation class of the payload; everything else is
 /// interpreted by the model's guards and actions.
+///
+/// The **operand views** (`src_operands`, `dst_operand`, …) expose the
+/// payload's resolved [`Operand`]s to the micro-op IR ([`crate::ir`]):
+/// `CheckReady`/`AcquireOperands`/`WriteBack` operate on exactly these
+/// slices. The defaults present an operand-less payload, which keeps
+/// every existing token type working unchanged — IR operand ops over such
+/// payloads are trivially satisfied no-ops. A payload that wants its read
+/// steps lowered to IR overrides the views (and its
+/// [`crate::spec::OperandPolicy`] opts in with `lowers_to_ir`).
 pub trait InstrData: 'static {
     /// The operation class of this instruction, which selects the sub-net
     /// its token flows through. The class may change over the lifetime of a
     /// token — typically once, at decode, when a raw fetched word becomes a
     /// classified instruction.
     fn op_class(&self) -> OpClassId;
+
+    /// The source operands the IR `CheckReady`/`AcquireOperands` micro-ops
+    /// probe and latch. Defaults to no operands.
+    fn src_operands(&self) -> &[Operand] {
+        &[]
+    }
+
+    /// Mutable view of the source operands (latched in place by
+    /// `AcquireOperands`). Defaults to no operands.
+    fn src_operands_mut(&mut self) -> &mut [Operand] {
+        &mut []
+    }
+
+    /// Number of destination operands (`CheckReady` reservability checks,
+    /// `AcquireOperands` reservations, `WriteBack` commits). Destinations
+    /// are indexed rather than sliced because payloads commonly keep them
+    /// in separate fields (`dst`, `dst2`). Defaults to zero.
+    fn dst_count(&self) -> usize {
+        0
+    }
+
+    /// The `i`-th destination operand, `i < dst_count()`.
+    ///
+    /// # Panics
+    ///
+    /// The default panics: it is unreachable while `dst_count()` is 0.
+    fn dst_operand(&self, i: usize) -> &Operand {
+        panic!("token exposes no destination operand (index {i})")
+    }
+
+    /// Mutable access to the `i`-th destination operand.
+    ///
+    /// # Panics
+    ///
+    /// The default panics: it is unreachable while `dst_count()` is 0.
+    fn dst_operand_mut(&mut self, i: usize) -> &mut Operand {
+        panic!("token exposes no destination operand (index {i})")
+    }
 }
 
 /// Whether a token is an instruction token or a reservation token.

@@ -3,7 +3,11 @@
 //! edges, reservation arcs — must lower successfully, carry a coherent
 //! static analysis, and drive engines that are deterministic both across
 //! rebuilds and across batch worker counts (1 vs 8), since a lowered
-//! model is exactly as batchable as a hand-wired one.
+//! model is exactly as batchable as a hand-wired one. The second half
+//! pins the dispatch refactor: random specs over a *lowerable* operand
+//! policy must simulate bit-identically whether their read steps compile
+//! to micro-op IR ([`Lowering::Auto`]) or to closures
+//! ([`Lowering::Closures`]).
 
 use std::cell::RefCell;
 use std::collections::VecDeque;
@@ -142,6 +146,172 @@ fn machine_for(shape: &Shape) -> Machine<Feed> {
     Machine::new(RegisterFile::new(), feed)
 }
 
+/// Token with real register operands, for the IR-vs-closure differential.
+#[derive(Debug, Clone)]
+struct RegTok {
+    class: OpClassId,
+    imm: u32,
+    srcs: [Operand; 2],
+    dst: Operand,
+}
+
+impl InstrData for RegTok {
+    fn op_class(&self) -> OpClassId {
+        self.class
+    }
+    fn src_operands(&self) -> &[Operand] {
+        &self.srcs
+    }
+    fn src_operands_mut(&mut self) -> &mut [Operand] {
+        &mut self.srcs
+    }
+    fn dst_count(&self) -> usize {
+        1
+    }
+    fn dst_operand(&self, i: usize) -> &Operand {
+        assert_eq!(i, 0);
+        &self.dst
+    }
+    fn dst_operand_mut(&mut self, i: usize) -> &mut Operand {
+        assert_eq!(i, 0);
+        &mut self.dst
+    }
+}
+
+#[derive(Debug, Default)]
+struct RegFeed {
+    q: RefCell<VecDeque<RegTok>>,
+}
+
+/// The standard scoreboard discipline in closure form; `lowers_to_ir`
+/// lets [`Lowering::Auto`] compile the very same semantics to
+/// `CheckReady`/`AcquireOperands` micro-ops.
+struct ScoreboardPolicy;
+impl OperandPolicy<RegTok, RegFeed> for ScoreboardPolicy {
+    fn ready(&self, m: &Machine<RegFeed>, t: &RegTok, fwd: &[PlaceId]) -> bool {
+        t.srcs.iter().all(|s| s.can_read(&m.regs) || fwd.iter().any(|&p| s.can_read_in(&m.regs, p)))
+            && t.dst.can_write(&m.regs)
+    }
+    fn acquire(
+        &self,
+        m: &mut Machine<RegFeed>,
+        t: &mut RegTok,
+        fx: &mut Fx<RegTok>,
+        fwd: &[PlaceId],
+    ) {
+        for s in &mut t.srcs {
+            if s.can_read(&m.regs) {
+                s.read(&m.regs);
+            } else if let Some(_p) = fwd.iter().find(|&&p| s.can_read_in(&m.regs, p)) {
+                s.read_fwd(&m.regs);
+            }
+        }
+        let tok = fx.token();
+        t.dst.reserve_write(&mut m.regs, tok, PlaceId::from_index(0));
+    }
+    fn lowers_to_ir(&self) -> bool {
+        true
+    }
+}
+
+/// Shape of a random register-operand spec.
+#[derive(Debug, Clone)]
+struct RegShape {
+    n_stages: usize,
+    caps: Vec<u32>,
+    forward: bool,
+    skip: bool,
+    width: u32,
+    /// (is_class_b, dst, s1, s2, imm) per instruction, registers mod 4.
+    program: Vec<(bool, u8, u8, u8, u32)>,
+}
+
+fn build_reg_spec(shape: &RegShape, lowering: Lowering) -> PipelineSpec<RegTok, RegFeed> {
+    let n = shape.n_stages;
+    let latch = |i: usize| format!("P{i}");
+    let mut s = PipelineSpec::new("reg-generated");
+    for i in 0..n {
+        s.stage(&format!("S{i}"), shape.caps[i % shape.caps.len()]);
+        s.latch(&latch(i), &format!("S{i}"));
+    }
+    s.lowering(lowering);
+    if shape.forward {
+        s.forwards(&[&latch(1.min(n - 1))]);
+    }
+    s.operand_policy(ScoreboardPolicy);
+
+    // Class A: read step with a publish-on-issue read_then (exercises the
+    // CallHook composition under IR lowering), then the spine, then a
+    // writeback retire.
+    {
+        let fw = if shape.forward { Forward::All } else { Forward::None };
+        let a = s.class("A");
+        a.step(&latch(1.min(n - 1))).read_then(fw, |m, t, fx| {
+            let v = t.srcs[0].value().wrapping_add(t.srcs[1].value()).wrapping_add(t.imm);
+            let tok = fx.token();
+            t.dst.set(&mut m.regs, tok, v);
+        });
+        for i in 2..n {
+            a.step(&latch(i));
+        }
+        a.step("end").act(|m, t, fx| t.dst.writeback(&mut m.regs, fx.token()));
+    }
+
+    // Class B: operand-less spine with an optional guarded skip.
+    {
+        let b = s.class("B");
+        b.step(&latch(1.min(n - 1)));
+        if shape.skip && n >= 3 {
+            b.alt("end").priority(9).guard(|_m, t| t.imm % 3 == 0);
+        }
+        for i in 2..n {
+            b.step(&latch(i));
+        }
+        b.step("end");
+    }
+
+    s.source("feed")
+        .to(&latch(0))
+        .width(shape.width)
+        .produce(|m: &mut Machine<RegFeed>, _fx| m.res.q.borrow_mut().pop_front());
+    s
+}
+
+fn reg_machine(shape: &RegShape) -> Machine<RegFeed> {
+    let mut rf = RegisterFile::new();
+    let regs = rf.add_bank("r", 4);
+    let feed = RegFeed::default();
+    {
+        let mut q = feed.q.borrow_mut();
+        let (ca, cb) = (OpClassId::from_index(0), OpClassId::from_index(1));
+        for &(is_b, d, s1, s2, imm) in &shape.program {
+            q.push_back(if is_b {
+                RegTok {
+                    class: cb,
+                    imm,
+                    srcs: [Operand::Absent, Operand::Absent],
+                    dst: Operand::Absent,
+                }
+            } else {
+                RegTok {
+                    class: ca,
+                    imm,
+                    srcs: [
+                        Operand::reg(regs[s1 as usize % 4]),
+                        Operand::reg(regs[s2 as usize % 4]),
+                    ],
+                    dst: Operand::reg(regs[d as usize % 4]),
+                }
+            });
+        }
+    }
+    let mut m = Machine::new(rf, feed);
+    for (i, &r) in regs.iter().enumerate() {
+        m.regs.poke(r, 10 * i as u32 + 1);
+    }
+    m
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -231,5 +401,57 @@ proptest! {
         let serial = BatchRunner::new(1).run(&programs, job);
         let parallel = BatchRunner::new(8).run(&programs, job);
         prop_assert_eq!(serial, parallel, "batched lowered models must be deterministic");
+    }
+
+    /// The dispatch differential: a random spec over the lowerable
+    /// scoreboard policy, lowered once to micro-op IR and once to
+    /// closures, must simulate bit-identically — trace, `Stats`,
+    /// dispatch-normalized `SchedStats`, architectural registers — and
+    /// the IR side must actually run through the IR interpreter.
+    #[test]
+    fn random_specs_lower_ir_and_closures_bit_identically(
+        n_stages in 2usize..=5,
+        caps in proptest::collection::vec(1u32..=2, 1..=3),
+        forward in any::<bool>(),
+        skip in any::<bool>(),
+        width in 1u32..=2,
+        program in proptest::collection::vec(
+            (any::<bool>(), 0u8..4, 0u8..4, 0u8..4, 0u32..64),
+            1..20,
+        ),
+    ) {
+        let shape = RegShape { n_stages, caps, forward, skip, width, program };
+        let cfg = EngineConfig { trace: true, ..Default::default() };
+        let mut outcomes = Vec::new();
+        for lowering in [Lowering::Auto, Lowering::Closures] {
+            let model = build_reg_spec(&shape, lowering).lower().expect("reg spec lowers");
+            let compiled = CompiledModel::compile_with(model, cfg.clone());
+            let is_auto = lowering == Lowering::Auto;
+            prop_assert_eq!(
+                compiled.ir_transitions() > 0,
+                is_auto,
+                "IR transitions iff Auto lowering"
+            );
+            let mut e = compiled.instantiate(reg_machine(&shape));
+            e.run(120);
+            let regs: Vec<u32> =
+                (0..4).map(|i| e.machine().regs.value_of(RegId::from_index(i))).collect();
+            outcomes.push((e.take_trace(), e.stats().clone(), e.sched().clone(), regs));
+        }
+        let (ir, cl) = (&outcomes[0], &outcomes[1]);
+        prop_assert_eq!(&ir.0, &cl.0, "trace must not depend on the lowering");
+        prop_assert_eq!(&ir.1, &cl.1, "Stats must not depend on the lowering");
+        prop_assert_eq!(
+            ir.2.dispatch_normalized(),
+            cl.2.dispatch_normalized(),
+            "normalized SchedStats must not depend on the lowering"
+        );
+        prop_assert_eq!(&ir.3, &cl.3, "architectural state must not depend on the lowering");
+        prop_assert_eq!(cl.2.guard_ir_evals, 0, "closure lowering must not run IR");
+        // If any class-A instruction issued, the IR side ran IR guards.
+        if ir.1.fires.first().copied().unwrap_or(0) > 0 {
+            prop_assert!(ir.2.guard_ir_evals > 0, "IR lowering must use the IR interpreter");
+            prop_assert!(ir.2.actions_fused > 0, "read steps must fuse");
+        }
     }
 }

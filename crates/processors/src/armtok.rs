@@ -242,6 +242,45 @@ impl InstrData for ArmTok {
     fn op_class(&self) -> OpClassId {
         self.class
     }
+
+    // Operand views for the micro-op IR: the sources the synthesized
+    // CheckReady/AcquireOperands ops probe and latch, and the two
+    // destinations (primary result, rdhi / written-back base) they
+    // reserve. Index order matters: WriteBack commits highest index
+    // first, so dst2 (the base) commits before dst — the ARM "load
+    // wins" rule, same as `semantics::exec_writeback`.
+    #[inline]
+    fn src_operands(&self) -> &[Operand] {
+        &self.srcs
+    }
+
+    #[inline]
+    fn src_operands_mut(&mut self) -> &mut [Operand] {
+        &mut self.srcs
+    }
+
+    #[inline]
+    fn dst_count(&self) -> usize {
+        2
+    }
+
+    #[inline]
+    fn dst_operand(&self, i: usize) -> &Operand {
+        match i {
+            0 => &self.dst,
+            1 => &self.dst2,
+            _ => panic!("ArmTok has two destination operands (index {i})"),
+        }
+    }
+
+    #[inline]
+    fn dst_operand_mut(&mut self, i: usize) -> &mut Operand {
+        match i {
+            0 => &mut self.dst,
+            1 => &mut self.dst2,
+            _ => panic!("ArmTok has two destination operands (index {i})"),
+        }
+    }
 }
 
 /// Maps an architectural register to its scoreboard id (r0–r14). The PC is

@@ -25,6 +25,11 @@ pub struct SimConfig {
     pub btb: bool,
     /// Enable the decode/token cache (ablation toggle; on by default).
     pub decode_cache: bool,
+    /// How spec-synthesized read steps are represented:
+    /// [`rcpn::spec::Lowering::Auto`] (micro-op IR, the default) or
+    /// [`rcpn::spec::Lowering::Closures`] (the pre-IR dispatch, kept as
+    /// the differential oracle and the dispatch-ablation row).
+    pub lowering: rcpn::spec::Lowering,
     /// Engine configuration (table mode, two-list policy — ablations).
     pub engine: rcpn::engine::EngineConfig,
 }
@@ -37,6 +42,7 @@ impl SimConfig {
             dcache: CacheConfig::strongarm_16k(),
             btb: false,
             decode_cache: true,
+            lowering: rcpn::spec::Lowering::Auto,
             engine: rcpn::engine::EngineConfig::default(),
         }
     }
@@ -48,6 +54,7 @@ impl SimConfig {
             dcache: CacheConfig::xscale_32k(),
             btb: true,
             decode_cache: true,
+            lowering: rcpn::spec::Lowering::Auto,
             engine: rcpn::engine::EngineConfig::default(),
         }
     }

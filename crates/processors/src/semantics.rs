@@ -43,6 +43,15 @@ impl OperandPolicy<ArmTok, ArmRes> for ArmOperandPolicy {
     ) {
         acquire(m, t, fx, fwd);
     }
+    /// [`ready`]/[`acquire`] are exactly the standard scoreboard
+    /// discipline over [`ArmTok`]'s operand views (`srcs` obtainable +
+    /// `dst`/`dst2` reservable; latch from the best source, reserve on
+    /// issue), so read steps compile to `CheckReady`/`AcquireOperands`
+    /// micro-ops. The `spec_oracle` tests pin the IR and closure
+    /// representations bit-identical.
+    fn lowers_to_ir(&self) -> bool {
+        true
+    }
 }
 
 /// True if `op` can be supplied now: from the register file, or forwarded

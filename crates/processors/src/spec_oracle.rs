@@ -11,6 +11,16 @@
 //! the final architectural state. Anything the lowering registers in a
 //! different order or wires differently shows up here as a first-divergence
 //! assertion.
+//!
+//! Since the micro-op IR refactor the same harness also pins the
+//! **dispatch** axis: the default models lower their synthesized read
+//! steps to IR ([`rcpn::spec::Lowering::Auto`]) and are compared against
+//! their [`rcpn::spec::Lowering::Closures`] twins — the pre-IR
+//! representation kept as the compile-time fallback oracle. [`SchedStats`]
+//! is compared through [`SchedStats::dispatch_normalized`]: the
+//! `guard_ir_evals` / `guard_hook_evals` / `actions_fused` counters are
+//! *supposed* to differ between representations (that is their purpose);
+//! everything else, including their sum, must not.
 
 use arm_isa::asm::assemble;
 use arm_isa::program::Program;
@@ -150,7 +160,11 @@ fn assert_identical(
             }
             assert_eq!(a.trace.len(), b.trace.len(), "{name}/{mode}/p{pi}: trace length");
             assert_eq!(a.stats, b.stats, "{name}/{mode}/p{pi}: Stats");
-            assert_eq!(a.sched, b.sched, "{name}/{mode}/p{pi}: SchedStats");
+            assert_eq!(
+                a.sched.dispatch_normalized(),
+                b.sched.dispatch_normalized(),
+                "{name}/{mode}/p{pi}: SchedStats (dispatch-normalized)"
+            );
             assert_eq!(
                 (a.regs, a.exit, a.instrs),
                 (b.regs, b.exit, b.instrs),
@@ -173,6 +187,78 @@ fn strongarm_spec_is_bit_identical_to_handwritten_oracle() {
 #[test]
 fn xscale_spec_is_bit_identical_to_handwritten_oracle() {
     assert_identical("xscale", xscale::compile, xscale::legacy::compile, SimConfig::xscale());
+}
+
+/// Forces the closure representation of spec-synthesized read steps (the
+/// compile-time fallback oracle for the IR dispatch path).
+fn closure_lowered(
+    compile: fn(&SimConfig) -> CompiledModel<ArmTok, ArmRes>,
+) -> impl Fn(&SimConfig) -> CompiledModel<ArmTok, ArmRes> {
+    move |config| {
+        let config = SimConfig { lowering: rcpn::spec::Lowering::Closures, ..config.clone() };
+        compile(&config)
+    }
+}
+
+#[test]
+fn strongarm_ir_dispatch_is_bit_identical_to_closure_dispatch() {
+    assert_identical(
+        "strongarm-ir",
+        strongarm::compile,
+        closure_lowered(strongarm::compile),
+        SimConfig::strongarm(),
+    );
+}
+
+#[test]
+fn xscale_ir_dispatch_is_bit_identical_to_closure_dispatch() {
+    assert_identical(
+        "xscale-ir",
+        xscale::compile,
+        closure_lowered(xscale::compile),
+        SimConfig::xscale(),
+    );
+}
+
+#[test]
+fn superarm_ir_dispatch_is_bit_identical_to_closure_dispatch() {
+    assert_identical(
+        "superarm-ir",
+        crate::superarm::compile,
+        closure_lowered(crate::superarm::compile),
+        SimConfig::superarm(),
+    );
+}
+
+/// The dispatch refactor must actually engage: every default ARM model
+/// compiles its read steps to IR (with the CheckReady+AcquireOperands
+/// pairs fused), runs them through the IR interpreter — `guard_ir_evals`
+/// and `actions_fused` prove it — while its `Lowering::Closures` twin
+/// shows zero IR activity, and both still route custom guards through the
+/// hook path.
+#[test]
+fn ir_path_is_exercised_and_closure_twin_is_not() {
+    let program = &programs()[0];
+    for proc in crate::sim::ProcModel::ALL {
+        let config = proc.default_config();
+        let ir = proc.compile(&config);
+        assert!(ir.ir_transitions() > 0, "{proc:?}: no IR transitions compiled");
+        assert!(ir.fused_transitions() > 0, "{proc:?}: no fused read steps");
+        let a = run(&ir, program, &config);
+        assert!(a.exit.is_some());
+        assert!(a.sched.guard_ir_evals > 0, "{proc:?}: IR guards never evaluated");
+        assert!(a.sched.actions_fused > 0, "{proc:?}: fused acquires never fired");
+
+        let closure_config =
+            SimConfig { lowering: rcpn::spec::Lowering::Closures, ..config.clone() };
+        let cl = proc.compile(&closure_config);
+        assert_eq!(cl.ir_transitions(), 0, "{proc:?}: closure twin compiled IR");
+        let b = run(&cl, program, &closure_config);
+        assert_eq!(b.sched.guard_ir_evals, 0, "{proc:?}: closure twin ran IR guards");
+        assert_eq!(b.sched.actions_fused, 0);
+        assert!(b.sched.guard_hook_evals >= a.sched.guard_hook_evals);
+        assert_eq!(a.sched.guard_evals(), b.sched.guard_evals(), "{proc:?}: total guard evals");
+    }
 }
 
 /// The generated structure matches the hand-wired one entity for entity —

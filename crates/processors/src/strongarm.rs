@@ -136,7 +136,9 @@ pub fn spec() -> PipelineSpec<ArmTok, ArmRes> {
 /// Panics if the spec fails to lower or the model fails validation (a
 /// bug, not a user error).
 pub fn compile(config: &SimConfig) -> CompiledModel<ArmTok, ArmRes> {
-    let model = spec().lower().expect("StrongARM spec lowers");
+    let mut s = spec();
+    s.lowering(config.lowering);
+    let model = s.lower().expect("StrongARM spec lowers");
     CompiledModel::compile_with(model, config.engine.clone())
 }
 

@@ -19,7 +19,7 @@
 //! renaming; the demo keeps the single-writer discipline).
 
 use rcpn::builder::ModelBuilder;
-use rcpn::engine::Engine;
+use rcpn::engine::{Engine, EngineConfig};
 use rcpn::ids::{OpClassId, PlaceId, RegId};
 use rcpn::model::Machine;
 use rcpn::reg::{Operand, RegisterFile};
@@ -77,6 +77,21 @@ pub struct RsRes {
 ///
 /// Panics if the model fails validation.
 pub fn build(program: Vec<RsInstr>, n_regs: usize, rs_entries: u32) -> Engine<RsTok, RsRes> {
+    build_with(program, n_regs, rs_entries, EngineConfig::default())
+}
+
+/// [`build`] with an explicit engine configuration (e.g. tracing on, so
+/// tests can pin the out-of-order issue order event by event).
+///
+/// # Panics
+///
+/// Panics if the model fails validation.
+pub fn build_with(
+    program: Vec<RsInstr>,
+    n_regs: usize,
+    rs_entries: u32,
+    cfg: EngineConfig,
+) -> Engine<RsTok, RsRes> {
     let mut b = ModelBuilder::<RsTok, RsRes>::new();
 
     let s_dec = b.stage("DEC", 1);
@@ -174,7 +189,7 @@ pub fn build(program: Vec<RsInstr>, n_regs: usize, rs_entries: u32) -> Engine<Rs
     let mut rf = RegisterFile::new();
     rf.add_bank("r", n_regs);
     let machine = Machine::new(rf, RsRes { pc: 0, program });
-    Engine::new(model, machine)
+    Engine::with_config(model, machine, cfg)
 }
 
 /// Runs to drain; returns (cycles, final registers).
@@ -263,6 +278,60 @@ mod tests {
             "the younger independent add (done {r5_done}) must complete before \
              the older dependent add (done {r4_done}) — out-of-order issue"
         );
+    }
+
+    /// Pins the out-of-order issue *trace*, not just the end state: with
+    /// `mul r3 <- r1*r2` blocking `add r4 <- r3+r1` on r3, the younger
+    /// independent `add r5 <- r1+r2` must be the first instruction to
+    /// issue out of the station — `issue_add` fires for seq 2 while the
+    /// older seq-1 add is still parked. This is the regression guard for
+    /// the demo's one claim; if scheduler or dispatch changes ever
+    /// serialize the station, the fired-event sequence shifts and this
+    /// fails with the exact divergent event.
+    #[test]
+    fn out_of_order_issue_trace_is_pinned() {
+        use rcpn::engine::TraceEvent;
+        let program = vec![mul(3, 1, 2), add(4, 3, 1), add(5, 1, 2)];
+        let cfg = EngineConfig { trace: true, ..Default::default() };
+        let mut engine = build_with(program, 8, 4, cfg);
+        engine.machine_mut().regs.poke(RegId::from_index(1), 10);
+        engine.machine_mut().regs.poke(RegId::from_index(2), 20);
+        for _ in 0..40 {
+            engine.step();
+        }
+        let model_names: Vec<String> = {
+            let m = engine.model();
+            m.transition_ids().map(|t| m.transition(t).name().to_string()).collect()
+        };
+        let fired: Vec<(String, u64)> = engine
+            .take_trace()
+            .into_iter()
+            .filter_map(|e| match e {
+                TraceEvent::Fired { transition, seq, .. } => {
+                    Some((model_names[transition.index()].clone(), seq))
+                }
+                _ => None,
+            })
+            .collect();
+        // Allocation (in-order, one per cycle through DEC), then issue:
+        // the mul (seq 0) first, then the *younger* independent add
+        // (seq 2) overtakes the blocked dependent add (seq 1), which
+        // only issues after the mul writes back. (Places evaluate in
+        // reverse topological order, so a station token can issue in the
+        // same cycle a younger one is still being allocated behind it.)
+        let expect: &[(&str, u64)] = &[
+            ("alloc_mul", 0),
+            ("issue_mul", 0),
+            ("alloc_add", 1),
+            ("alloc_add", 2),
+            ("issue_add", 2), // <-- seq 2 issues before seq 1: out-of-order
+            ("mul_wb", 0),
+            ("add_wb", 2),
+            ("issue_add", 1),
+            ("add_wb", 1),
+        ];
+        let got: Vec<(&str, u64)> = fired.iter().map(|(n, s)| (n.as_str(), *s)).collect();
+        assert_eq!(got, expect, "out-of-order issue trace changed");
     }
 
     #[test]
