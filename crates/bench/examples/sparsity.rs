@@ -3,10 +3,12 @@
 //! kernels: how many place scans, token examinations and
 //! candidate-transition evaluations the dirty-place worklist skipped
 //! relative to the exhaustive Figure-8 sweep (which is also run, as the
-//! 0%-skip reference), and how guard evaluations split between the
-//! micro-op IR interpreter (`ir`, with `fused` ready/acquire fires) and
-//! the closure hook path (`hook`) — the closure-lowered StrongARM row is
-//! the all-hook reference.
+//! 0%-skip reference), how guard evaluations split between the micro-op
+//! IR interpreter (`ir`, with `fused` ready/acquire fires) and the
+//! closure hook path (`hook`), and how many firings dispatched through a
+//! compiled superblock (`sblocks`, with `inlined` micro-ops interpreted
+//! on the fast path) — the per-op and closure-lowered StrongARM rows are
+//! the no-superblock references.
 //!
 //! ```text
 //! cargo run --release -p rcpn-bench --example sparsity
@@ -17,7 +19,7 @@ use workloads::{Kernel, Workload};
 
 fn main() {
     println!(
-        "{:<32}{:>10}{:>13}{:>11}{:>8}{:>13}{:>12}{:>12}{:>10}",
+        "{:<32}{:>10}{:>13}{:>11}{:>8}{:>12}{:>11}{:>11}{:>12}{:>12}{:>10}",
         "simulator/kernel",
         "cycles",
         "place_visits",
@@ -26,6 +28,8 @@ fn main() {
         "guard_ir",
         "guard_hook",
         "fused",
+        "sblocks",
+        "inlined",
         "trans"
     );
     for sim in [
@@ -33,6 +37,7 @@ fn main() {
         Simulator::RcpnXScale,
         Simulator::RcpnStrongArmExhaustive,
         Simulator::RcpnStrongArmClosure,
+        Simulator::RcpnStrongArmPerOp,
     ] {
         let compiled = compiled_sim(sim).expect("RCPN simulator");
         for kernel in Kernel::ALL {
@@ -47,8 +52,17 @@ fn main() {
             } else {
                 assert!(sc.guard_ir_evals > 0, "IR row must dispatch through IR");
             }
+            if matches!(sim, Simulator::RcpnStrongArmClosure | Simulator::RcpnStrongArmPerOp) {
+                assert_eq!(sc.superblocks_entered, 0, "oracle row must not enter superblocks");
+                assert_eq!(sc.ops_inlined, 0);
+            } else {
+                // Superblock formation is lookup- and scheduler-independent:
+                // the exhaustive-sweep row dispatches through them too.
+                assert!(sc.superblocks_entered > 0, "IR row must dispatch superblocks");
+                assert!(sc.ops_inlined > 0, "superblock firings must interpret inline ops");
+            }
             println!(
-                "{:<32}{:>10}{:>13}{:>11}{:>7.1}%{:>13}{:>12}{:>12}{:>10}",
+                "{:<32}{:>10}{:>13}{:>11}{:>7.1}%{:>12}{:>11}{:>11}{:>12}{:>12}{:>10}",
                 format!("{}/{}", sim.name(), kernel.name()),
                 r.cycles,
                 sc.place_visits,
@@ -57,6 +71,8 @@ fn main() {
                 sc.guard_ir_evals,
                 sc.guard_hook_evals,
                 sc.actions_fused,
+                sc.superblocks_entered,
+                sc.ops_inlined,
                 sc.trans_visits,
             );
         }

@@ -48,6 +48,12 @@
 use rcpn_bench::{compiled_sim, measure, measure_compiled, Measurement, Simulator};
 use workloads::{Kernel, Workload};
 
+/// The fig10 dispatch-ablation rows (superblock default vs per-op vs
+/// closure interpreters). These measure the dispatch refactors, so —
+/// unlike ordinary rows, which degrade to "not gated" when missing from
+/// the baseline — losing *their* baseline coverage is a hard error.
+const DISPATCH_ORACLES: [&str; 2] = ["RCPN-StrongArm-Closure/", "RCPN-StrongArm-PerOp/"];
+
 /// One measured (simulator, kernel) pair.
 struct Row {
     bench: String,
@@ -165,6 +171,7 @@ fn main() {
 
     let mut regressions = 0usize;
     let mut compared = 0usize;
+    let mut ungated_dispatch: Vec<&str> = Vec::new();
     println!(
         "{:<38}{:>14}{:>14}{:>9}  gate (tolerance {:.0}%{})",
         "bench",
@@ -176,6 +183,9 @@ fn main() {
     );
     for r in &rows {
         let Some(base_cps) = baseline_cps(&baseline, &r.bench) else {
+            if DISPATCH_ORACLES.iter().any(|n| r.bench.starts_with(n)) {
+                ungated_dispatch.push(&r.bench);
+            }
             println!(
                 "{:<38}{:>14}{:>14.0}{:>9}  (no baseline entry — not gated)",
                 r.bench, "-", r.cps, "-"
@@ -206,6 +216,14 @@ fn main() {
              the gate's coverage has silently shrunk (format drift or stale baseline); \
              refusing to pass",
             rows.len()
+        );
+        std::process::exit(2);
+    }
+    if !ungated_dispatch.is_empty() {
+        eprintln!(
+            "dispatch-ablation rows lost baseline coverage in {baseline_path}: {} — \
+             the superblock/per-op/closure comparison would go unmeasured; refusing to pass",
+            ungated_dispatch.join(", ")
         );
         std::process::exit(2);
     }

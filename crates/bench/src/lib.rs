@@ -73,6 +73,12 @@ pub enum Simulator {
     /// dispatch, recorded alongside the default (IR) engine so the
     /// micro-op-IR win is a measured number, kernel by kernel.
     RcpnStrongArmClosure,
+    /// RCPN-generated StrongARM compiled with
+    /// [`EngineConfig::superblocks`] off — IR lowering but per-op
+    /// dispatch through the candidate walk, recorded alongside the
+    /// default (superblock) engine so the superblock win is a measured
+    /// number, kernel by kernel.
+    RcpnStrongArmPerOp,
     /// The functional ISS (no timing; context number).
     FunctionalIss,
 }
@@ -85,13 +91,14 @@ impl Simulator {
     /// single source of truth for which rows exist in `BENCH_fig10.json`
     /// — extending it extends all three in lockstep (and the
     /// registry-guard test fails if a `ProcModel` is missing here).
-    pub const FIG10: [Simulator; 6] = [
+    pub const FIG10: [Simulator; 7] = [
         Simulator::Baseline,
         Simulator::RcpnXScale,
         Simulator::RcpnStrongArm,
         Simulator::RcpnSuperArm,
         Simulator::RcpnStrongArmExhaustive,
         Simulator::RcpnStrongArmClosure,
+        Simulator::RcpnStrongArmPerOp,
     ];
 
     /// For RCPN-backed simulators: the processor-registry model plus the
@@ -105,7 +112,7 @@ impl Simulator {
             Simulator::RcpnStrongArmExhaustive => {
                 Some((ProcModel::StrongArm, SchedulerMode::Exhaustive))
             }
-            Simulator::RcpnStrongArmClosure => {
+            Simulator::RcpnStrongArmClosure | Simulator::RcpnStrongArmPerOp => {
                 Some((ProcModel::StrongArm, SchedulerMode::ActivityDriven))
             }
             Simulator::Baseline | Simulator::FunctionalIss => None,
@@ -118,6 +125,7 @@ impl Simulator {
             Simulator::Baseline => "SimpleScalar-Arm",
             Simulator::RcpnStrongArmExhaustive => "RCPN-StrongArm-Exhaustive",
             Simulator::RcpnStrongArmClosure => "RCPN-StrongArm-Closure",
+            Simulator::RcpnStrongArmPerOp => "RCPN-StrongArm-PerOp",
             Simulator::FunctionalIss => "Functional-ISS",
             rcpn => rcpn.rcpn_config().expect("RCPN simulator").0.figure_name(),
         }
@@ -164,7 +172,14 @@ pub fn compiled_sim(sim: Simulator) -> Option<CompiledSim> {
     let mut config = proc.default_config();
     config.engine.scheduler = scheduler;
     if sim == Simulator::RcpnStrongArmClosure {
+        // The closure row reproduces the pre-IR engine wholesale:
+        // `Box<dyn Fn>` dispatch and no superblocks (pass-through steps
+        // would otherwise still form guardless blocks).
         config.lowering = rcpn::spec::Lowering::Closures;
+        config.engine.superblocks = false;
+    }
+    if sim == Simulator::RcpnStrongArmPerOp {
+        config.engine.superblocks = false;
     }
     Some(CompiledSim::new(proc, &config))
 }
@@ -212,6 +227,7 @@ pub fn ablation_configs() -> Vec<(&'static str, EngineConfig, bool)> {
             EngineConfig { scheduler: SchedulerMode::Exhaustive, ..Default::default() },
             true,
         ),
+        ("dispatch:per-op", EngineConfig { superblocks: false, ..Default::default() }, true),
         ("no-decode-cache", EngineConfig::default(), false),
     ]
 }

@@ -101,13 +101,23 @@ pub fn engine_axis() -> Vec<EngineVariant> {
         "two-list-everywhere",
         EngineConfig { two_list_everywhere: true, ..Default::default() },
     ));
-    // The dispatch ablation: the same StrongARM spec lowered to closures
-    // instead of micro-op IR. A speed knob only — the cross-engine
-    // identity check pins it cycle-identical to the IR rows.
-    axis.push(EngineVariant::with_lowering(
+    // The dispatch ablations: the same StrongARM spec lowered to closures
+    // instead of micro-op IR, and IR lowering with superblock dispatch
+    // disabled (per-op candidate-walk interpretation). Speed knobs only —
+    // the cross-engine identity check pins both cycle-identical to the IR
+    // rows.
+    axis.push(EngineVariant {
+        label: format!("{}/dispatch:closures", ProcModel::StrongArm.label()),
+        proc: ProcModel::StrongArm,
+        // The pre-IR engine wholesale: no superblocks either (pass-through
+        // steps would otherwise still form guardless blocks).
+        engine: EngineConfig { superblocks: false, ..Default::default() },
+        lowering: Lowering::Closures,
+    });
+    axis.push(EngineVariant::new(
         ProcModel::StrongArm,
-        "dispatch:closures",
-        Lowering::Closures,
+        "dispatch:per-op",
+        EngineConfig { superblocks: false, ..Default::default() },
     ));
     axis
 }
@@ -324,7 +334,7 @@ pub fn render_json(serial: &SweepRun, parallel: &SweepRun) -> String {
              \"instrs\":{},\"cpi\":{:.4},\"job_seconds\":{:.6},\"mcps\":{:.3},\
              \"place_visits\":{},\"place_skips\":{},\"trans_visits\":{},\
              \"trans_visits_skipped\":{},\"guard_ir_evals\":{},\"guard_hook_evals\":{},\
-             \"actions_fused\":{}}}\n",
+             \"actions_fused\":{},\"superblocks_entered\":{},\"ops_inlined\":{}}}\n",
             row.variant,
             row.kernel,
             row.size,
@@ -340,6 +350,8 @@ pub fn render_json(serial: &SweepRun, parallel: &SweepRun) -> String {
             row.sched.guard_ir_evals,
             row.sched.guard_hook_evals,
             row.sched.actions_fused,
+            row.sched.superblocks_entered,
+            row.sched.ops_inlined,
         ));
     }
     let speedup = serial.wall_seconds / parallel.wall_seconds;
@@ -436,11 +448,12 @@ mod tests {
     fn dispatch_closures_row_is_identical_with_zero_ir_activity() {
         let variants = vec![
             EngineVariant::new(ProcModel::StrongArm, "tables:per-place-class", Default::default()),
-            EngineVariant::with_lowering(
-                ProcModel::StrongArm,
-                "dispatch:closures",
-                Lowering::Closures,
-            ),
+            EngineVariant {
+                label: "strongarm/dispatch:closures".to_string(),
+                proc: ProcModel::StrongArm,
+                engine: EngineConfig { superblocks: false, ..Default::default() },
+                lowering: Lowering::Closures,
+            },
         ];
         let s = Sweep::with(variants, Workload::matrix(&[Kernel::Crc], &[0.0]));
         let run = s.run(&BatchRunner::new(1));
@@ -452,6 +465,32 @@ mod tests {
         assert!(ir.sched.actions_fused > 0, "IR row must fuse read steps");
         assert_eq!(cl.sched.guard_ir_evals, 0, "closure row must not run IR");
         assert_eq!(cl.sched.actions_fused, 0);
+        assert_eq!(cl.sched.superblocks_entered, 0, "closure guards block superblock formation");
+    }
+
+    /// The superblock axis is a speed knob only: the per-op row simulates
+    /// identically to the superblock (default) row, with the counters
+    /// proving which dispatch each one ran.
+    #[test]
+    fn dispatch_per_op_row_is_identical_with_zero_superblock_activity() {
+        let variants = vec![
+            EngineVariant::new(ProcModel::StrongArm, "tables:per-place-class", Default::default()),
+            EngineVariant::new(
+                ProcModel::StrongArm,
+                "dispatch:per-op",
+                EngineConfig { superblocks: false, ..Default::default() },
+            ),
+        ];
+        let s = Sweep::with(variants, Workload::matrix(&[Kernel::Crc], &[0.0]));
+        let run = s.run(&BatchRunner::new(1));
+        let (sb, po) = (&run.rows[0], &run.rows[1]);
+        assert_eq!(sb.cycles, po.cycles, "superblocks must never change simulated timing");
+        assert_eq!(sb.stats, po.stats);
+        assert_eq!(sb.sched.dispatch_normalized(), po.sched.dispatch_normalized());
+        assert!(sb.sched.superblocks_entered > 0, "default row must dispatch superblocks");
+        assert!(sb.sched.ops_inlined > 0);
+        assert_eq!(po.sched.superblocks_entered, 0, "per-op row must not form superblocks");
+        assert_eq!(po.sched.ops_inlined, 0);
     }
 
     #[test]

@@ -112,6 +112,43 @@ pub(crate) struct HotSource {
     pub(crate) width: u32,
 }
 
+/// One compiled superblock: the fully pre-resolved fast-path form of the
+/// *single* candidate transition of one (place, class) pair.
+///
+/// Formation rules (the compile pass admits a transition only when every
+/// one of these holds — see `DESIGN.md` §2d):
+///
+/// * it is the only transition its (place, class) pair can try, so the
+///   priority walk degenerates to one candidate;
+/// * it has no extra (join) inputs and no static reservation arcs;
+/// * its guard and action are data — `None`, a folded IR program, or the
+///   fused check+acquire pair; a closure anywhere bails;
+/// * every program op is [`MicroOp::is_superblock_op`]: no `CallHook`
+///   (the hook boundary), and no `ReserveRes`/`EmitRedirect`/
+///   `ReleaseRes` (their effects go through the engine's deferred-`Fx`
+///   machinery, which the fast path deliberately never materializes).
+///
+/// The op ranges point into the plan's flattened `sb_ops` stream, laid
+/// out contiguously per class chain so a token walking its path streams
+/// through memory.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SbBlock {
+    pub(crate) tid: u32,
+    /// Guard op range in `sb_ops` (empty for fused or guard-less blocks).
+    pub(crate) guard: (u32, u32),
+    /// Action op range in `sb_ops`.
+    pub(crate) action: (u32, u32),
+    /// `Some(fwd_mask)` when the guard is the fused check+acquire pair.
+    pub(crate) fused: Option<u64>,
+    pub(crate) dest: u32,
+    pub(crate) dest_stage: u32,
+    pub(crate) dest_is_end: bool,
+    pub(crate) cap_exempt: bool,
+    pub(crate) cap: u32,
+    pub(crate) base_ready: u64,
+    pub(crate) tdelay: u64,
+}
+
 /// The candidate-transition lookup structure; exactly one variant is
 /// materialized per compiled model, selected by [`TableMode`].
 #[derive(Debug, Clone)]
@@ -165,6 +202,24 @@ pub(crate) struct ExecPlan {
     /// into.
     pub(crate) programs: Vec<Program>,
     pub(crate) n_stages: usize,
+    /// (place, class) → index into `sb_blocks` (`u32::MAX` = no
+    /// superblock: fall back to the generic candidate walk). Empty when
+    /// superblock dispatch is disabled ([`EngineConfig::superblocks`]).
+    pub(crate) sb_index: Vec<u32>,
+    pub(crate) sb_blocks: Vec<SbBlock>,
+    /// The flattened op stream `SbBlock` guard/action ranges point into.
+    pub(crate) sb_ops: Vec<MicroOp>,
+    /// Class count the `sb_index` rows are strided by.
+    pub(crate) sb_classes: usize,
+}
+
+impl ExecPlan {
+    /// The superblock of a (place, class) pair, if one was compiled.
+    #[inline]
+    pub(crate) fn sb_lookup(&self, place: usize, class: usize) -> Option<&SbBlock> {
+        let idx = *self.sb_index.get(place * self.sb_classes + class)?;
+        self.sb_blocks.get(idx as usize)
+    }
 }
 
 impl ExecPlan {
@@ -320,6 +375,70 @@ impl ExecPlan {
             .map(|s| HotSource { dest: s.dest.index() as u32, width: s.max_per_cycle })
             .collect();
 
+        // Superblock formation: for every (place, class) pair whose
+        // candidate list holds exactly one transition that is pure data
+        // (see [`SbBlock`] for the admission rules), pre-resolve the
+        // whole try-fire into a block over a flattened op stream. The
+        // class-outer iteration lays each class's chain out contiguously.
+        let n_classes = model.analysis.n_classes;
+        let mut sb_index = Vec::new();
+        let mut sb_blocks: Vec<SbBlock> = Vec::new();
+        let mut sb_ops: Vec<MicroOp> = Vec::new();
+        if cfg.superblocks {
+            sb_index = vec![u32::MAX; n_places * n_classes];
+            for ci in 0..n_classes {
+                for pi in 0..n_places {
+                    let cands = &model.analysis.sorted[pi * n_classes + ci];
+                    if cands.len() != 1 {
+                        continue;
+                    }
+                    let ti = cands[0].index();
+                    let t = &model.transitions[ti];
+                    if !t.extra_inputs.is_empty() || !t.reservations.is_empty() {
+                        continue;
+                    }
+                    let d = &dispatch[ti];
+                    let guard_ops: &[MicroOp] = match d.guard {
+                        GuardCode::None | GuardCode::Fused { .. } => &[],
+                        GuardCode::Prog(i) => programs[i as usize].ops(),
+                        GuardCode::Closure => continue,
+                    };
+                    let action_ops: &[MicroOp] = match d.action {
+                        ActionCode::None => &[],
+                        ActionCode::Prog(i) => programs[i as usize].ops(),
+                        ActionCode::Closure => continue,
+                    };
+                    if !guard_ops.iter().chain(action_ops).all(MicroOp::is_superblock_op) {
+                        continue;
+                    }
+                    let fused = match d.guard {
+                        GuardCode::Fused { fwd_mask } => Some(fwd_mask),
+                        _ => None,
+                    };
+                    let g0 = sb_ops.len() as u32;
+                    sb_ops.extend_from_slice(guard_ops);
+                    let g1 = sb_ops.len() as u32;
+                    sb_ops.extend_from_slice(action_ops);
+                    let a1 = sb_ops.len() as u32;
+                    let h = &hot[ti];
+                    sb_index[pi * n_classes + ci] = sb_blocks.len() as u32;
+                    sb_blocks.push(SbBlock {
+                        tid: ti as u32,
+                        guard: (g0, g1),
+                        action: (g1, a1),
+                        fused,
+                        dest: h.dest,
+                        dest_stage: h.dest_stage,
+                        dest_is_end: h.dest_is_end,
+                        cap_exempt: h.cap_exempt,
+                        cap: h.cap,
+                        base_ready: h.base_ready,
+                        tdelay: h.tdelay,
+                    });
+                }
+            }
+        }
+
         let subnet_of_class: Vec<u32> =
             model.classes.iter().map(|c| c.subnet.index() as u32).collect();
         let subnet_of_trans: Vec<u32> =
@@ -373,6 +492,10 @@ impl ExecPlan {
             dispatch,
             programs,
             n_stages: model.stage_count(),
+            sb_index,
+            sb_blocks,
+            sb_ops,
+            sb_classes: n_classes,
         }
     }
 }
@@ -490,6 +613,13 @@ impl<D: InstrData, R> CompiledModel<D, R> {
     /// `AcquireOperands` head of their action by the compile pass.
     pub fn fused_transitions(&self) -> usize {
         self.plan.dispatch.iter().filter(|d| matches!(d.guard, GuardCode::Fused { .. })).count()
+    }
+
+    /// Number of superblocks formed: (place, class) pairs that dispatch
+    /// through a pre-resolved block instead of the candidate walk. Zero
+    /// when compiled with [`EngineConfig::superblocks`] off.
+    pub fn superblocks(&self) -> usize {
+        self.plan.sb_blocks.len()
     }
 
     /// Creates an independent engine over fresh mutable state (token pool,

@@ -76,9 +76,9 @@
 
 use std::sync::Arc;
 
-use crate::compiled::{ActionCode, CompiledModel, ExecPlan, GuardCode, HotTrans, Lookup};
+use crate::compiled::{ActionCode, CompiledModel, ExecPlan, GuardCode, HotTrans, Lookup, SbBlock};
 use crate::ids::{PlaceId, SourceId, TokenId, TransitionId};
-use crate::ir;
+use crate::ir::{self, MicroOp};
 use crate::model::{ActionKind, Fx, GuardKind, Machine, Model};
 use crate::stats::{SchedStats, Stats};
 use crate::token::{InstrData, TokenKind, TokenPool};
@@ -116,7 +116,7 @@ pub enum SchedulerMode {
 /// select which tables a [`CompiledModel`] materializes.
 /// `scheduler`, `collect_occupancy` and `trace` are runtime flags carried
 /// into each instantiated engine.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct EngineConfig {
     /// Candidate-transition lookup strategy.
     pub table_mode: TableMode,
@@ -133,6 +133,27 @@ pub struct EngineConfig {
     /// Record a [`TraceEvent`] log (for model validation / CPN equivalence
     /// checks).
     pub trace: bool,
+    /// Compile superblocks (compile-time choice): a (place, class) pair
+    /// whose candidate list is a single pure-data transition dispatches
+    /// through one pre-resolved block over a flattened op stream instead
+    /// of the candidate walk + generic interpreters. `false` keeps the
+    /// per-op dispatch everywhere — the differential oracle for the fast
+    /// path. Simulation results are bit-identical either way; only
+    /// [`SchedStats`] dispatch counters and host speed differ.
+    pub superblocks: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            table_mode: TableMode::default(),
+            two_list_everywhere: false,
+            scheduler: SchedulerMode::default(),
+            collect_occupancy: false,
+            trace: false,
+            superblocks: true,
+        }
+    }
 }
 
 /// One recorded simulation event (enabled by [`EngineConfig::trace`]).
@@ -589,6 +610,20 @@ impl<D: InstrData, R> EngineState<D, R> {
                 continue;
             }
             let class = tok.data.as_ref().expect("instruction token has data").op_class();
+            if let Some(sb) = plan.sb_lookup(pi, class.index()) {
+                // Direct-threaded fast path: the (place, class) pair was
+                // pre-resolved to its single pure-data transition at
+                // compile time; no candidate walk needed.
+                if self.try_fire_superblock(plan, sb, id, p) {
+                    fired_any = true;
+                } else {
+                    self.stats.stalls += 1;
+                    self.stats.place_stalls[pi] += 1;
+                    next_wake = next_wake.min(self.cycle + 1);
+                }
+                // Superblock ops cannot halt; no halted check needed.
+                continue;
+            }
             let fired = match &plan.lookup {
                 Lookup::PerPlaceClass { flat, span, n_classes } => {
                     let (start, len) = span[pi * n_classes + class.index()];
@@ -711,6 +746,133 @@ impl<D: InstrData, R> EngineState<D, R> {
             }
         }
         self.fire(model, plan, tid, h, token, place);
+        true
+    }
+
+    /// Superblock dispatch: the whole try-fire of a pre-resolved
+    /// single-candidate transition — capacity, guard, action, token move
+    /// — as one direct-threaded loop over the flattened op stream, with
+    /// no candidate walk, no `HotTrans`/dispatch-table indirection, no
+    /// hook table and no `Fx` collector (the admitted ops produce no
+    /// deferred effects; see [`SbBlock`]). Observable simulation behavior
+    /// — statistics, trace, token and machine state, wake bounds — is
+    /// bit-identical to [`EngineState::try_fire`] on the same transition;
+    /// only the two superblock [`SchedStats`] counters and host work
+    /// differ.
+    #[inline]
+    fn try_fire_superblock(
+        &mut self,
+        plan: &ExecPlan,
+        sb: &SbBlock,
+        token: TokenId,
+        place: PlaceId,
+    ) -> bool {
+        self.sched.trans_visits += 1;
+        if !sb.cap_exempt && self.stage_occ[sb.dest_stage as usize] >= sb.cap {
+            self.stats.capacity_blocks += 1;
+            return false;
+        }
+        let (g0, g1) = sb.guard;
+        let guard_ops = &plan.sb_ops[g0 as usize..g1 as usize];
+        if let Some(fwd_mask) = sb.fused {
+            self.sched.guard_ir_evals += 1;
+            let mut memo = std::mem::take(&mut self.fused_memo);
+            let tok = self.pool.get(token).expect("token live during guard");
+            let data = tok.data.as_ref().expect("instruction token has data");
+            let ok = ir::fused_check(&self.machine, data, fwd_mask, &mut memo);
+            self.fused_memo = memo;
+            if !ok {
+                self.stats.guard_fails += 1;
+                return false;
+            }
+        } else if !guard_ops.is_empty() {
+            self.sched.guard_ir_evals += 1;
+            let tok = self.pool.get(token).expect("token live during guard");
+            let data = tok.data.as_ref().expect("instruction token has data");
+            let passed = guard_ops.iter().all(|op| match op {
+                MicroOp::CheckReady { fwd_mask } => ir::check_ready(&self.machine, data, *fwd_mask),
+                MicroOp::CheckCond { expect } => data.cond_passes() == *expect,
+                other => unreachable!("non-superblock op {other:?} in superblock guard"),
+            });
+            if !passed {
+                self.stats.guard_fails += 1;
+                return false;
+            }
+        }
+
+        // Fire: same observable sequence as `EngineState::fire`, minus
+        // the impossible parts (joins, reservations, side effects).
+        let cycle = self.cycle;
+        let tid = sb.tid as usize;
+        self.remove_from_place(plan, place.index(), token, TokenKind::Instruction);
+        let (a0, a1) = sb.action;
+        let action_ops = &plan.sb_ops[a0 as usize..a1 as usize];
+        self.sched.superblocks_entered += 1;
+        self.sched.ops_inlined += u64::from(g1 - g0) + u64::from(a1 - a0);
+        let mut delay: Option<u32> = None;
+        if sb.fused.is_some() || !action_ops.is_empty() {
+            let tok = self.pool.get_mut(token).expect("firing token is live");
+            let data = tok.data.as_mut().expect("instruction token has data");
+            if sb.fused.is_some() {
+                self.sched.actions_fused += 1;
+                self.sched.ops_inlined += 2; // the fused ready/acquire pair
+                ir::fused_acquire_tok(&mut self.machine, data, token, &self.fused_memo);
+            }
+            for op in action_ops {
+                match op {
+                    MicroOp::AcquireOperands { fwd_mask } => {
+                        ir::acquire_operands_tok(&mut self.machine, data, token, *fwd_mask);
+                    }
+                    MicroOp::WriteBack => ir::write_back_tok(&mut self.machine, data, token),
+                    MicroOp::Publish => ir::publish_results(&mut self.machine, data, token),
+                    MicroOp::Annul => ir::annul_token(&mut self.machine, data, token),
+                    MicroOp::SetDelay(d) => delay = Some(*d),
+                    other => unreachable!("non-superblock op {other:?} in superblock action"),
+                }
+            }
+        }
+
+        // Move the token.
+        let mut seq = 0;
+        if sb.dest_is_end {
+            let tok = self.pool.take(token);
+            if self.cfg.trace {
+                seq = tok.seq;
+            }
+            let leaked = self.machine.regs.release(token);
+            self.stats.leaked_reservations += leaked as u64;
+            self.stats.retired += 1;
+            if self.cfg.trace {
+                self.trace.push(TraceEvent::Retired {
+                    cycle,
+                    place: PlaceId::from_index(sb.dest as usize),
+                    seq,
+                });
+            }
+        } else {
+            let eff = match delay {
+                None => sb.base_ready,
+                Some(d) => sb.tdelay + u64::from(d),
+            };
+            let ready = cycle + eff;
+            let tok = self.pool.get_mut(token).expect("firing token is live");
+            tok.place = PlaceId::from_index(sb.dest as usize);
+            tok.arrived_at = cycle;
+            tok.ready_at = ready;
+            if self.cfg.trace {
+                seq = tok.seq;
+            }
+            self.insert_token(plan, token, sb.dest, ready);
+        }
+
+        self.stats.fires[tid] += 1;
+        if self.cfg.trace {
+            self.trace.push(TraceEvent::Fired {
+                cycle,
+                transition: TransitionId::from_index(tid),
+                seq,
+            });
+        }
         true
     }
 

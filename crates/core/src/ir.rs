@@ -38,7 +38,7 @@
 //! hook indices must resolve in the model's [`crate::model::Hooks`]
 //! table, and every referenced place must exist.
 
-use crate::ids::PlaceId;
+use crate::ids::{PlaceId, TokenId};
 use crate::model::{Fx, Hooks, Machine};
 use crate::token::InstrData;
 
@@ -94,6 +94,27 @@ pub enum MicroOp {
         /// The ordered squash list.
         flush: Box<[PlaceId]>,
     },
+    /// Action op: publishes every destination operand's latched value to
+    /// the forwarding scoreboard ([`crate::reg::Operand::publish`])
+    /// without committing it to the register file — the synthesized form
+    /// of a simple execute stage's "make the result bypassable" step,
+    /// which previously needed a `CallHook`.
+    Publish,
+    /// Guard op: passes iff the token's pre-resolved condition
+    /// ([`crate::token::InstrData::cond_passes`]) equals `expect`.
+    /// `expect: false` guards annul paths. Only usable by payloads that
+    /// resolve their condition into the token; conditions that read
+    /// machine state outside the token stay closure guards (the hook
+    /// boundary, see DESIGN.md §2d).
+    CheckCond {
+        /// The condition value that lets the guard pass.
+        expect: bool,
+    },
+    /// Action op: annuls the firing token — marks the payload annulled
+    /// ([`crate::token::InstrData::set_annulled`]) and releases every
+    /// register reservation it holds. The data form of the condition-
+    /// failed bubble conversion.
+    Annul,
     /// Action op: overrides the token's delay in its destination place
     /// ([`Fx::set_token_delay`]).
     SetDelay(u32),
@@ -109,14 +130,35 @@ impl MicroOp {
     /// Whether the op is legal in a guard program (pure: inspects the
     /// machine and token, mutates nothing).
     pub fn is_guard_op(&self) -> bool {
-        matches!(self, MicroOp::CheckReady { .. } | MicroOp::CallHook(_))
+        matches!(
+            self,
+            MicroOp::CheckReady { .. } | MicroOp::CheckCond { .. } | MicroOp::CallHook(_)
+        )
     }
 
-    /// Whether the op is legal in an action program. Every op except
-    /// [`MicroOp::CheckReady`] (whose only meaning is gating a firing,
-    /// which an action can no longer do) may appear in an action.
+    /// Whether the op is legal in an action program. Every op except the
+    /// pure checks (whose only meaning is gating a firing, which an
+    /// action can no longer do) may appear in an action.
     pub fn is_action_op(&self) -> bool {
-        !matches!(self, MicroOp::CheckReady { .. })
+        !matches!(self, MicroOp::CheckReady { .. } | MicroOp::CheckCond { .. })
+    }
+
+    /// Whether the op needs no [`Fx`] handle and no hook table: its only
+    /// side effects are on the machine and the token, keyed by the firing
+    /// token's id. Superblock formation ([`crate::compiled`]) admits
+    /// exactly these ops — the direct-threaded fast path interprets them
+    /// without materializing an effect collector.
+    pub fn is_superblock_op(&self) -> bool {
+        matches!(
+            self,
+            MicroOp::CheckReady { .. }
+                | MicroOp::CheckCond { .. }
+                | MicroOp::AcquireOperands { .. }
+                | MicroOp::WriteBack
+                | MicroOp::Publish
+                | MicroOp::Annul
+                | MicroOp::SetDelay(_)
+        )
     }
 }
 
@@ -206,10 +248,20 @@ pub fn acquire_operands<D: InstrData, R>(
     fx: &mut Fx<D>,
     fwd_mask: u64,
 ) {
+    acquire_operands_tok(m, t, fx.token(), fwd_mask);
+}
+
+/// [`acquire_operands`] keyed by the firing token's id directly (the
+/// superblock interpreter carries no `Fx`).
+pub(crate) fn acquire_operands_tok<D: InstrData, R>(
+    m: &mut Machine<R>,
+    t: &mut D,
+    tok: TokenId,
+    fwd_mask: u64,
+) {
     for s in t.src_operands_mut() {
         s.obtain_masked(&m.regs, fwd_mask);
     }
-    let tok = fx.token();
     // The engine re-points the writer state to the destination place right
     // after the action; the initial place is a placeholder.
     let here = PlaceId::from_index(0);
@@ -221,10 +273,29 @@ pub fn acquire_operands<D: InstrData, R>(
 /// [`MicroOp::WriteBack`]: commit every destination operand, highest
 /// index first.
 pub fn write_back<D: InstrData, R>(m: &mut Machine<R>, t: &mut D, fx: &mut Fx<D>) {
-    let tok = fx.token();
+    write_back_tok(m, t, fx.token());
+}
+
+/// [`write_back`] keyed by the firing token's id directly.
+pub(crate) fn write_back_tok<D: InstrData, R>(m: &mut Machine<R>, t: &mut D, tok: TokenId) {
     for i in (0..t.dst_count()).rev() {
         t.dst_operand(i).writeback(&mut m.regs, tok);
     }
+}
+
+/// [`MicroOp::Publish`]: publish every destination operand's latched
+/// value to the forwarding scoreboard (no register-file commit).
+pub(crate) fn publish_results<D: InstrData, R>(m: &mut Machine<R>, t: &D, tok: TokenId) {
+    for i in 0..t.dst_count() {
+        t.dst_operand(i).publish(&mut m.regs, tok);
+    }
+}
+
+/// [`MicroOp::Annul`]: mark the payload annulled and release every
+/// register reservation the firing token holds.
+pub(crate) fn annul_token<D: InstrData, R>(m: &mut Machine<R>, t: &mut D, tok: TokenId) {
+    t.set_annulled();
+    m.regs.release(tok);
 }
 
 /// Interprets a guard program: every op must pass.
@@ -239,6 +310,7 @@ pub(crate) fn eval_guard<D: InstrData, R>(
 ) -> bool {
     prog.ops.iter().all(|op| match op {
         MicroOp::CheckReady { fwd_mask } => check_ready(m, t, *fwd_mask),
+        MicroOp::CheckCond { expect } => t.cond_passes() == *expect,
         MicroOp::CallHook(i) => (hooks.guards[*i as usize])(m, t),
         other => unreachable!("non-guard op {other:?} in guard program (validated at build)"),
     })
@@ -256,6 +328,8 @@ pub(crate) fn run_action<D: InstrData, R>(
         match op {
             MicroOp::AcquireOperands { fwd_mask } => acquire_operands(m, t, fx, *fwd_mask),
             MicroOp::WriteBack => write_back(m, t, fx),
+            MicroOp::Publish => publish_results(m, t, fx.token()),
+            MicroOp::Annul => annul_token(m, t, fx.token()),
             MicroOp::ReserveRes { place, expire } => fx.reserve(*place, *expire),
             MicroOp::ReleaseRes => {
                 m.regs.release(fx.token());
@@ -267,8 +341,8 @@ pub(crate) fn run_action<D: InstrData, R>(
             }
             MicroOp::SetDelay(d) => fx.set_token_delay(*d),
             MicroOp::CallHook(i) => (hooks.actions[*i as usize])(m, t, fx),
-            MicroOp::CheckReady { .. } => {
-                unreachable!("CheckReady in action program (validated at build)")
+            MicroOp::CheckReady { .. } | MicroOp::CheckCond { .. } => {
+                unreachable!("pure check op in action program (validated at build)")
             }
         }
     }
@@ -308,6 +382,16 @@ pub(crate) fn fused_acquire<D: InstrData, R>(
     fx: &mut Fx<D>,
     memo: &[bool],
 ) {
+    fused_acquire_tok(m, t, fx.token(), memo);
+}
+
+/// [`fused_acquire`] keyed by the firing token's id directly.
+pub(crate) fn fused_acquire_tok<D: InstrData, R>(
+    m: &mut Machine<R>,
+    t: &mut D,
+    tok: TokenId,
+    memo: &[bool],
+) {
     for (s, &from_fwd) in t.src_operands_mut().iter_mut().zip(memo) {
         if from_fwd {
             s.read_fwd(&m.regs);
@@ -315,7 +399,6 @@ pub(crate) fn fused_acquire<D: InstrData, R>(
             s.read(&m.regs);
         }
     }
-    let tok = fx.token();
     let here = PlaceId::from_index(0);
     for i in 0..t.dst_count() {
         t.dst_operand_mut(i).reserve_write(&mut m.regs, tok, here);
@@ -476,6 +559,109 @@ mod tests {
         write_back(&mut m, &mut t, &mut fx);
         assert_eq!(m.regs.value_of(regs[0]), 99);
         assert!(m.regs.writable(regs[0]), "reservation cleared by writeback");
+    }
+
+    /// A token with a destination, a pre-resolved condition and an annul
+    /// flag (for the `Publish`/`CheckCond`/`Annul` ops).
+    #[derive(Debug)]
+    struct CondTok {
+        dst: Operand,
+        cond: bool,
+        annulled: bool,
+    }
+    impl InstrData for CondTok {
+        fn op_class(&self) -> OpClassId {
+            OpClassId::from_index(0)
+        }
+        fn dst_count(&self) -> usize {
+            1
+        }
+        fn dst_operand(&self, i: usize) -> &Operand {
+            assert_eq!(i, 0);
+            &self.dst
+        }
+        fn dst_operand_mut(&mut self, i: usize) -> &mut Operand {
+            assert_eq!(i, 0);
+            &mut self.dst
+        }
+        fn annulled(&self) -> bool {
+            self.annulled
+        }
+        fn set_annulled(&mut self) {
+            self.annulled = true;
+        }
+        fn cond_passes(&self) -> bool {
+            self.cond
+        }
+    }
+
+    #[test]
+    fn new_op_classification() {
+        assert!(MicroOp::CheckCond { expect: false }.is_guard_op());
+        assert!(!MicroOp::CheckCond { expect: true }.is_action_op());
+        assert!(MicroOp::Publish.is_action_op());
+        assert!(!MicroOp::Publish.is_guard_op());
+        assert!(MicroOp::Annul.is_action_op());
+        assert!(!MicroOp::Annul.is_guard_op());
+        for op in [
+            MicroOp::CheckReady { fwd_mask: 0 },
+            MicroOp::CheckCond { expect: true },
+            MicroOp::AcquireOperands { fwd_mask: 0 },
+            MicroOp::WriteBack,
+            MicroOp::Publish,
+            MicroOp::Annul,
+            MicroOp::SetDelay(1),
+        ] {
+            assert!(op.is_superblock_op(), "{op:?} must be superblockable");
+        }
+        for op in [
+            MicroOp::CallHook(0),
+            MicroOp::ReserveRes { place: PlaceId::from_index(0), expire: 1 },
+            MicroOp::ReleaseRes,
+            MicroOp::EmitRedirect { flush: Box::from([PlaceId::from_index(0)]) },
+        ] {
+            assert!(!op.is_superblock_op(), "{op:?} must bail out of superblocks");
+        }
+    }
+
+    #[test]
+    fn publish_makes_result_forwardable_without_committing() {
+        let (mut m, regs) = machine(2);
+        m.regs.poke(regs[0], 5);
+        let mut t = CondTok { dst: Operand::reg(regs[0]), cond: true, annulled: false };
+        let id = tid(4);
+        t.dst.reserve_write(&mut m.regs, id, PlaceId::from_index(3));
+        t.dst.set_value(77);
+        publish_results(&mut m, &t, id);
+        assert!(m.regs.can_read_masked(regs[0], 1 << 3), "published value forwards");
+        assert_eq!(m.regs.value_of(regs[0]), 5, "register file not committed");
+        assert_eq!(m.regs.forwarded(regs[0]), Some(77));
+    }
+
+    #[test]
+    fn annul_sets_flag_and_releases_reservations() {
+        let (mut m, regs) = machine(2);
+        let mut t = CondTok { dst: Operand::reg(regs[0]), cond: false, annulled: false };
+        let id = tid(6);
+        t.dst.reserve_write(&mut m.regs, id, PlaceId::from_index(0));
+        assert!(!m.regs.writable(regs[0]));
+        annul_token(&mut m, &mut t, id);
+        assert!(t.annulled());
+        assert!(m.regs.writable(regs[0]), "reservation released by annul");
+    }
+
+    #[test]
+    fn check_cond_matches_token_view() {
+        let (m, regs) = machine(1);
+        let hooks: Hooks<CondTok, ()> = Hooks::new();
+        let taken = CondTok { dst: Operand::reg(regs[0]), cond: true, annulled: false };
+        let failed = CondTok { dst: Operand::reg(regs[0]), cond: false, annulled: false };
+        let wants_pass = Program::new(vec![MicroOp::CheckCond { expect: true }]);
+        let wants_fail = Program::new(vec![MicroOp::CheckCond { expect: false }]);
+        assert!(eval_guard(&wants_pass, &m, &taken, &hooks));
+        assert!(!eval_guard(&wants_pass, &m, &failed, &hooks));
+        assert!(eval_guard(&wants_fail, &m, &failed, &hooks));
+        assert!(!eval_guard(&wants_fail, &m, &taken, &hooks));
     }
 
     #[test]

@@ -357,6 +357,21 @@ impl RegRef {
         rf.publish(self.reg, token, value);
     }
 
+    /// Stores a value internally without publishing it — the latch half of
+    /// [`RegRef::set`]. Pair with [`RegRef::publish`] when the publication
+    /// point is a separate pipeline step (the IR `Publish` micro-op).
+    #[inline]
+    pub fn set_value(&mut self, value: u32) {
+        self.val = value;
+    }
+
+    /// Publishes the internally latched value for forwarding — the
+    /// publication half of [`RegRef::set`].
+    #[inline]
+    pub fn publish(&self, rf: &mut RegisterFile, token: TokenId) {
+        rf.publish(self.reg, token, self.val);
+    }
+
     /// `writeback()` — commits the internal value to the register file and
     /// clears this instruction's reservation.
     #[inline]
@@ -475,6 +490,27 @@ impl Operand {
             Operand::Reg(r) => r.set(rf, token, value),
             Operand::Imm(v) => *v = value,
             Operand::Absent => {}
+        }
+    }
+
+    /// Stores a computed value without publishing it (latch half of
+    /// [`Operand::set`]; see [`RegRef::set_value`]).
+    #[inline]
+    pub fn set_value(&mut self, value: u32) {
+        match self {
+            Operand::Reg(r) => r.set_value(value),
+            Operand::Imm(v) => *v = value,
+            Operand::Absent => {}
+        }
+    }
+
+    /// Publishes the latched value for forwarding — no-op for constants
+    /// (they are never supplied by a forwarding path). The IR `Publish`
+    /// micro-op calls this on every destination operand.
+    #[inline]
+    pub fn publish(&self, rf: &mut RegisterFile, token: TokenId) {
+        if let Operand::Reg(r) = self {
+            r.publish(rf, token);
         }
     }
 
@@ -737,6 +773,29 @@ mod tests {
         free.obtain_masked(&rf, 0);
         assert_eq!(free.value(), 9);
         assert!(Operand::imm(3).obtainable_masked(&rf, 0), "constants are always obtainable");
+    }
+
+    #[test]
+    fn set_value_then_publish_matches_set() {
+        let (mut rf, regs) = rf_with(1);
+        let mut w = RegRef::new(regs[0]);
+        let t = tid(4);
+        w.reserve_write(&mut rf, t, pid(2));
+        w.set_value(7);
+        assert_eq!(w.value(), 7, "value latched internally");
+        assert!(!rf.can_read_masked(regs[0], u64::MAX), "not yet published");
+        w.publish(&mut rf, t);
+        assert!(rf.can_read_masked(regs[0], 1 << 2), "published for forwarding");
+        assert_eq!(rf.forwarded(regs[0]), Some(7));
+
+        // Operand forms: Imm::set_value mutates the constant (like set),
+        // publish is a no-op on non-register operands.
+        let mut c = Operand::imm(1);
+        c.set_value(9);
+        assert_eq!(c.value(), 9);
+        c.publish(&mut rf, t);
+        let a = Operand::Absent;
+        a.publish(&mut rf, t);
     }
 
     #[test]

@@ -73,6 +73,7 @@ use crate::error::BuildError;
 use crate::ids::PlaceId;
 use crate::ir::{self, MicroOp, Program};
 use crate::model::{Fx, Machine, Model, SourceAction, SourceGuard};
+use crate::token::InstrData;
 
 /// How [`PipelineSpec::lower`] represents the guards/actions it
 /// *synthesizes* (read steps). User-supplied closures are always kept as
@@ -203,6 +204,15 @@ struct StepSpec<D, R> {
     reads_forward: bool,
     reserve: Vec<(String, u32)>,
     delay: u32,
+    /// Guard on the token's pre-resolved condition ([`PathSpec::when_cond`]).
+    when_cond: Option<bool>,
+    /// Publish destination results after the action ([`PathSpec::publish`]).
+    publish: bool,
+    /// Annul the token before the action ([`PathSpec::annuls`]).
+    annuls: bool,
+    /// Flush the bound rule's squash list unconditionally on firing
+    /// ([`PathSpec::flushes_always`]).
+    static_flush: bool,
 }
 
 /// One operation class's path through the pipeline; created by
@@ -259,6 +269,10 @@ impl<D, R> PathSpec<D, R> {
             reads_forward: false,
             reserve: Vec::new(),
             delay: 0,
+            when_cond: None,
+            publish: false,
+            annuls: false,
+            static_flush: false,
         });
         self
     }
@@ -346,6 +360,54 @@ impl<D, R> PathSpec<D, R> {
     /// list becomes [`StepCtx::flush`] for the step's closures.
     pub fn flushes(&mut self, rule: &str) -> &mut Self {
         self.last().flush_rule = Some(rule.to_string());
+        self
+    }
+
+    /// Binds the last step to a redirect rule *and* issues the rule's
+    /// flushes unconditionally every time the step fires — a static
+    /// redirect whose squash list is pure data. Lowers to an
+    /// [`MicroOp::EmitRedirect`] under [`Lowering::Auto`]; the
+    /// closure-lowered twin flushes the same places in the same order.
+    /// Mutually exclusive with [`PathSpec::read`].
+    pub fn flushes_always(&mut self, rule: &str) -> &mut Self {
+        let s = self.last();
+        s.flush_rule = Some(rule.to_string());
+        s.static_flush = true;
+        self
+    }
+
+    /// Guards the last step on the token's pre-resolved condition
+    /// ([`crate::token::InstrData::cond_passes`]`() == expect`). Lowers
+    /// to an [`MicroOp::CheckCond`] under [`Lowering::Auto`]. Only
+    /// meaningful for payloads that resolve their condition into the
+    /// token; conditions that read machine state (e.g. ARM's CPSR) must
+    /// use [`PathSpec::guard`] instead. Mutually exclusive with
+    /// [`PathSpec::guard`] and [`PathSpec::read`].
+    pub fn when_cond(&mut self, expect: bool) -> &mut Self {
+        self.last().when_cond = Some(expect);
+        self
+    }
+
+    /// Publishes every destination operand's latched value to the
+    /// forwarding scoreboard after the last step's action runs — the
+    /// declarative form of a simple execute stage's "make the result
+    /// bypassable" epilogue. Lowers to an [`MicroOp::Publish`] under
+    /// [`Lowering::Auto`], so a step whose value is already latched
+    /// needs no closure at all. Mutually exclusive with
+    /// [`PathSpec::read`].
+    pub fn publish(&mut self) -> &mut Self {
+        self.last().publish = true;
+        self
+    }
+
+    /// Annuls the firing token before the last step's action runs: the
+    /// payload is marked annulled and every register reservation it
+    /// holds is released. Lowers to an [`MicroOp::Annul`] under
+    /// [`Lowering::Auto`]; any [`PathSpec::act`] on the step runs after
+    /// the annul (as a hook) for model-specific bookkeeping. Mutually
+    /// exclusive with [`PathSpec::read`].
+    pub fn annuls(&mut self) -> &mut Self {
+        self.last().annuls = true;
         self
     }
 
@@ -582,7 +644,7 @@ impl<D, R> PipelineSpec<D, R> {
     }
 }
 
-impl<D: 'static, R: 'static> PipelineSpec<D, R> {
+impl<D: InstrData, R: 'static> PipelineSpec<D, R> {
     /// Lowers the spec into a validated RCPN [`Model`], synthesizing the
     /// read-step guards/actions from the [`OperandPolicy`] and resolving
     /// redirect rules through the [`HazardPolicy`].
@@ -699,6 +761,20 @@ impl<D: 'static, R: 'static> PipelineSpec<D, R> {
                 let step_fwd =
                     if step.read == Some(Forward::None) { Vec::new() } else { fwd.clone() };
                 let ctx = Arc::new(StepCtx { fwd: step_fwd, flush, from, to });
+                let synth_action = step.annuls || step.publish || step.static_flush;
+                if step.read.is_some() && (step.when_cond.is_some() || synth_action) {
+                    return Err(err(format!(
+                        "class {:?} step {si}: read() excludes \
+                         when_cond()/publish()/annuls()/flushes_always()",
+                        class.name
+                    )));
+                }
+                if step.when_cond.is_some() && step.guard.is_some() {
+                    return Err(err(format!(
+                        "class {:?} step {si}: when_cond() and guard() are mutually exclusive",
+                        class.name
+                    )));
+                }
                 // Read steps: decide the representation (IR vs closure)
                 // and register the read_then hook *before* the transition
                 // builder borrows `b`. Hook ids are handed out in
@@ -731,6 +807,18 @@ impl<D: 'static, R: 'static> PipelineSpec<D, R> {
                     Some((pol, ir_mask, then_hook))
                 } else {
                     None
+                };
+                // Steps with synthesized action parts (annul/publish/
+                // static flush) escape their user action — run between
+                // the annul and the publish — through the hook table
+                // under `Auto`; registered here for the same
+                // declaration-order determinism as read_then hooks.
+                let act_hook = match (&step.action, synth_action, lowering) {
+                    (Some(a), true, Lowering::Auto) => {
+                        let (a, c) = (Arc::clone(a), Arc::clone(&ctx));
+                        Some(b.hook_action(move |m, t, fx| a(m, t, fx, &c)))
+                    }
+                    _ => None,
                 };
                 let tname = step
                     .name
@@ -777,11 +865,71 @@ impl<D: 'static, R: 'static> PipelineSpec<D, R> {
                         });
                     }
                 } else {
-                    if let Some(g) = &step.guard {
-                        let (g, c) = (Arc::clone(g), Arc::clone(&ctx));
-                        tb = tb.guard(move |m, t| g(m, t, &c));
+                    match (step.when_cond, lowering) {
+                        (Some(expect), Lowering::Auto) => {
+                            tb = tb.guard_ir(Program::new(vec![MicroOp::CheckCond { expect }]));
+                        }
+                        (Some(expect), Lowering::Closures) => {
+                            tb = tb.guard(move |_m, t: &D| t.cond_passes() == expect);
+                        }
+                        (None, _) => {
+                            if let Some(g) = &step.guard {
+                                let (g, c) = (Arc::clone(g), Arc::clone(&ctx));
+                                tb = tb.guard(move |m, t| g(m, t, &c));
+                            }
+                        }
                     }
-                    if let Some(a) = &step.action {
+                    if synth_action {
+                        match lowering {
+                            Lowering::Auto => {
+                                // Fixed assembly order — annul, user
+                                // action, publish, static flush — shared
+                                // with the closure twin below.
+                                let mut ops = Vec::new();
+                                if step.annuls {
+                                    ops.push(MicroOp::Annul);
+                                }
+                                if let Some(h) = act_hook {
+                                    ops.push(MicroOp::CallHook(h));
+                                }
+                                if step.publish {
+                                    ops.push(MicroOp::Publish);
+                                }
+                                if step.static_flush {
+                                    ops.push(MicroOp::EmitRedirect {
+                                        flush: ctx.flush.clone().into_boxed_slice(),
+                                    });
+                                }
+                                tb = tb.action_ir(Program::new(ops));
+                            }
+                            Lowering::Closures => {
+                                let act = step.action.clone();
+                                let c = Arc::clone(&ctx);
+                                let (annuls, publish, static_flush) =
+                                    (step.annuls, step.publish, step.static_flush);
+                                tb = tb.action(move |m, t: &mut D, fx| {
+                                    if annuls {
+                                        t.set_annulled();
+                                        m.regs.release(fx.token());
+                                    }
+                                    if let Some(a) = &act {
+                                        a(m, t, fx, &c);
+                                    }
+                                    if publish {
+                                        let tok = fx.token();
+                                        for i in 0..t.dst_count() {
+                                            t.dst_operand(i).publish(&mut m.regs, tok);
+                                        }
+                                    }
+                                    if static_flush {
+                                        for &p in &c.flush {
+                                            fx.flush(p);
+                                        }
+                                    }
+                                });
+                            }
+                        }
+                    } else if let Some(a) = &step.action {
                         let (a, c) = (Arc::clone(a), Arc::clone(&ctx));
                         tb = tb.action(move |m, t, fx| a(m, t, fx, &c));
                     }

@@ -94,6 +94,13 @@ pub struct SchedStats {
     /// pair: the acquire latched operands from the sources the passing
     /// guard had just memoized instead of re-probing the scoreboard.
     pub actions_fused: u64,
+    /// Firings dispatched through a compiled superblock: the (place,
+    /// class)-indexed direct-threaded fast path instead of the generic
+    /// candidate walk and per-op interpreters.
+    pub superblocks_entered: u64,
+    /// Micro-ops interpreted inside superblock firings (fused
+    /// ready/acquire pairs count as two ops).
+    pub ops_inlined: u64,
 }
 
 impl SchedStats {
@@ -113,6 +120,8 @@ impl SchedStats {
             guard_ir_evals,
             guard_hook_evals,
             actions_fused,
+            superblocks_entered,
+            ops_inlined,
         } = other;
         self.place_visits += place_visits;
         self.place_skips += place_skips;
@@ -125,6 +134,8 @@ impl SchedStats {
         self.guard_ir_evals += guard_ir_evals;
         self.guard_hook_evals += guard_hook_evals;
         self.actions_fused += actions_fused;
+        self.superblocks_entered += superblocks_entered;
+        self.ops_inlined += ops_inlined;
     }
 
     /// Total guard evaluations, independent of dispatch representation.
@@ -133,16 +144,20 @@ impl SchedStats {
     }
 
     /// A copy with the dispatch-representation counters folded away:
-    /// `guard_ir_evals` merged into `guard_hook_evals` and
-    /// `actions_fused` zeroed. An IR-lowered model and its
-    /// closure-lowered twin must agree on *this* view bit-for-bit (the
-    /// oracle tests compare it); the raw counters differ by design —
-    /// that difference is the refactor's observability.
+    /// `guard_ir_evals` merged into `guard_hook_evals`, and
+    /// `actions_fused`, `superblocks_entered` and `ops_inlined` zeroed.
+    /// An IR-lowered model, its closure-lowered twin, and the
+    /// superblocks-off per-op oracle must agree on *this* view
+    /// bit-for-bit (the oracle tests compare it); the raw counters
+    /// differ by design — that difference is the refactor's
+    /// observability.
     pub fn dispatch_normalized(&self) -> SchedStats {
         let mut s = self.clone();
         s.guard_hook_evals += s.guard_ir_evals;
         s.guard_ir_evals = 0;
         s.actions_fused = 0;
+        s.superblocks_entered = 0;
+        s.ops_inlined = 0;
         s
     }
 

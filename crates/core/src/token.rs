@@ -74,6 +74,27 @@ pub trait InstrData: 'static {
     fn dst_operand_mut(&mut self, i: usize) -> &mut Operand {
         panic!("token exposes no destination operand (index {i})")
     }
+
+    /// Whether this instruction has been annulled (its condition failed
+    /// and it flows through the pipe as a bubble). Probed by models;
+    /// set by the IR `Annul` micro-op. Defaults to `false`.
+    fn annulled(&self) -> bool {
+        false
+    }
+
+    /// Marks the instruction annulled (IR `Annul`). The default is a
+    /// no-op for payloads that carry no annul flag.
+    fn set_annulled(&mut self) {}
+
+    /// Whether the instruction's predication/condition holds, for
+    /// payloads that pre-resolve it into the token (IR `CheckCond`).
+    /// Payloads whose condition depends on machine state outside the
+    /// token (e.g. ARM's CPSR) must keep condition checks in closure
+    /// guards instead — this view sees only the token. Defaults to
+    /// `true` (unconditional).
+    fn cond_passes(&self) -> bool {
+        true
+    }
 }
 
 /// Whether a token is an instruction token or a reservation token.

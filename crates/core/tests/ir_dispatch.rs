@@ -453,6 +453,190 @@ fn write_back_op_commits_destinations() {
     assert_eq!(e.stats().leaked_reservations, 0);
 }
 
+/// How the exec step makes its result bypassable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PublishFlavor {
+    /// `Operand::set` in a closure-style hook — latch + publish at once.
+    SetClosure,
+    /// `Operand::set_value` in the hook, then a `Publish` micro-op.
+    SetValueThenPublishOp,
+    /// `Operand::set_value` only — the result is never published, so
+    /// consumers must wait for the register-file commit at writeback.
+    NoPublish,
+}
+
+/// The [`pipeline`] shape with the exec step's publish discipline split
+/// out — compute into the latch, optionally publish, write back at retire
+/// — and a pass-through stage between exec and writeback so publishing
+/// opens a real forwarding window before the register-file commit.
+fn publish_pipeline(flavor: PublishFlavor) -> Model<Tok, Feed> {
+    let mut b = ModelBuilder::<Tok, Feed>::new();
+    let s1 = b.stage("S1", 1);
+    let s2 = b.stage("S2", 1);
+    let s3 = b.stage("S3", 1);
+    let s4 = b.stage("S4", 1);
+    let p1 = b.place("P1", s1);
+    let p2 = b.place("P2", s2);
+    let p3 = b.place("P3", s3);
+    let p4 = b.place("P4", s4);
+    let end = b.end_place();
+    let (alu, _) = b.class_net("Alu");
+    let mask = rcpn::ir::place_mask(&[p3, p4]).expect("small net");
+    let compute = b.hook_action(|_m, t: &mut Tok, _fx| {
+        let v = t.srcs[0].value().wrapping_add(t.srcs[1].value());
+        t.dst.set_value(v);
+    });
+    b.transition(alu, "issue")
+        .from(p1)
+        .to(p2)
+        .reads_state(p3)
+        .guard_ir(Program::new(vec![MicroOp::CheckReady { fwd_mask: mask }]))
+        .action_ir(Program::new(vec![MicroOp::AcquireOperands { fwd_mask: mask }]))
+        .done();
+    let exec = b.transition(alu, "exec").from(p2).to(p3);
+    match flavor {
+        PublishFlavor::SetClosure => exec
+            .action(|m, t, fx| {
+                let v = t.srcs[0].value().wrapping_add(t.srcs[1].value());
+                let tok = fx.token();
+                t.dst.set(&mut m.regs, tok, v);
+            })
+            .done(),
+        PublishFlavor::SetValueThenPublishOp => {
+            exec.action_ir(Program::new(vec![MicroOp::CallHook(compute), MicroOp::Publish])).done()
+        }
+        PublishFlavor::NoPublish => {
+            exec.action_ir(Program::new(vec![MicroOp::CallHook(compute)])).done()
+        }
+    };
+    b.transition(alu, "mem").from(p3).to(p4).done();
+    b.transition(alu, "wb")
+        .from(p4)
+        .to(end)
+        .action(|m, t, fx| t.dst.writeback(&mut m.regs, fx.token()))
+        .done();
+    b.source("feed").to(p1).produce(|m, _fx| m.res.q.borrow_mut().pop_front()).done();
+    b.build().expect("pipeline validates")
+}
+
+/// The `Publish` op is the exact publish half of `Operand::set`: a
+/// `set_value` hook followed by `Publish` simulates bit-identically to a
+/// closure doing `set`, while omitting the publish keeps results correct
+/// but kills forwarding (consumers stall until the writeback commit).
+#[test]
+fn publish_op_matches_closure_publish_and_enables_forwarding() {
+    let compile = |f: PublishFlavor| {
+        CompiledModel::compile_with(publish_pipeline(f), traced(EngineConfig::default()))
+    };
+    let a = run(&compile(PublishFlavor::SetClosure), 12, 80);
+    let b = run(&compile(PublishFlavor::SetValueThenPublishOp), 12, 80);
+    // The unpublished pipe serializes on the register file, so give it
+    // enough cycles to drain.
+    let c = run(&compile(PublishFlavor::NoPublish), 12, 160);
+
+    assert_eq!(a.trace, b.trace, "Publish op vs closure set: trace");
+    assert_eq!(a.stats, b.stats, "Publish op vs closure set: Stats");
+    assert_eq!(a.regs, b.regs, "Publish op vs closure set: architectural state");
+
+    assert_eq!(a.stats.retired, c.stats.retired, "publishing never changes results");
+    assert_eq!(a.regs, c.regs, "publishing never changes results");
+    assert!(
+        c.stats.stalls > a.stats.stalls,
+        "without Publish, consumers must wait for writeback: {} vs {}",
+        c.stats.stalls,
+        a.stats.stalls
+    );
+}
+
+/// Condition-checked payload for the `CheckCond`/`Annul` path.
+#[derive(Debug, Clone)]
+struct CondTok {
+    pass: bool,
+}
+
+impl InstrData for CondTok {
+    fn op_class(&self) -> OpClassId {
+        OpClassId::from_index(0)
+    }
+    fn cond_passes(&self) -> bool {
+        self.pass
+    }
+    fn set_annulled(&mut self) {}
+}
+
+/// `CheckCond` guards route tokens by their pre-resolved condition —
+/// `expect: false` selects the annul path — and a single-candidate
+/// `CheckCond` transition dispatches through a superblock, bit-identically
+/// to the per-op interpreter.
+#[test]
+fn check_cond_routes_tokens_and_superblocks_stay_bit_identical() {
+    let build = || {
+        let mut b = ModelBuilder::<CondTok, RefCell<VecDeque<bool>>>::new();
+        let s1 = b.stage("S1", 1);
+        let s2 = b.stage("S2", 1);
+        let p1 = b.place("P1", s1);
+        let p2 = b.place("P2", s2);
+        let end = b.end_place();
+        let (c, _) = b.class_net("C");
+        // Condition failed: annul and retire immediately (tid 0).
+        b.transition(c, "skip")
+            .from(p1)
+            .to(end)
+            .priority(0)
+            .guard_ir(Program::new(vec![MicroOp::CheckCond { expect: false }]))
+            .action_ir(Program::new(vec![MicroOp::Annul]))
+            .done();
+        // Condition passed: advance (tid 1).
+        b.transition(c, "adv")
+            .from(p1)
+            .to(p2)
+            .priority(1)
+            .guard_ir(Program::new(vec![MicroOp::CheckCond { expect: true }]))
+            .done();
+        // Single candidate with a CheckCond guard: forms a superblock
+        // with a non-empty guard range (tid 2).
+        b.transition(c, "out")
+            .from(p2)
+            .to(end)
+            .guard_ir(Program::new(vec![MicroOp::CheckCond { expect: true }]))
+            .done();
+        b.source("feed")
+            .to(p1)
+            .produce(|m, _fx| m.res.borrow_mut().pop_front().map(|pass| CondTok { pass }))
+            .done();
+        b.build().expect("validates")
+    };
+    let feed: Vec<bool> = (0..10).map(|i| i % 3 != 0).collect();
+    let n_pass = feed.iter().filter(|&&p| p).count() as u64;
+    let n_fail = feed.len() as u64 - n_pass;
+    let outcome = |superblocks: bool| {
+        let cfg = traced(EngineConfig { superblocks, ..Default::default() });
+        let compiled = CompiledModel::compile_with(build(), cfg);
+        assert_eq!(
+            compiled.superblocks() > 0,
+            superblocks,
+            "sb tables must exist iff superblocks are enabled"
+        );
+        let mut e = compiled
+            .instantiate(Machine::new(RegisterFile::new(), RefCell::new(feed.clone().into())));
+        e.run(60);
+        assert_eq!(e.stats().fires[0], n_fail, "skip fires once per failed condition");
+        assert_eq!(e.stats().fires[1], n_pass, "adv fires once per passed condition");
+        assert_eq!(e.stats().fires[2], n_pass, "out fires once per advanced token");
+        assert_eq!(e.stats().retired, n_pass + n_fail);
+        (e.take_trace(), e.stats().clone(), e.sched().clone())
+    };
+    let (sb_trace, sb_stats, sb_sched) = outcome(true);
+    let (po_trace, po_stats, po_sched) = outcome(false);
+    assert_eq!(sb_trace, po_trace, "superblocks must not change the trace");
+    assert_eq!(sb_stats, po_stats, "superblocks must not change Stats");
+    assert_eq!(sb_sched.dispatch_normalized(), po_sched.dispatch_normalized());
+    assert_eq!(sb_sched.superblocks_entered, n_pass, "out dispatches through its superblock");
+    assert!(sb_sched.ops_inlined >= n_pass, "the CheckCond guard op is interpreted inline");
+    assert_eq!(po_sched.superblocks_entered, 0);
+    assert_eq!(po_sched.ops_inlined, 0);
+}
+
 #[test]
 fn invalid_programs_are_build_errors() {
     let build = |guard: Option<Program>, action: Option<Program>| {

@@ -7,7 +7,9 @@
 //! pins the dispatch refactor: random specs over a *lowerable* operand
 //! policy must simulate bit-identically whether their read steps compile
 //! to micro-op IR ([`Lowering::Auto`]) or to closures
-//! ([`Lowering::Closures`]).
+//! ([`Lowering::Closures`]), and — on the IR side — whether hook-free
+//! transitions dispatch through compiled superblocks or the per-op
+//! interpreter.
 
 use std::cell::RefCell;
 use std::collections::VecDeque;
@@ -151,6 +153,9 @@ fn machine_for(shape: &Shape) -> Machine<Feed> {
 struct RegTok {
     class: OpClassId,
     imm: u32,
+    /// Pre-resolved condition for the `when_cond` alternative.
+    pass: bool,
+    annulled: bool,
     srcs: [Operand; 2],
     dst: Operand,
 }
@@ -158,6 +163,15 @@ struct RegTok {
 impl InstrData for RegTok {
     fn op_class(&self) -> OpClassId {
         self.class
+    }
+    fn cond_passes(&self) -> bool {
+        self.pass
+    }
+    fn annulled(&self) -> bool {
+        self.annulled
+    }
+    fn set_annulled(&mut self) {
+        self.annulled = true;
     }
     fn src_operands(&self) -> &[Operand] {
         &self.srcs
@@ -221,6 +235,12 @@ struct RegShape {
     caps: Vec<u32>,
     forward: bool,
     skip: bool,
+    /// Class B gets a `when_cond(false)` + `annuls()` alternative.
+    cond_skip: bool,
+    /// Class A re-publishes its result from the first post-read latch.
+    publish: bool,
+    /// Class B's retire carries a static `flushes_always` redirect.
+    static_flush: bool,
     width: u32,
     /// (is_class_b, dst, s1, s2, imm) per instruction, registers mod 4.
     program: Vec<(bool, u8, u8, u8, u32)>,
@@ -239,6 +259,9 @@ fn build_reg_spec(shape: &RegShape, lowering: Lowering) -> PipelineSpec<RegTok, 
         s.forwards(&[&latch(1.min(n - 1))]);
     }
     s.operand_policy(ScoreboardPolicy);
+    if shape.static_flush {
+        s.redirect("rs", &latch(n - 1));
+    }
 
     // Class A: read step with a publish-on-issue read_then (exercises the
     // CallHook composition under IR lowering), then the spine, then a
@@ -252,22 +275,36 @@ fn build_reg_spec(shape: &RegShape, lowering: Lowering) -> PipelineSpec<RegTok, 
             t.dst.set(&mut m.regs, tok, v);
         });
         for i in 2..n {
-            a.step(&latch(i));
+            let st = a.step(&latch(i));
+            // Re-publishing the latched result is a no-op semantically
+            // (the read step already published) but compiles to a bare
+            // `Publish` micro-op — a superblockable action.
+            if shape.publish && i == 2 {
+                st.publish();
+            }
         }
         a.step("end").act(|m, t, fx| t.dst.writeback(&mut m.regs, fx.token()));
     }
 
-    // Class B: operand-less spine with an optional guarded skip.
+    // Class B: operand-less spine with an optional guarded skip, an
+    // optional condition-checked annul alternative and an optional
+    // statically flushing retire.
     {
         let b = s.class("B");
         b.step(&latch(1.min(n - 1)));
         if shape.skip && n >= 3 {
             b.alt("end").priority(9).guard(|_m, t| t.imm % 3 == 0);
         }
+        if shape.cond_skip {
+            b.alt("end").priority(8).when_cond(false).annuls();
+        }
         for i in 2..n {
             b.step(&latch(i));
         }
-        b.step("end");
+        let e = b.step("end");
+        if shape.static_flush {
+            e.flushes_always("rs");
+        }
     }
 
     s.source("feed")
@@ -285,10 +322,13 @@ fn reg_machine(shape: &RegShape) -> Machine<RegFeed> {
         let mut q = feed.q.borrow_mut();
         let (ca, cb) = (OpClassId::from_index(0), OpClassId::from_index(1));
         for &(is_b, d, s1, s2, imm) in &shape.program {
+            let pass = imm % 2 == 0;
             q.push_back(if is_b {
                 RegTok {
                     class: cb,
                     imm,
+                    pass,
+                    annulled: false,
                     srcs: [Operand::Absent, Operand::Absent],
                     dst: Operand::Absent,
                 }
@@ -296,6 +336,8 @@ fn reg_machine(shape: &RegShape) -> Machine<RegFeed> {
                 RegTok {
                     class: ca,
                     imm,
+                    pass,
+                    annulled: false,
                     srcs: [
                         Operand::reg(regs[s1 as usize % 4]),
                         Operand::reg(regs[s2 as usize % 4]),
@@ -404,54 +446,77 @@ proptest! {
     }
 
     /// The dispatch differential: a random spec over the lowerable
-    /// scoreboard policy, lowered once to micro-op IR and once to
-    /// closures, must simulate bit-identically — trace, `Stats`,
-    /// dispatch-normalized `SchedStats`, architectural registers — and
-    /// the IR side must actually run through the IR interpreter.
+    /// scoreboard policy — including the synthesized `when_cond`,
+    /// `publish`, `annuls` and `flushes_always` step capabilities — must
+    /// simulate bit-identically across three compiled variants: micro-op
+    /// IR with superblock dispatch (the default), IR with the per-op
+    /// interpreter (`superblocks: false`) and the closure lowering.
+    /// Identity covers trace, `Stats`, dispatch-normalized `SchedStats`
+    /// and architectural registers; the raw counters prove each variant
+    /// ran its own path.
     #[test]
-    fn random_specs_lower_ir_and_closures_bit_identically(
+    fn random_specs_superblock_per_op_and_closures_bit_identically(
         n_stages in 2usize..=5,
         caps in proptest::collection::vec(1u32..=2, 1..=3),
         forward in any::<bool>(),
         skip in any::<bool>(),
+        cond_skip in any::<bool>(),
+        publish in any::<bool>(),
+        static_flush in any::<bool>(),
         width in 1u32..=2,
         program in proptest::collection::vec(
             (any::<bool>(), 0u8..4, 0u8..4, 0u8..4, 0u32..64),
             1..20,
         ),
     ) {
-        let shape = RegShape { n_stages, caps, forward, skip, width, program };
-        let cfg = EngineConfig { trace: true, ..Default::default() };
+        let shape = RegShape {
+            n_stages, caps, forward, skip, cond_skip, publish, static_flush, width, program,
+        };
         let mut outcomes = Vec::new();
-        for lowering in [Lowering::Auto, Lowering::Closures] {
+        for (lowering, superblocks) in
+            [(Lowering::Auto, true), (Lowering::Auto, false), (Lowering::Closures, false)]
+        {
             let model = build_reg_spec(&shape, lowering).lower().expect("reg spec lowers");
-            let compiled = CompiledModel::compile_with(model, cfg.clone());
+            let cfg = EngineConfig { trace: true, superblocks, ..Default::default() };
+            let compiled = CompiledModel::compile_with(model, cfg);
             let is_auto = lowering == Lowering::Auto;
             prop_assert_eq!(
                 compiled.ir_transitions() > 0,
                 is_auto,
                 "IR transitions iff Auto lowering"
             );
+            if superblocks && n_stages >= 3 {
+                // The class-A spine always has a single-candidate
+                // hook-free mid transition, so formation must trigger.
+                prop_assert!(compiled.superblocks() > 0, "spine must form a superblock");
+            }
+            if !superblocks {
+                prop_assert_eq!(compiled.superblocks(), 0, "sb tables only when enabled");
+            }
             let mut e = compiled.instantiate(reg_machine(&shape));
             e.run(120);
             let regs: Vec<u32> =
                 (0..4).map(|i| e.machine().regs.value_of(RegId::from_index(i))).collect();
             outcomes.push((e.take_trace(), e.stats().clone(), e.sched().clone(), regs));
         }
-        let (ir, cl) = (&outcomes[0], &outcomes[1]);
-        prop_assert_eq!(&ir.0, &cl.0, "trace must not depend on the lowering");
-        prop_assert_eq!(&ir.1, &cl.1, "Stats must not depend on the lowering");
-        prop_assert_eq!(
-            ir.2.dispatch_normalized(),
-            cl.2.dispatch_normalized(),
-            "normalized SchedStats must not depend on the lowering"
-        );
-        prop_assert_eq!(&ir.3, &cl.3, "architectural state must not depend on the lowering");
+        let (sb, po, cl) = (&outcomes[0], &outcomes[1], &outcomes[2]);
+        for (name, o) in [("per-op", po), ("closures", cl)] {
+            prop_assert_eq!(&sb.0, &o.0, "superblock vs {}: trace", name);
+            prop_assert_eq!(&sb.1, &o.1, "superblock vs {}: Stats", name);
+            prop_assert_eq!(
+                sb.2.dispatch_normalized(),
+                o.2.dispatch_normalized(),
+                "superblock vs {}: normalized SchedStats", name
+            );
+            prop_assert_eq!(&sb.3, &o.3, "superblock vs {}: architectural state", name);
+            prop_assert_eq!(o.2.superblocks_entered, 0, "{} must not enter superblocks", name);
+            prop_assert_eq!(o.2.ops_inlined, 0, "{} must not inline ops", name);
+        }
         prop_assert_eq!(cl.2.guard_ir_evals, 0, "closure lowering must not run IR");
-        // If any class-A instruction issued, the IR side ran IR guards.
-        if ir.1.fires.first().copied().unwrap_or(0) > 0 {
-            prop_assert!(ir.2.guard_ir_evals > 0, "IR lowering must use the IR interpreter");
-            prop_assert!(ir.2.actions_fused > 0, "read steps must fuse");
+        // If any class-A instruction issued, the IR variants ran IR guards.
+        if sb.1.fires.first().copied().unwrap_or(0) > 0 {
+            prop_assert!(sb.2.guard_ir_evals > 0, "IR lowering must use the IR interpreter");
+            prop_assert!(sb.2.actions_fused > 0, "read steps must fuse");
         }
     }
 }

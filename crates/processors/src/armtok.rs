@@ -281,6 +281,21 @@ impl InstrData for ArmTok {
             _ => panic!("ArmTok has two destination operands (index {i})"),
         }
     }
+
+    // Annul view for the synthesized `Annul` op (the `.annuls()` step
+    // capability). `cond_passes` keeps its default: the ARM condition
+    // reads the CPSR, which lives in machine state, so condition checks
+    // stay closure guards (the hook boundary, DESIGN.md §2d) and the
+    // default is never consulted.
+    #[inline]
+    fn annulled(&self) -> bool {
+        self.annulled
+    }
+
+    #[inline]
+    fn set_annulled(&mut self) {
+        self.annulled = true;
+    }
 }
 
 /// Maps an architectural register to its scoreboard id (r0–r14). The PC is

@@ -88,6 +88,7 @@ fn configs() -> Vec<(&'static str, EngineConfig)> {
             "sched:exhaustive",
             EngineConfig { scheduler: SchedulerMode::Exhaustive, ..Default::default() },
         ),
+        ("dispatch:per-op", EngineConfig { superblocks: false, ..Default::default() }),
     ];
     for (_, c) in &mut cfgs {
         c.trace = true;
@@ -230,6 +231,35 @@ fn superarm_ir_dispatch_is_bit_identical_to_closure_dispatch() {
     );
 }
 
+/// Forces per-op dispatch ([`EngineConfig::superblocks`] off) — the
+/// differential oracle for the superblock fast path.
+fn per_op(
+    compile: impl Fn(&SimConfig) -> CompiledModel<ArmTok, ArmRes>,
+) -> impl Fn(&SimConfig) -> CompiledModel<ArmTok, ArmRes> {
+    move |config| {
+        let mut config = config.clone();
+        config.engine.superblocks = false;
+        compile(&config)
+    }
+}
+
+/// Superblock dispatch is bit-identical to per-op dispatch for every ARM
+/// model under every engine configuration of [`configs`] (both
+/// schedulers, every table mode, the fixpoint scheme): same trace, same
+/// [`Stats`], same dispatch-normalized [`SchedStats`], same architectural
+/// state.
+#[test]
+fn superblock_dispatch_is_bit_identical_to_per_op_dispatch() {
+    for proc in crate::sim::ProcModel::ALL {
+        assert_identical(
+            proc.label(),
+            move |config| proc.compile(config),
+            per_op(move |config| proc.compile(config)),
+            proc.default_config(),
+        );
+    }
+}
+
 /// The dispatch refactor must actually engage: every default ARM model
 /// compiles its read steps to IR (with the CheckReady+AcquireOperands
 /// pairs fused), runs them through the IR interpreter — `guard_ir_evals`
@@ -244,10 +274,13 @@ fn ir_path_is_exercised_and_closure_twin_is_not() {
         let ir = proc.compile(&config);
         assert!(ir.ir_transitions() > 0, "{proc:?}: no IR transitions compiled");
         assert!(ir.fused_transitions() > 0, "{proc:?}: no fused read steps");
+        assert!(ir.superblocks() > 0, "{proc:?}: no superblocks formed");
         let a = run(&ir, program, &config);
         assert!(a.exit.is_some());
         assert!(a.sched.guard_ir_evals > 0, "{proc:?}: IR guards never evaluated");
         assert!(a.sched.actions_fused > 0, "{proc:?}: fused acquires never fired");
+        assert!(a.sched.superblocks_entered > 0, "{proc:?}: superblocks never dispatched");
+        assert!(a.sched.ops_inlined > 0, "{proc:?}: no ops interpreted inside superblocks");
 
         let closure_config =
             SimConfig { lowering: rcpn::spec::Lowering::Closures, ..config.clone() };
@@ -258,6 +291,17 @@ fn ir_path_is_exercised_and_closure_twin_is_not() {
         assert_eq!(b.sched.actions_fused, 0);
         assert!(b.sched.guard_hook_evals >= a.sched.guard_hook_evals);
         assert_eq!(a.sched.guard_evals(), b.sched.guard_evals(), "{proc:?}: total guard evals");
+
+        // The per-op twin compiles no superblock tables and never enters
+        // the fast path.
+        let mut per_op_config = config.clone();
+        per_op_config.engine.superblocks = false;
+        let po = proc.compile(&per_op_config);
+        assert_eq!(po.superblocks(), 0, "{proc:?}: per-op twin formed superblocks");
+        let c = run(&po, program, &per_op_config);
+        assert_eq!(c.sched.superblocks_entered, 0, "{proc:?}: per-op twin entered superblocks");
+        assert_eq!(c.sched.ops_inlined, 0);
+        assert_eq!(a.stats, c.stats, "{proc:?}: superblocks changed simulation");
     }
 }
 

@@ -84,8 +84,9 @@ pub fn spec() -> PipelineSpec<ArmTok, ArmRes> {
         .alt("end")
         .priority(0)
         .guard(|m, t| !cond_passes(m, t))
-        .act(|m, t, fx| {
-            annul(m, t, fx);
+        .annuls()
+        .act(|m, t, _fx| {
+            clear_serialize(m, t);
             m.res.instr_done += 1;
         })
         // Issue one micro-op per cycle; the continuation re-enters D.

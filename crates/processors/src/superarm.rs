@@ -96,8 +96,9 @@ pub fn spec() -> PipelineSpec<ArmTok, ArmRes> {
         .alt("end")
         .priority(0)
         .guard(|m, t| !cond_passes(m, t))
-        .act(|m, t, fx| {
-            annul(m, t, fx);
+        .annuls()
+        .act(|m, t, _fx| {
+            clear_serialize(m, t);
             m.res.instr_done += 1;
         })
         .step("E")
