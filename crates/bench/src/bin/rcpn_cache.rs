@@ -1,0 +1,157 @@
+//! Inspects, validates and garbage-collects an RCPN artifact cache
+//! directory (as populated by `sweep --cache` / `figures --cache`, or any
+//! [`rcpn::artifact::ArtifactCache`] user).
+//!
+//! ```text
+//! rcpn-cache ls DIR         # one line per entry: header + section layout facts
+//! rcpn-cache validate DIR   # exit 0 iff every entry is well-formed (verbose)
+//! rcpn-cache gc DIR         # delete entries this build can no longer load
+//! ```
+//!
+//! `validate` checks each `.rcpn` file end to end: magic, format version,
+//! payload checksum, section layout, and that the file name matches the
+//! `(spec hash, engine config, format version)` cache key derived from
+//! the decoded header. `gc` removes exactly the entries `validate` would
+//! reject — stale format versions, corruption, misnamed files — so a
+//! cache survives format bumps without manual cleanup.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use rcpn::artifact::{inspect, ArtifactCache, ArtifactError, ArtifactInfo, FORMAT_VERSION};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, dir) = match args.as_slice() {
+        [c, d] => (c.as_str(), d.as_str()),
+        _ => {
+            eprintln!("usage: rcpn-cache <ls|validate|gc> DIR");
+            return ExitCode::from(2);
+        }
+    };
+    let cache = match ArtifactCache::open(dir) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("rcpn-cache: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let entries = match cache.entries() {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("rcpn-cache: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match cmd {
+        "ls" => ls(&entries),
+        "validate" => validate(&entries, false),
+        "gc" => validate(&entries, true),
+        other => {
+            eprintln!("unknown command {other:?}; try ls | validate | gc");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Full validation of one entry: decodable header/layout, checksum, and a
+/// file name that matches the cache key its header implies.
+fn check(path: &Path) -> Result<ArtifactInfo, ArtifactError> {
+    let bytes = std::fs::read(path)
+        .map_err(|e| ArtifactError::Io { path: path.to_path_buf(), detail: e.to_string() })?;
+    let info = inspect(&bytes)?;
+    if !info.checksum_ok {
+        return Err(ArtifactError::Checksum {
+            computed: 0, // inspect() only reports the mismatch, not the recomputed value
+            stored: info.stored_checksum,
+        });
+    }
+    let expect_stem = ArtifactCache::entry_stem(info.spec_hash, &info.config);
+    let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or_default();
+    if stem != expect_stem {
+        return Err(ArtifactError::Io {
+            path: path.to_path_buf(),
+            detail: format!("file name does not match its cache key {expect_stem}.rcpn"),
+        });
+    }
+    Ok(info)
+}
+
+fn config_summary(info: &ArtifactInfo) -> String {
+    let c = &info.config;
+    format!(
+        "tables={:?} sched={:?} two-list={} superblocks={} trace={}",
+        c.table_mode, c.scheduler, c.two_list_everywhere, c.superblocks, c.trace
+    )
+}
+
+fn ls(entries: &[std::path::PathBuf]) -> ExitCode {
+    println!("format version {FORMAT_VERSION}; {} entr{}", entries.len(), plural(entries.len()));
+    for path in entries {
+        match check(path) {
+            Ok(info) => {
+                let sections: Vec<String> =
+                    info.sections.iter().map(|s| format!("{}:{}", s.name, s.len)).collect();
+                println!(
+                    "{}  v{} spec={:016x} {} bytes  {}\n  sections {}",
+                    path.display(),
+                    info.format_version,
+                    info.spec_hash,
+                    info.total_len,
+                    config_summary(&info),
+                    sections.join(" "),
+                );
+            }
+            Err(e) => println!("{}  INVALID: {e}", path.display()),
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn validate(entries: &[std::path::PathBuf], gc: bool) -> ExitCode {
+    let mut bad = 0usize;
+    for path in entries {
+        match check(path) {
+            Ok(info) => {
+                println!(
+                    "ok      {}  v{} spec={:016x}",
+                    path.display(),
+                    info.format_version,
+                    info.spec_hash
+                );
+            }
+            Err(e) => {
+                bad += 1;
+                if gc {
+                    match std::fs::remove_file(path) {
+                        Ok(()) => println!("removed {}  ({e})", path.display()),
+                        Err(io) => {
+                            eprintln!("rcpn-cache: cannot remove {}: {io}", path.display());
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                } else {
+                    println!("INVALID {}  {e}", path.display());
+                }
+            }
+        }
+    }
+    if gc {
+        println!("{bad} entr{} removed, {} kept", plural(bad), entries.len() - bad);
+        ExitCode::SUCCESS
+    } else if bad == 0 {
+        println!("{} entr{} valid", entries.len(), plural(entries.len()));
+        ExitCode::SUCCESS
+    } else {
+        println!("{bad} of {} entr{} invalid", entries.len(), plural(entries.len()));
+        ExitCode::FAILURE
+    }
+}
+
+fn plural(n: usize) -> &'static str {
+    if n == 1 {
+        "y"
+    } else {
+        "ies"
+    }
+}

@@ -24,6 +24,7 @@ use arm_isa::iss::Iss;
 use baseline_sim::SsArm;
 use processors::res::SimConfig;
 use processors::sim::{CompiledSim, ProcModel};
+use rcpn::artifact::{ArtifactCache, ArtifactError};
 use rcpn::engine::{EngineConfig, SchedulerMode, TableMode};
 use workloads::Workload;
 
@@ -163,11 +164,9 @@ pub fn measure(sim: Simulator, w: &Workload) -> Measurement {
     }
 }
 
-/// The compiled (generated) simulator for an RCPN-backed [`Simulator`],
-/// or `None` for the non-RCPN comparators. Build it once and pass it to
-/// [`measure_compiled`] to keep model compilation out of the timed region
-/// and out of per-iteration bench loops.
-pub fn compiled_sim(sim: Simulator) -> Option<CompiledSim> {
+/// The processor model and full simulator configuration an RCPN-backed
+/// [`Simulator`] compiles with, or `None` for the non-RCPN comparators.
+fn rcpn_sim_config(sim: Simulator) -> Option<(ProcModel, SimConfig)> {
     let (proc, scheduler) = sim.rcpn_config()?;
     let mut config = proc.default_config();
     config.engine.scheduler = scheduler;
@@ -181,7 +180,37 @@ pub fn compiled_sim(sim: Simulator) -> Option<CompiledSim> {
     if sim == Simulator::RcpnStrongArmPerOp {
         config.engine.superblocks = false;
     }
+    Some((proc, config))
+}
+
+/// The compiled (generated) simulator for an RCPN-backed [`Simulator`],
+/// or `None` for the non-RCPN comparators. Build it once and pass it to
+/// [`measure_compiled`] to keep model compilation out of the timed region
+/// and out of per-iteration bench loops.
+pub fn compiled_sim(sim: Simulator) -> Option<CompiledSim> {
+    let (proc, config) = rcpn_sim_config(sim)?;
     Some(CompiledSim::new(proc, &config))
+}
+
+/// Like [`compiled_sim`], but served through an artifact cache: a hit
+/// reloads the stored artifact instead of recompiling, a miss compiles
+/// and stores, and the closure-lowered ablation row (unserializable)
+/// compiles without touching the store. `Ok(None)` for the non-RCPN
+/// comparators.
+///
+/// # Errors
+///
+/// Propagates any [`ArtifactError`] other than a decode failure (which
+/// falls back to a fresh compile) — in practice I/O errors writing the
+/// cache directory.
+pub fn compiled_sim_cached(
+    sim: Simulator,
+    cache: &ArtifactCache,
+) -> Result<Option<CompiledSim>, ArtifactError> {
+    match rcpn_sim_config(sim) {
+        Some((proc, config)) => CompiledSim::load_or_compile(proc, &config, cache).map(Some),
+        None => Ok(None),
+    }
 }
 
 /// Runs one instantiation of a compiled simulator over one workload,

@@ -1,0 +1,99 @@
+//! The artifact acceptance gate: for **all three ARM processor models**
+//! on **all six Fig. 10 kernels**, a simulator reloaded from a saved
+//! artifact must be bit-identical to the freshly compiled one — same
+//! trace, same `Stats`, same `SchedStats`, same architectural result —
+//! and the artifact must round-trip through the content-addressed cache
+//! with the expected hit/miss accounting.
+
+use processors::sim::{CompiledSim, ProcModel};
+use rcpn::artifact::ArtifactCache;
+use rcpn::engine::TraceEvent;
+use rcpn::stats::{SchedStats, Stats};
+use workloads::{Kernel, Workload};
+
+/// One simulator's observable outcome on one workload.
+#[derive(Debug, PartialEq)]
+struct Outcome {
+    exit: Option<u32>,
+    cycles: u64,
+    instrs: u64,
+    trace: Vec<TraceEvent>,
+    stats: Stats,
+    sched: SchedStats,
+}
+
+fn run(sim: &CompiledSim, w: &Workload) -> Outcome {
+    let mut s = sim.instantiate(&w.program);
+    let r = s.run(1_000_000);
+    Outcome {
+        exit: r.exit,
+        cycles: r.cycles,
+        instrs: r.instrs,
+        trace: s.engine.take_trace(),
+        stats: s.engine.stats().clone(),
+        sched: s.engine.sched().clone(),
+    }
+}
+
+fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("rcpn-artifact-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Every `(ARM model, fig10 kernel)` cell: save → load → bit-identical.
+#[test]
+fn all_models_all_kernels_reload_bit_identically() {
+    let dir = scratch_dir("save-load");
+    let workloads: Vec<Workload> =
+        Kernel::ALL.iter().map(|&k| Workload::build(k, k.test_size())).collect();
+    assert_eq!(workloads.len(), 6, "the fig10 kernel suite has six benchmarks");
+    for model in ProcModel::ALL {
+        let mut config = model.default_config();
+        config.engine.trace = true;
+        let fresh = CompiledSim::new(model, &config);
+        let path = dir.join(format!("{}.rcpn", model.figure_name()));
+        fresh.save(&path).expect("ARM model serializes");
+        let reloaded = CompiledSim::load(model, &config, &path).expect("artifact reloads");
+        for w in &workloads {
+            let a = run(&fresh, w);
+            let b = run(&reloaded, w);
+            assert_eq!(
+                a.exit,
+                Some(w.expected),
+                "{}/{}: fresh run must pass the gold checksum",
+                model.figure_name(),
+                w.kernel
+            );
+            assert_eq!(a, b, "{}/{}: reloaded != fresh", model.figure_name(), w.kernel);
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The cache path: first acquisition is a miss (stored), second is a hit
+/// (reloaded), and the reloaded simulator matches the fresh compile on
+/// every kernel.
+#[test]
+fn cache_reload_is_bit_identical_and_counted() {
+    let dir = scratch_dir("cache");
+    let cache = ArtifactCache::open(&dir).expect("open cache");
+    let workloads: Vec<Workload> =
+        Kernel::ALL.iter().map(|&k| Workload::build(k, k.test_size())).collect();
+    for (i, model) in ProcModel::ALL.into_iter().enumerate() {
+        let config = model.default_config();
+        let first = CompiledSim::load_or_compile(model, &config, &cache).expect("compile+store");
+        let second = CompiledSim::load_or_compile(model, &config, &cache).expect("reload");
+        let n = i as u64 + 1;
+        assert_eq!((cache.hits(), cache.misses()), (n, n), "{}: one miss then one hit", n);
+        let fresh = CompiledSim::new(model, &config);
+        for w in &workloads {
+            let a = run(&fresh, w);
+            assert_eq!(a, run(&first, w), "{}/{}: stored != fresh", model.figure_name(), w.kernel);
+            assert_eq!(a, run(&second, w), "{}/{}: cached != fresh", model.figure_name(), w.kernel);
+        }
+    }
+    assert_eq!(cache.bypasses(), 0, "default ARM configs are fully serializable");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -116,7 +116,7 @@ pub enum SchedulerMode {
 /// select which tables a [`CompiledModel`] materializes.
 /// `scheduler`, `collect_occupancy` and `trace` are runtime flags carried
 /// into each instantiated engine.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EngineConfig {
     /// Candidate-transition lookup strategy.
     pub table_mode: TableMode,
