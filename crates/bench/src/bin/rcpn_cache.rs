@@ -87,6 +87,10 @@ fn config_summary(info: &ArtifactInfo) -> String {
 
 fn ls(entries: &[std::path::PathBuf]) -> ExitCode {
     println!("format version {FORMAT_VERSION}; {} entr{}", entries.len(), plural(entries.len()));
+    // Column names are the `ArtifactInfo` field names, so ls output,
+    // rustdoc, and the bench-record cache fields all speak one
+    // vocabulary.
+    println!("path  format_version  spec_hash  total_len  config  sections");
     for path in entries {
         match check(path) {
             Ok(info) => {

@@ -16,6 +16,7 @@
 //! {kernel × table-mode × engine-config} job matrix across worker threads
 //! on the compiled-model seam and records `BENCH_sweep.json`.
 
+pub mod record;
 pub mod sweep;
 
 use std::time::Instant;

@@ -196,6 +196,27 @@ impl Sweep {
         Ok(Sweep { variants, artifacts, workloads, jobs })
     }
 
+    /// Assembles a sweep over *already compiled* artifacts — no
+    /// compilation, no cache traffic. This is the constructor the
+    /// `rcpn-serve` job server uses to record a sweep from the models it
+    /// warmed at bind time: the variants supply the row labels, the
+    /// index-aligned artifacts supply the engines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `variants` and `artifacts` are not the same length —
+    /// the two axes must be index-aligned.
+    pub fn over_artifacts(
+        variants: Vec<EngineVariant>,
+        artifacts: Vec<CompiledSim>,
+        workloads: Vec<Workload>,
+    ) -> Sweep {
+        assert_eq!(variants.len(), artifacts.len(), "variants and artifacts must be index-aligned");
+        let jobs =
+            (0..variants.len()).flat_map(|v| (0..workloads.len()).map(move |w| (v, w))).collect();
+        Sweep { variants, artifacts, workloads, jobs }
+    }
+
     /// Number of jobs in the matrix.
     pub fn len(&self) -> usize {
         self.jobs.len()

@@ -36,8 +36,11 @@ fn main() {
             r.cpi(),
         );
     }
+    // Counter names match the `BENCH_sweep.json` summary fields
+    // (`cache_hits`/`cache_misses`/`cache_bypasses`) so greps written
+    // against the bench record also match the example output.
     println!(
-        "cache {dir}: {} hits, {} misses, {} bypasses",
+        "cache {dir}: cache_hits={} cache_misses={} cache_bypasses={}",
         cache.hits(),
         cache.misses(),
         cache.bypasses()

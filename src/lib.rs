@@ -9,4 +9,5 @@ pub use baseline_sim;
 pub use memsys;
 pub use processors;
 pub use rcpn;
+pub use rcpn_serve;
 pub use workloads;
