@@ -225,6 +225,7 @@ impl SsArm {
         program.load_into(&mut mem);
         let mut iss = Iss::new(TraceMem::new(mem), program.entry);
         iss.regs[13] = DEFAULT_STACK_TOP;
+        iss.set_brk(program.image_end());
         SsArm {
             icache: Cache::new(cfg.icache),
             dcache: Cache::new(cfg.dcache),

@@ -15,8 +15,8 @@ use memsys::Memory;
 use crate::decode::decode;
 use crate::exec::{alu, block_bounds, extend};
 use crate::instr::{HKind, HOff, Instr, MemOff, Op2, Shift};
-use crate::program::{Program, DEFAULT_STACK_TOP};
-use crate::syscall::{dispatch, SysAction};
+use crate::program::{MemLayout, Program};
+use crate::syscall::{dispatch, SysAction, SysEnv, SysInput};
 use crate::types::{shift_imm, shift_reg, Psr, Reg};
 
 /// A fault raised by the ISS.
@@ -123,17 +123,27 @@ pub struct Iss<M> {
     halted: bool,
     exit_code: u32,
     output: Vec<u8>,
+    input: SysInput,
+    brk: u32,
+    unknown_swis: u64,
     mix: InstrMix,
     decode_cache: Vec<Option<Instr>>,
 }
 
 impl Iss<memsys::FlatMem> {
     /// Builds an ISS with the program loaded, PC at the entry point and SP
-    /// at the top of memory.
+    /// at the top of the default memory layout.
     pub fn from_program(program: &Program) -> Self {
-        let mem = program.to_memory();
+        Iss::from_program_with(program, MemLayout::default())
+    }
+
+    /// Builds an ISS with the program loaded under an explicit memory
+    /// layout (loaders derive one from the image).
+    pub fn from_program_with(program: &Program, layout: MemLayout) -> Self {
+        let mem = program.to_memory_sized(layout.mem_bytes);
         let mut iss = Iss::new(mem, program.entry);
-        iss.regs[13] = DEFAULT_STACK_TOP;
+        iss.regs[13] = layout.stack_top;
+        iss.brk = program.image_end();
         iss.enable_decode_cache(program.base + program.size_bytes() + 4096);
         iss
     }
@@ -151,6 +161,9 @@ impl<M: Memory> Iss<M> {
             halted: false,
             exit_code: 0,
             output: Vec::new(),
+            input: SysInput::default(),
+            brk: 0,
+            unknown_swis: 0,
             mix: InstrMix::default(),
             decode_cache: Vec::new(),
         }
@@ -174,6 +187,28 @@ impl<M: Memory> Iss<M> {
     /// Bytes written through the output system calls.
     pub fn output(&self) -> &[u8] {
         &self.output
+    }
+
+    /// Provides the byte stream consumed by `swi #4` ([`crate::syscall::SWI_GETC`]).
+    pub fn set_input(&mut self, bytes: Vec<u8>) {
+        self.input = SysInput::new(bytes);
+    }
+
+    /// Sets the program break reported by `swi #6`
+    /// ([`crate::syscall::SWI_BRK`]); constructors that know the image set
+    /// it to the image end.
+    pub fn set_brk(&mut self, brk: u32) {
+        self.brk = brk;
+    }
+
+    /// Current program break.
+    pub fn brk(&self) -> u32 {
+        self.brk
+    }
+
+    /// System calls executed with no implementation behind them.
+    pub fn unknown_swis(&self) -> u64 {
+        self.unknown_swis
     }
 
     /// Instruction-mix counters.
@@ -400,11 +435,22 @@ impl<M: Memory> Iss<M> {
             }
             Instr::Swi { imm, .. } => {
                 self.mix.swi += 1;
-                match dispatch(imm, self.regs[0], &mut self.output) {
+                // ISS clock = retired instructions (including this SWI);
+                // the cycle-accurate simulators report cycles instead.
+                let clock = self.mix.total();
+                let mut env = SysEnv {
+                    out: &mut self.output,
+                    input: &mut self.input,
+                    clock,
+                    brk: &mut self.brk,
+                    unknown_swis: &mut self.unknown_swis,
+                };
+                match dispatch(imm, self.regs[0], &mut env) {
                     SysAction::Exit(code) => {
                         self.halted = true;
                         self.exit_code = code;
                     }
+                    SysAction::SetR0(v) => self.regs[0] = v,
                     SysAction::Continue => {}
                 }
             }
@@ -674,6 +720,76 @@ mod tests {
         assert_eq!(iss.exit_code(), 1);
         assert_eq!(iss.regs[1], 2);
         assert_eq!(iss.regs[13], 60 * 1024, "sp restored");
+    }
+
+    #[test]
+    fn getc_brk_clock_through_the_iss() {
+        use crate::asm::assemble;
+        use crate::syscall::EOF_WORD;
+        // r4 = sum of input bytes via swi #4 until EOF; then stash the
+        // initial brk in r5, move it, and exit with the sum.
+        let program = assemble(
+            "mov r4, #0
+             loop:
+             swi #4
+             cmn r0, #1
+             beq done
+             add r4, r4, r0
+             b loop
+             done:
+             mov r0, #0
+             swi #6
+             mov r5, r0
+             add r0, r5, #64
+             swi #6
+             mov r6, r0
+             mov r0, r4
+             swi #0",
+        )
+        .expect("assembles");
+        let mut iss = Iss::from_program(&program);
+        iss.set_input(vec![1, 2, 3]);
+        iss.run(1000).expect("no faults");
+        assert!(iss.halted());
+        assert_eq!(iss.exit_code(), 6);
+        assert_eq!(iss.regs[5], program.image_end(), "initial brk is the image end");
+        assert_eq!(iss.regs[6], program.image_end() + 64, "brk moved");
+        assert_eq!(iss.brk(), program.image_end() + 64);
+        assert_eq!(iss.unknown_swis(), 0);
+        let _ = EOF_WORD; // EOF surfaced as cmn r0,#1 (r0 == 0xFFFF_FFFF).
+    }
+
+    #[test]
+    fn clock_swi_reads_retired_instructions() {
+        use crate::asm::assemble;
+        // nop-ish pad, then swi #5: r0 = instructions retired including
+        // the SWI itself (3 movs + swi = 4).
+        let program = assemble(
+            "mov r1, #0
+             mov r1, #0
+             mov r1, #0
+             swi #5
+             swi #0",
+        )
+        .expect("assembles");
+        let mut iss = Iss::from_program(&program);
+        iss.run(100).expect("no faults");
+        assert_eq!(iss.exit_code(), 4);
+    }
+
+    #[test]
+    fn unknown_swi_is_counted_by_the_iss() {
+        use crate::asm::assemble;
+        let program = assemble(
+            "swi #99
+             mov r0, #7
+             swi #0",
+        )
+        .expect("assembles");
+        let mut iss = Iss::from_program(&program);
+        iss.run(100).expect("no faults");
+        assert_eq!(iss.exit_code(), 7);
+        assert_eq!(iss.unknown_swis(), 1);
     }
 
     #[test]

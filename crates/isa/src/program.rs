@@ -11,8 +11,39 @@ pub const DEFAULT_MEM_BYTES: u32 = 1 << 20;
 /// Initial stack pointer (top of the default memory, 8-byte aligned).
 pub const DEFAULT_STACK_TOP: u32 = DEFAULT_MEM_BYTES - 8;
 
+/// Bytes reserved above the image for heap + stack when a memory size is
+/// *derived* from an image instead of taken from [`DEFAULT_MEM_BYTES`].
+pub const STACK_RESERVE_BYTES: u32 = 64 * 1024;
+
+/// The memory geometry a program runs under: how big the flat memory is
+/// and where the stack pointer starts.
+///
+/// The default reproduces the historical constants
+/// ([`DEFAULT_MEM_BYTES`]/[`DEFAULT_STACK_TOP`]), so existing callers are
+/// unchanged; loaders derive a layout from the image instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemLayout {
+    /// Flat memory size in bytes.
+    pub mem_bytes: u32,
+    /// Initial `r13` (8-byte aligned, below `mem_bytes`).
+    pub stack_top: u32,
+}
+
+impl Default for MemLayout {
+    fn default() -> Self {
+        MemLayout { mem_bytes: DEFAULT_MEM_BYTES, stack_top: DEFAULT_STACK_TOP }
+    }
+}
+
+impl MemLayout {
+    /// Layout with the stack at the (8-byte aligned) top of `mem_bytes`.
+    pub fn with_mem_bytes(mem_bytes: u32) -> Self {
+        MemLayout { mem_bytes, stack_top: mem_bytes.saturating_sub(8) & !7 }
+    }
+}
+
 /// An assembled program.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Program {
     /// The image, one word per entry, loaded at [`Program::base`].
     pub words: Vec<u32>,
@@ -30,14 +61,41 @@ impl Program {
         (self.words.len() * 4) as u32
     }
 
+    /// One past the last mapped byte of the image (also the initial heap
+    /// bound handed to `swi #6` / `SWI_BRK`).
+    pub fn image_end(&self) -> u32 {
+        self.base + self.size_bytes()
+    }
+
     /// Address of a label.
     pub fn label(&self, name: &str) -> Option<u32> {
         self.labels.get(name).copied()
     }
 
+    /// Memory size derived from the image itself: highest mapped address
+    /// plus `stack_reserve` bytes of heap/stack headroom, rounded up to 8.
+    pub fn required_mem_bytes(&self, stack_reserve: u32) -> u32 {
+        (self.image_end() + stack_reserve).div_ceil(8) * 8
+    }
+
+    /// Layout derived from the image via
+    /// [`Program::required_mem_bytes`] with [`STACK_RESERVE_BYTES`].
+    pub fn natural_layout(&self) -> MemLayout {
+        MemLayout::with_mem_bytes(self.required_mem_bytes(STACK_RESERVE_BYTES))
+    }
+
     /// Creates a memory of [`DEFAULT_MEM_BYTES`] with the image loaded.
     pub fn to_memory(&self) -> FlatMem {
-        let mut mem = FlatMem::new(DEFAULT_MEM_BYTES as usize);
+        self.to_memory_sized(DEFAULT_MEM_BYTES)
+    }
+
+    /// Creates a memory of `mem_bytes` with the image loaded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image does not fit (see [`FlatMem::load_words`]).
+    pub fn to_memory_sized(&self, mem_bytes: u32) -> FlatMem {
+        let mut mem = FlatMem::new(mem_bytes as usize);
         self.load_into(&mut mem);
         mem
     }
@@ -70,6 +128,29 @@ mod tests {
         assert_eq!(mem.read32(0x40), 0xE3A0_0000);
         assert_eq!(mem.read32(0x44), 0xEF00_0000);
         assert_eq!(mem.read32(0x48), 0);
+    }
+
+    #[test]
+    fn default_layout_matches_historical_constants() {
+        let l = MemLayout::default();
+        assert_eq!(l.mem_bytes, DEFAULT_MEM_BYTES);
+        assert_eq!(l.stack_top, DEFAULT_STACK_TOP);
+        // with_mem_bytes at the default size reproduces the default layout.
+        assert_eq!(MemLayout::with_mem_bytes(DEFAULT_MEM_BYTES), l);
+    }
+
+    #[test]
+    fn natural_layout_is_derived_from_image_end() {
+        let p = Program { words: vec![0; 3], base: 0x40, entry: 0x40, labels: BTreeMap::new() };
+        assert_eq!(p.image_end(), 0x4C);
+        let want = (0x4Cu32 + STACK_RESERVE_BYTES).div_ceil(8) * 8;
+        assert_eq!(p.required_mem_bytes(STACK_RESERVE_BYTES), want);
+        let l = p.natural_layout();
+        assert_eq!(l.mem_bytes, want);
+        assert_eq!(l.stack_top % 8, 0);
+        assert!(l.stack_top < l.mem_bytes);
+        let mem = p.to_memory_sized(l.mem_bytes);
+        assert_eq!(mem.size(), want as usize);
     }
 
     #[test]

@@ -1,11 +1,15 @@
-//! The SWI (software interrupt) interface shared by all simulators.
+//! The SWI (software interrupt) semihosting interface shared by all
+//! simulators.
 //!
 //! The paper's benchmarks "use very few simple system calls (mainly for IO)
 //! that should be translated into host operating system calls in the
 //! simulator". Our kernels follow the same discipline: exit with a checksum
-//! and optionally emit bytes. Every simulator (functional, RCPN
-//! cycle-accurate, baseline) dispatches through this module so behavior is
-//! identical everywhere.
+//! and optionally emit bytes. Real embedded binaries need a little more —
+//! input, a cycle readback and a heap bound — so the ABI also carries
+//! [`SWI_GETC`], [`SWI_CLOCK`] and [`SWI_BRK`]. Every simulator
+//! (functional, RCPN cycle-accurate, baseline) dispatches through this
+//! module so behavior is identical everywhere, and unknown calls are
+//! *counted* (not silently dropped) so an unimplemented call is diagnosable.
 
 /// `swi #0` — terminate; `r0` is the exit code (kernels return checksums).
 pub const SWI_EXIT: u32 = 0;
@@ -15,12 +19,83 @@ pub const SWI_PUTC: u32 = 1;
 pub const SWI_PUTU: u32 = 2;
 /// `swi #3` — write `r0` as eight hex digits plus a newline.
 pub const SWI_PUTX: u32 = 3;
+/// `swi #4` — read the next input byte into `r0`, or [`EOF_WORD`] at end
+/// of input.
+pub const SWI_GETC: u32 = 4;
+/// `swi #5` — read the simulator clock into `r0` (cycles on the
+/// cycle-accurate simulators, retired instructions on the ISS; the value
+/// is timing-model dependent by design).
+pub const SWI_CLOCK: u32 = 5;
+/// `swi #6` — heap bound: `r0 != 0` sets the program break, `r0` returns
+/// the current break (initially the end of the loaded image).
+pub const SWI_BRK: u32 = 6;
+
+/// Returned in `r0` by [`SWI_GETC`] once input is exhausted.
+pub const EOF_WORD: u32 = u32::MAX;
+
+/// True for SWIs that write a result back to `r0` ([`SWI_GETC`],
+/// [`SWI_CLOCK`], [`SWI_BRK`]). Decoders use this to give the call a
+/// destination-register hazard; the predicate depends only on the
+/// immediate, so it is decode-time static.
+pub fn returns_value(imm: u32) -> bool {
+    matches!(imm, SWI_GETC | SWI_CLOCK | SWI_BRK)
+}
+
+/// A byte stream consumed by [`SWI_GETC`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SysInput {
+    bytes: Vec<u8>,
+    pos: usize,
+}
+
+impl SysInput {
+    /// Input that will yield `bytes` then EOF.
+    pub fn new(bytes: Vec<u8>) -> Self {
+        SysInput { bytes, pos: 0 }
+    }
+
+    /// The next byte, advancing the cursor; `None` at end of input.
+    pub fn getc(&mut self) -> Option<u8> {
+        let b = self.bytes.get(self.pos).copied();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+}
+
+/// The simulator-side state a system call may touch.
+///
+/// Built fresh per dispatch from whichever simulator is executing; the
+/// borrows keep the ABI identical across the ISS and the cycle-accurate
+/// engines without sharing a state type.
+#[derive(Debug)]
+pub struct SysEnv<'a> {
+    /// Output stream ([`SWI_PUTC`]/[`SWI_PUTU`]/[`SWI_PUTX`]).
+    pub out: &'a mut Vec<u8>,
+    /// Input stream ([`SWI_GETC`]).
+    pub input: &'a mut SysInput,
+    /// Current clock reading ([`SWI_CLOCK`]): cycles for cycle-accurate
+    /// simulators, retired instructions for the ISS.
+    pub clock: u64,
+    /// Program break ([`SWI_BRK`]), initialized to the image end.
+    pub brk: &'a mut u32,
+    /// Count of SWIs with no implementation, incremented on dispatch.
+    pub unknown_swis: &'a mut u64,
+}
 
 /// The effect of a system call on the simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SysAction {
     /// Continue executing.
     Continue,
+    /// Continue, writing this value to `r0`.
+    SetR0(u32),
     /// Stop; the program exited with this code.
     Exit(u32),
 }
@@ -28,26 +103,37 @@ pub enum SysAction {
 /// Dispatches a system call.
 ///
 /// `imm` is the SWI comment field, `r0` the first argument register, and
-/// `out` the simulator's output stream. Unknown calls are ignored (treated
-/// as no-ops), matching a forgiving semihosting environment.
-pub fn dispatch(imm: u32, r0: u32, out: &mut Vec<u8>) -> SysAction {
+/// `env` the simulator state the call may touch. Unknown calls are no-ops
+/// that bump `env.unknown_swis` so they stay diagnosable.
+pub fn dispatch(imm: u32, r0: u32, env: &mut SysEnv<'_>) -> SysAction {
     match imm {
         SWI_EXIT => SysAction::Exit(r0),
         SWI_PUTC => {
-            out.push(r0 as u8);
+            env.out.push(r0 as u8);
             SysAction::Continue
         }
         SWI_PUTU => {
-            out.extend_from_slice(r0.to_string().as_bytes());
-            out.push(b'\n');
+            env.out.extend_from_slice(r0.to_string().as_bytes());
+            env.out.push(b'\n');
             SysAction::Continue
         }
         SWI_PUTX => {
-            out.extend_from_slice(format!("{r0:08x}").as_bytes());
-            out.push(b'\n');
+            env.out.extend_from_slice(format!("{r0:08x}").as_bytes());
+            env.out.push(b'\n');
             SysAction::Continue
         }
-        _ => SysAction::Continue,
+        SWI_GETC => SysAction::SetR0(env.input.getc().map_or(EOF_WORD, u32::from)),
+        SWI_CLOCK => SysAction::SetR0(env.clock as u32),
+        SWI_BRK => {
+            if r0 != 0 {
+                *env.brk = r0;
+            }
+            SysAction::SetR0(*env.brk)
+        }
+        _ => {
+            *env.unknown_swis += 1;
+            SysAction::Continue
+        }
     }
 }
 
@@ -55,33 +141,99 @@ pub fn dispatch(imm: u32, r0: u32, out: &mut Vec<u8>) -> SysAction {
 mod tests {
     use super::*;
 
+    /// A self-contained env for exercising `dispatch`.
+    struct Bench {
+        out: Vec<u8>,
+        input: SysInput,
+        clock: u64,
+        brk: u32,
+        unknown: u64,
+    }
+
+    impl Bench {
+        fn new() -> Self {
+            Bench { out: Vec::new(), input: SysInput::default(), clock: 0, brk: 0x100, unknown: 0 }
+        }
+
+        fn dispatch(&mut self, imm: u32, r0: u32) -> SysAction {
+            let mut env = SysEnv {
+                out: &mut self.out,
+                input: &mut self.input,
+                clock: self.clock,
+                brk: &mut self.brk,
+                unknown_swis: &mut self.unknown,
+            };
+            dispatch(imm, r0, &mut env)
+        }
+    }
+
     #[test]
     fn exit_returns_code() {
-        let mut out = Vec::new();
-        assert_eq!(dispatch(SWI_EXIT, 0xC0DE, &mut out), SysAction::Exit(0xC0DE));
-        assert!(out.is_empty());
+        let mut b = Bench::new();
+        assert_eq!(b.dispatch(SWI_EXIT, 0xC0DE), SysAction::Exit(0xC0DE));
+        assert!(b.out.is_empty());
     }
 
     #[test]
     fn putc_appends() {
-        let mut out = Vec::new();
-        assert_eq!(dispatch(SWI_PUTC, u32::from(b'h'), &mut out), SysAction::Continue);
-        dispatch(SWI_PUTC, u32::from(b'i'), &mut out);
-        assert_eq!(out, b"hi");
+        let mut b = Bench::new();
+        assert_eq!(b.dispatch(SWI_PUTC, u32::from(b'h')), SysAction::Continue);
+        b.dispatch(SWI_PUTC, u32::from(b'i'));
+        assert_eq!(b.out, b"hi");
     }
 
     #[test]
     fn putu_and_putx_format() {
-        let mut out = Vec::new();
-        dispatch(SWI_PUTU, 1234, &mut out);
-        dispatch(SWI_PUTX, 0xBEEF, &mut out);
-        assert_eq!(out, b"1234\n0000beef\n");
+        let mut b = Bench::new();
+        b.dispatch(SWI_PUTU, 1234);
+        b.dispatch(SWI_PUTX, 0xBEEF);
+        assert_eq!(b.out, b"1234\n0000beef\n");
     }
 
     #[test]
-    fn unknown_swi_is_a_noop() {
-        let mut out = Vec::new();
-        assert_eq!(dispatch(99, 5, &mut out), SysAction::Continue);
-        assert!(out.is_empty());
+    fn getc_drains_input_then_eof() {
+        let mut b = Bench::new();
+        b.input = SysInput::new(b"ok".to_vec());
+        assert_eq!(b.dispatch(SWI_GETC, 0), SysAction::SetR0(u32::from(b'o')));
+        assert_eq!(b.dispatch(SWI_GETC, 0), SysAction::SetR0(u32::from(b'k')));
+        assert_eq!(b.dispatch(SWI_GETC, 0), SysAction::SetR0(EOF_WORD));
+        assert_eq!(b.dispatch(SWI_GETC, 0), SysAction::SetR0(EOF_WORD), "EOF is sticky");
+        assert_eq!(b.input.remaining(), 0);
+    }
+
+    #[test]
+    fn clock_reads_env_clock() {
+        let mut b = Bench::new();
+        b.clock = 777;
+        assert_eq!(b.dispatch(SWI_CLOCK, 0), SysAction::SetR0(777));
+    }
+
+    #[test]
+    fn brk_queries_and_moves_the_break() {
+        let mut b = Bench::new();
+        assert_eq!(b.dispatch(SWI_BRK, 0), SysAction::SetR0(0x100), "r0=0 queries");
+        assert_eq!(b.dispatch(SWI_BRK, 0x2000), SysAction::SetR0(0x2000), "r0!=0 sets");
+        assert_eq!(b.brk, 0x2000);
+        assert_eq!(b.dispatch(SWI_BRK, 0), SysAction::SetR0(0x2000));
+    }
+
+    #[test]
+    fn unknown_swi_is_counted_not_silent() {
+        let mut b = Bench::new();
+        assert_eq!(b.dispatch(99, 5), SysAction::Continue);
+        assert_eq!(b.dispatch(0x123456, 5), SysAction::Continue);
+        assert_eq!(b.unknown, 2);
+        assert!(b.out.is_empty());
+    }
+
+    #[test]
+    fn returns_value_is_exactly_the_readback_calls() {
+        for imm in 0..16 {
+            assert_eq!(
+                returns_value(imm),
+                matches!(imm, SWI_GETC | SWI_CLOCK | SWI_BRK),
+                "imm={imm}"
+            );
+        }
     }
 }

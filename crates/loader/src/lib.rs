@@ -1,0 +1,47 @@
+//! Real-binary program images: a hand-rolled, dependency-free ELF32/ARM
+//! codec.
+//!
+//! The paper's evaluation runs real `arm-linux-gcc`-compiled binaries;
+//! this crate is the seam that lets the reproduction do the same. It has
+//! two halves:
+//!
+//! * a **writer** — [`ProgramToElf::to_elf_bytes`] turns any assembled
+//!   [`arm_isa::program::Program`] into a valid little-endian `ET_EXEC`
+//!   ELF32/ARM image (header, `PT_LOAD` segments, entry point, symbol
+//!   table from the label map), so the existing assembler becomes a
+//!   producer of real binaries; and
+//! * a **loader** — [`load_elf`] parses an ELF32/ARM executable with
+//!   typed, never-panicking [`ElfError`]s, maps its `PT_LOAD` segments,
+//!   derives a [`arm_isa::program::MemLayout`] from the image (instead of
+//!   the hardcoded default), and recovers labels from the symbol table.
+//!
+//! The round trip is a pinned contract: `assemble → to_elf_bytes →
+//! load_elf → run` is bit-identical (trace, `Stats`, `SchedStats`, final
+//! registers) to the in-process path for every registry model × every
+//! fig10 kernel (see `crates/bench/tests/elf_roundtrip.rs`).
+//!
+//! ```
+//! use arm_isa::asm::assemble;
+//! use rcpn_loader::{load_elf, ProgramToElf};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = assemble("mov r0, #42\nswi #0\n")?;
+//! let bytes = program.to_elf_bytes();
+//! let image = load_elf(&bytes)?;
+//! assert_eq!(image.program.words, program.words);
+//! let mut iss = image.iss();
+//! iss.run(1000)?;
+//! assert_eq!(iss.exit_code(), 42);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod elf;
+mod load;
+mod write;
+
+pub use elf::ElfError;
+pub use load::{load_elf, LoadedImage, Segment};
+pub use write::{to_elf_bytes, ProgramToElf};

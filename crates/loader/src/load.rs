@@ -1,0 +1,426 @@
+//! The ELF loader: real binaries become runnable [`LoadedImage`]s.
+//!
+//! Validation is strict and fully typed — every malformed input maps to
+//! an [`ElfError`], the parser never panics and never indexes without a
+//! bounds check. The memory layout is *derived from the image* (highest
+//! mapped address, plus a stack reserve when the file does not carry
+//! one), not taken from `DEFAULT_MEM_BYTES`.
+
+use std::collections::BTreeMap;
+
+use arm_isa::iss::Iss;
+use arm_isa::program::{MemLayout, Program, STACK_RESERVE_BYTES};
+use memsys::FlatMem;
+
+use crate::elf::*;
+
+/// Largest file-backed image span the loader will materialize (a guard
+/// against absurd allocations from corrupt headers, not a real limit).
+const MAX_SPAN_BYTES: u64 = 256 << 20;
+/// Program-header count ceiling (real embedded images have a handful).
+const MAX_PHNUM: u16 = 64;
+/// Section-header count ceiling.
+const MAX_SHNUM: u16 = 256;
+
+/// One `PT_LOAD` program header, as parsed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    /// Virtual load address.
+    pub vaddr: u32,
+    /// Bytes occupied in memory (`p_memsz`).
+    pub memsz: u32,
+    /// Bytes backed by the file (`p_filesz`; the rest is zero-filled).
+    pub filesz: u32,
+    /// File offset of the backing bytes.
+    pub offset: u32,
+    /// Permission flags (`PF_R` | `PF_W` | `PF_X`).
+    pub flags: u32,
+}
+
+/// A parsed, validated ELF executable, ready to instantiate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadedImage {
+    /// The image as a [`Program`]: contiguous words spanning the
+    /// file-backed segments (holes zero-filled), entry point, and labels
+    /// recovered from the symbol table.
+    pub program: Program,
+    /// Memory geometry derived from the segments.
+    pub layout: MemLayout,
+    /// The `PT_LOAD` segments, in file order.
+    pub segments: Vec<Segment>,
+}
+
+impl LoadedImage {
+    /// A [`FlatMem`] of the derived size with the image loaded.
+    pub fn to_memory(&self) -> FlatMem {
+        self.program.to_memory_sized(self.layout.mem_bytes)
+    }
+
+    /// A functional-simulator instance over this image (PC at the entry,
+    /// SP at the derived stack top, break at the image end).
+    pub fn iss(&self) -> Iss<FlatMem> {
+        Iss::from_program_with(&self.program, self.layout)
+    }
+}
+
+/// Parses and validates an ELF32/ARM `ET_EXEC` image.
+///
+/// # Errors
+///
+/// Every malformed input is a typed [`ElfError`]:
+/// [`ElfError::BadMagic`]/[`ElfError::BadClass`]/[`ElfError::BadMachine`]
+/// for files of the wrong kind, [`ElfError::UnsupportedFeature`] for
+/// valid ELF outside the executed subset (big-endian, non-`ET_EXEC`),
+/// [`ElfError::Truncated`] when the file ends early, and
+/// [`ElfError::Corrupt`] for self-contradictory headers (overlapping
+/// segments, entry outside any `PT_LOAD`, ...).
+pub fn load_elf(bytes: &[u8]) -> Result<LoadedImage, ElfError> {
+    // --- ELF header ---------------------------------------------------
+    if bytes.len() < EHDR_LEN {
+        return Err(ElfError::Truncated { what: "ELF header", need: EHDR_LEN, have: bytes.len() });
+    }
+    if bytes[0..4] != ELF_MAGIC {
+        return Err(ElfError::BadMagic { found: [bytes[0], bytes[1], bytes[2], bytes[3]] });
+    }
+    if bytes[4] != ELFCLASS32 {
+        return Err(ElfError::BadClass { found: bytes[4] });
+    }
+    if bytes[5] != ELFDATA2LSB {
+        return Err(ElfError::UnsupportedFeature {
+            what: "encoding",
+            detail: format!("EI_DATA {} (only little-endian/ELFDATA2LSB is supported)", bytes[5]),
+        });
+    }
+    if bytes[6] != EV_CURRENT {
+        return Err(ElfError::Corrupt {
+            what: "ident version",
+            detail: format!("EI_VERSION {} != {EV_CURRENT}", bytes[6]),
+        });
+    }
+    let e_type = read_u16(bytes, 16, "e_type")?;
+    if e_type != ET_EXEC {
+        return Err(ElfError::UnsupportedFeature {
+            what: "object type",
+            detail: format!("e_type {e_type} (only ET_EXEC executables are supported)"),
+        });
+    }
+    let e_machine = read_u16(bytes, 18, "e_machine")?;
+    if e_machine != EM_ARM {
+        return Err(ElfError::BadMachine { found: e_machine });
+    }
+    let entry = read_u32(bytes, 24, "e_entry")?;
+    let phoff = read_u32(bytes, 28, "e_phoff")? as usize;
+    let shoff = read_u32(bytes, 32, "e_shoff")? as usize;
+    let phentsize = read_u16(bytes, 42, "e_phentsize")?;
+    let phnum = read_u16(bytes, 44, "e_phnum")?;
+    let shentsize = read_u16(bytes, 46, "e_shentsize")?;
+    let shnum = read_u16(bytes, 48, "e_shnum")?;
+
+    // --- Program headers ----------------------------------------------
+    if phnum == 0 {
+        return Err(ElfError::Corrupt { what: "program headers", detail: "e_phnum is 0".into() });
+    }
+    if phnum > MAX_PHNUM {
+        return Err(ElfError::Corrupt {
+            what: "program headers",
+            detail: format!("e_phnum {phnum} exceeds the supported maximum {MAX_PHNUM}"),
+        });
+    }
+    if usize::from(phentsize) != PHDR_LEN {
+        return Err(ElfError::Corrupt {
+            what: "program headers",
+            detail: format!("e_phentsize {phentsize} != {PHDR_LEN}"),
+        });
+    }
+    let ph_end = phoff + usize::from(phnum) * PHDR_LEN;
+    if ph_end > bytes.len() {
+        return Err(ElfError::Truncated {
+            what: "program header table",
+            need: ph_end,
+            have: bytes.len(),
+        });
+    }
+
+    let mut segments = Vec::new();
+    for i in 0..usize::from(phnum) {
+        let off = phoff + i * PHDR_LEN;
+        let p_type = read_u32(bytes, off, "p_type")?;
+        if p_type != PT_LOAD {
+            // Non-load segments (notes, ABI tags) are irrelevant here.
+            continue;
+        }
+        let seg = Segment {
+            offset: read_u32(bytes, off + 4, "p_offset")?,
+            vaddr: read_u32(bytes, off + 8, "p_vaddr")?,
+            filesz: read_u32(bytes, off + 16, "p_filesz")?,
+            memsz: read_u32(bytes, off + 20, "p_memsz")?,
+            flags: read_u32(bytes, off + 24, "p_flags")?,
+        };
+        if seg.filesz > seg.memsz {
+            return Err(ElfError::Corrupt {
+                what: "segment",
+                detail: format!(
+                    "PT_LOAD[{i}] p_filesz {} exceeds p_memsz {}",
+                    seg.filesz, seg.memsz
+                ),
+            });
+        }
+        if u64::from(seg.vaddr) + u64::from(seg.memsz) > u64::from(u32::MAX) {
+            return Err(ElfError::Corrupt {
+                what: "segment",
+                detail: format!(
+                    "PT_LOAD[{i}] wraps the 32-bit address space (vaddr {:#x} + memsz {:#x})",
+                    seg.vaddr, seg.memsz
+                ),
+            });
+        }
+        let file_end = seg.offset as usize + seg.filesz as usize;
+        if file_end > bytes.len() {
+            return Err(ElfError::Truncated {
+                what: "segment bytes",
+                need: file_end,
+                have: bytes.len(),
+            });
+        }
+        segments.push(seg);
+    }
+
+    // Overlap check over the mapped (memsz) ranges.
+    let mut spans: Vec<(u32, u32)> =
+        segments.iter().filter(|s| s.memsz > 0).map(|s| (s.vaddr, s.vaddr + s.memsz)).collect();
+    spans.sort_unstable();
+    for w in spans.windows(2) {
+        if w[1].0 < w[0].1 {
+            return Err(ElfError::Corrupt {
+                what: "segments",
+                detail: format!(
+                    "overlapping PT_LOAD ranges [{:#x}, {:#x}) and [{:#x}, {:#x})",
+                    w[0].0, w[0].1, w[1].0, w[1].1
+                ),
+            });
+        }
+    }
+
+    // --- Entry point ----------------------------------------------------
+    if entry % 4 != 0 {
+        return Err(ElfError::Corrupt {
+            what: "entry",
+            detail: format!("e_entry {entry:#x} is not word-aligned"),
+        });
+    }
+    if !segments.iter().any(|s| entry >= s.vaddr && entry < s.vaddr + s.memsz) {
+        return Err(ElfError::Corrupt {
+            what: "entry",
+            detail: format!("e_entry {entry:#x} lies outside any PT_LOAD segment"),
+        });
+    }
+
+    // --- Image reconstruction -------------------------------------------
+    // One contiguous word span covering the file-backed segments; holes
+    // between them are zero-filled (exactly what a flat memory would hold).
+    let backed: Vec<&Segment> = segments.iter().filter(|s| s.filesz > 0).collect();
+    if backed.is_empty() {
+        return Err(ElfError::Corrupt {
+            what: "segments",
+            detail: "no file-backed PT_LOAD segment (nothing to execute)".into(),
+        });
+    }
+    let base = backed.iter().map(|s| s.vaddr).min().unwrap_or(0) & !3;
+    let file_top =
+        backed.iter().map(|s| u64::from(s.vaddr) + u64::from(s.filesz)).max().unwrap_or(0);
+    let span = file_top.saturating_sub(u64::from(base)).div_ceil(4) * 4;
+    if span > MAX_SPAN_BYTES {
+        return Err(ElfError::UnsupportedFeature {
+            what: "image size",
+            detail: format!("file-backed span {span} bytes exceeds the {MAX_SPAN_BYTES} limit"),
+        });
+    }
+    let mut image = vec![0u8; span as usize];
+    for s in &backed {
+        let dst = (s.vaddr - base) as usize;
+        let src = s.offset as usize;
+        image[dst..dst + s.filesz as usize].copy_from_slice(&bytes[src..src + s.filesz as usize]);
+    }
+    let words =
+        image.chunks_exact(4).map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect();
+
+    // --- Memory layout ---------------------------------------------------
+    // If the image carries zero-filled headroom (bss/stack reserve), its
+    // top is the memory size; otherwise add our own reserve above the
+    // file-backed top.
+    let mapped_top = segments.iter().map(|s| u64::from(s.vaddr) + u64::from(s.memsz)).max();
+    let mapped_top = mapped_top.unwrap_or(0);
+    let mem_bytes64 = if mapped_top > file_top {
+        mapped_top.div_ceil(8) * 8
+    } else {
+        (mapped_top + u64::from(STACK_RESERVE_BYTES)).div_ceil(8) * 8
+    };
+    if mem_bytes64 > u64::from(u32::MAX) {
+        return Err(ElfError::Corrupt {
+            what: "layout",
+            detail: format!("derived memory size {mem_bytes64} exceeds the 32-bit address space"),
+        });
+    }
+    let layout = MemLayout::with_mem_bytes(mem_bytes64 as u32);
+
+    // --- Symbol table (optional) -----------------------------------------
+    let labels = if shoff != 0 && shnum != 0 {
+        recover_labels(bytes, shoff, shentsize, shnum)?
+    } else {
+        BTreeMap::new()
+    };
+
+    Ok(LoadedImage { program: Program { words, base, entry, labels }, layout, segments })
+}
+
+/// Reads the (optional) symbol table back into a label map.
+fn recover_labels(
+    bytes: &[u8],
+    shoff: usize,
+    shentsize: u16,
+    shnum: u16,
+) -> Result<BTreeMap<String, u32>, ElfError> {
+    if usize::from(shentsize) != SHDR_LEN {
+        return Err(ElfError::Corrupt {
+            what: "section headers",
+            detail: format!("e_shentsize {shentsize} != {SHDR_LEN}"),
+        });
+    }
+    if shnum > MAX_SHNUM {
+        return Err(ElfError::Corrupt {
+            what: "section headers",
+            detail: format!("e_shnum {shnum} exceeds the supported maximum {MAX_SHNUM}"),
+        });
+    }
+    let sh_end = shoff + usize::from(shnum) * SHDR_LEN;
+    if sh_end > bytes.len() {
+        return Err(ElfError::Truncated {
+            what: "section header table",
+            need: sh_end,
+            have: bytes.len(),
+        });
+    }
+    let section = |idx: usize| -> Result<(u32, u32, u32, u32), ElfError> {
+        let off = shoff + idx * SHDR_LEN;
+        Ok((
+            read_u32(bytes, off + 4, "sh_type")?,
+            read_u32(bytes, off + 16, "sh_offset")?,
+            read_u32(bytes, off + 20, "sh_size")?,
+            read_u32(bytes, off + 24, "sh_link")?,
+        ))
+    };
+
+    let mut labels = BTreeMap::new();
+    for idx in 0..usize::from(shnum) {
+        let (ty, offset, size, link) = section(idx)?;
+        if ty != SHT_SYMTAB {
+            continue;
+        }
+        if size as usize % SYM_LEN != 0 {
+            return Err(ElfError::Corrupt {
+                what: "symtab",
+                detail: format!("sh_size {size} is not a multiple of {SYM_LEN}"),
+            });
+        }
+        let end = offset as usize + size as usize;
+        if end > bytes.len() {
+            return Err(ElfError::Truncated { what: "symtab", need: end, have: bytes.len() });
+        }
+        if link as usize >= usize::from(shnum) {
+            return Err(ElfError::Corrupt {
+                what: "symtab",
+                detail: format!("sh_link {link} is not a valid section index"),
+            });
+        }
+        let (str_ty, str_off, str_size, _) = section(link as usize)?;
+        if str_ty != SHT_STRTAB {
+            return Err(ElfError::Corrupt {
+                what: "symtab",
+                detail: format!("sh_link {link} does not reference a string table"),
+            });
+        }
+        let str_end = str_off as usize + str_size as usize;
+        if str_end > bytes.len() {
+            return Err(ElfError::Truncated { what: "strtab", need: str_end, have: bytes.len() });
+        }
+        let strtab = &bytes[str_off as usize..str_end];
+        for s in 0..(size as usize / SYM_LEN) {
+            let off = offset as usize + s * SYM_LEN;
+            let name_off = read_u32(bytes, off, "st_name")? as usize;
+            let value = read_u32(bytes, off + 4, "st_value")?;
+            if name_off == 0 {
+                continue; // unnamed (including the null symbol)
+            }
+            if name_off >= strtab.len() {
+                return Err(ElfError::Corrupt {
+                    what: "symtab",
+                    detail: format!("st_name {name_off} is outside the string table"),
+                });
+            }
+            let rest = &strtab[name_off..];
+            let Some(nul) = rest.iter().position(|&b| b == 0) else {
+                return Err(ElfError::Corrupt {
+                    what: "strtab",
+                    detail: format!("name at {name_off} is not NUL-terminated"),
+                });
+            };
+            let name = String::from_utf8_lossy(&rest[..nul]).into_owned();
+            if !name.is_empty() {
+                labels.insert(name, value);
+            }
+        }
+    }
+    Ok(labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::write::ProgramToElf;
+    use arm_isa::asm::assemble;
+    use arm_isa::program::{DEFAULT_MEM_BYTES, DEFAULT_STACK_TOP};
+
+    #[test]
+    fn roundtrip_preserves_program_and_default_layout() {
+        let p = assemble("start:\nmov r0, #5\nloop:\nsubs r0, r0, #1\nbne loop\nswi #0\n").unwrap();
+        let img = load_elf(&p.to_elf_bytes()).expect("writer output loads");
+        assert_eq!(img.program.words, p.words);
+        assert_eq!(img.program.base, p.base);
+        assert_eq!(img.program.entry, p.entry);
+        assert_eq!(img.program.labels, p.labels, "labels survive via the symtab");
+        assert_eq!(
+            img.layout,
+            MemLayout { mem_bytes: DEFAULT_MEM_BYTES, stack_top: DEFAULT_STACK_TOP },
+            "small images derive exactly the historical layout"
+        );
+        assert_eq!(img.segments.len(), 2);
+        assert_eq!(img.segments[1].filesz, 0, "stack reserve is zero-filled");
+    }
+
+    #[test]
+    fn loaded_image_runs_on_the_iss() {
+        let p = assemble("mov r0, #6\nmov r1, #7\nmul r0, r1, r0\nswi #0\n").unwrap();
+        let img = load_elf(&p.to_elf_bytes()).unwrap();
+        let mut iss = img.iss();
+        iss.run(1_000).expect("no faults");
+        assert_eq!(iss.exit_code(), 42);
+    }
+
+    #[test]
+    fn foreign_image_without_reserve_gets_one() {
+        // Hand-build a minimal ELF with a single file-backed PT_LOAD and
+        // no zero-filled headroom: the loader must add its own reserve.
+        let p = assemble("mov r0, #9\nswi #0\n").unwrap();
+        let mut bytes = p.to_elf_bytes();
+        // Drop the second program header (the stack reserve): e_phnum → 1.
+        bytes[44] = 1;
+        let img = load_elf(&bytes).expect("single-segment image loads");
+        assert_eq!(img.segments.len(), 1);
+        let expected = (u64::from(p.image_end()) + u64::from(STACK_RESERVE_BYTES)).div_ceil(8) * 8;
+        assert_eq!(u64::from(img.layout.mem_bytes), expected);
+        assert!(img.layout.stack_top < img.layout.mem_bytes);
+        let mut iss = img.iss();
+        iss.run(100).expect("no faults");
+        assert_eq!(iss.exit_code(), 9);
+    }
+}

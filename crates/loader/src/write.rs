@@ -1,0 +1,210 @@
+//! The ELF writer: assembled [`Program`]s become valid `ET_EXEC`
+//! ELF32/ARM files.
+//!
+//! The emitted file is deliberately small and fully deterministic (label
+//! symbols come out in `BTreeMap` order): one `PT_LOAD` for the image
+//! (the flat kernels intermix code and data, so code+data share a
+//! segment), one zero-`filesz` `PT_LOAD` reserving heap+stack above it,
+//! and a symbol table carrying the assembler's label map. The stack
+//! segment is placed so that [`crate::load_elf`] derives exactly the
+//! [`arm_isa::program::MemLayout`] the in-process path uses — that is
+//! what makes the round trip bit-identical.
+
+use arm_isa::program::{Program, DEFAULT_MEM_BYTES, STACK_RESERVE_BYTES};
+
+use crate::elf::*;
+
+/// Extension trait putting `to_elf_bytes` on [`Program`].
+///
+/// (A trait because `Program` lives in `arm-isa`, which this crate
+/// depends on — the method cannot be inherent without inverting the
+/// dependency.)
+pub trait ProgramToElf {
+    /// Serializes the program as a little-endian `ET_EXEC` ELF32/ARM
+    /// image; see [`to_elf_bytes`].
+    fn to_elf_bytes(&self) -> Vec<u8>;
+}
+
+impl ProgramToElf for Program {
+    fn to_elf_bytes(&self) -> Vec<u8> {
+        to_elf_bytes(self)
+    }
+}
+
+fn push_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn align4(n: usize) -> usize {
+    n.div_ceil(4) * 4
+}
+
+/// Where the writer places the zero-`filesz` heap+stack `PT_LOAD`.
+///
+/// Images that fit under the historical 1 MiB layout get the reserve at
+/// its top, so loading the file back derives `MemLayout::default()` and
+/// the round trip stays bit-identical with the in-process path; larger
+/// images get the reserve directly above themselves.
+pub(crate) fn stack_segment_vaddr(program: &Program) -> u32 {
+    let end = program.image_end();
+    if end <= DEFAULT_MEM_BYTES - STACK_RESERVE_BYTES {
+        DEFAULT_MEM_BYTES - STACK_RESERVE_BYTES
+    } else {
+        end.div_ceil(8) * 8
+    }
+}
+
+/// Serializes `program` as a little-endian `ET_EXEC` ELF32/ARM image.
+///
+/// File layout: ELF header, two program headers (image `PT_LOAD`,
+/// zero-`filesz` stack-reserve `PT_LOAD`), the image bytes, `.symtab`
+/// (one `STB_GLOBAL` symbol per assembler label), `.strtab`,
+/// `.shstrtab`, section headers. The output is deterministic: equal
+/// programs produce equal bytes.
+pub fn to_elf_bytes(program: &Program) -> Vec<u8> {
+    let image_len = program.size_bytes() as usize;
+    // p_align = 4 requires p_offset ≡ p_vaddr (mod 4); the header block is
+    // 4-aligned, so pad by the base's misalignment (0 for word-aligned
+    // bases, which is every assembler output).
+    let pad = (program.base & 3) as usize;
+    let img_off = EHDR_LEN + 2 * PHDR_LEN + pad;
+    let symtab_off = align4(img_off + image_len);
+    let nsyms = 1 + program.labels.len();
+    let strtab_off = symtab_off + nsyms * SYM_LEN;
+
+    // String table: NUL, then each label name NUL-terminated.
+    let mut strtab = vec![0u8];
+    let mut name_offsets = Vec::with_capacity(program.labels.len());
+    for name in program.labels.keys() {
+        name_offsets.push(strtab.len() as u32);
+        strtab.extend_from_slice(name.as_bytes());
+        strtab.push(0);
+    }
+
+    let shstrtab: &[u8] = b"\0.text\0.symtab\0.strtab\0.shstrtab\0";
+    let shstrtab_off = strtab_off + strtab.len();
+    let shoff = align4(shstrtab_off + shstrtab.len());
+
+    let stack_vaddr = stack_segment_vaddr(program);
+    let mut out = Vec::with_capacity(shoff + 5 * SHDR_LEN);
+
+    // --- ELF header ---------------------------------------------------
+    out.extend_from_slice(&ELF_MAGIC);
+    out.push(ELFCLASS32);
+    out.push(ELFDATA2LSB);
+    out.push(EV_CURRENT);
+    out.extend_from_slice(&[0u8; 9]); // EI_OSABI, EI_ABIVERSION, padding
+    push_u16(&mut out, ET_EXEC);
+    push_u16(&mut out, EM_ARM);
+    push_u32(&mut out, u32::from(EV_CURRENT));
+    push_u32(&mut out, program.entry);
+    push_u32(&mut out, EHDR_LEN as u32); // e_phoff
+    push_u32(&mut out, shoff as u32); // e_shoff
+    push_u32(&mut out, EF_ARM_EABI_VER5);
+    push_u16(&mut out, EHDR_LEN as u16);
+    push_u16(&mut out, PHDR_LEN as u16);
+    push_u16(&mut out, 2); // e_phnum
+    push_u16(&mut out, SHDR_LEN as u16);
+    push_u16(&mut out, 5); // e_shnum
+    push_u16(&mut out, 4); // e_shstrndx
+    debug_assert_eq!(out.len(), EHDR_LEN);
+
+    // --- Program headers ----------------------------------------------
+    // The image: code + data, one segment (the kernels intermix them).
+    for (p_offset, vaddr, filesz, memsz, flags) in [
+        (img_off as u32, program.base, image_len as u32, image_len as u32, PF_R | PF_W | PF_X),
+        (0u32, stack_vaddr, 0u32, STACK_RESERVE_BYTES, PF_R | PF_W),
+    ] {
+        push_u32(&mut out, PT_LOAD);
+        push_u32(&mut out, p_offset);
+        push_u32(&mut out, vaddr); // p_vaddr
+        push_u32(&mut out, vaddr); // p_paddr
+        push_u32(&mut out, filesz);
+        push_u32(&mut out, memsz);
+        push_u32(&mut out, flags);
+        push_u32(&mut out, 4); // p_align
+    }
+
+    // --- Image ---------------------------------------------------------
+    out.resize(out.len() + pad, 0);
+    debug_assert_eq!(out.len(), img_off);
+    for w in &program.words {
+        push_u32(&mut out, *w);
+    }
+    out.resize(symtab_off, 0);
+
+    // --- Symbol table ---------------------------------------------------
+    out.extend_from_slice(&[0u8; SYM_LEN]); // null symbol
+    for (name_off, addr) in name_offsets.iter().zip(program.labels.values()) {
+        push_u32(&mut out, *name_off); // st_name
+        push_u32(&mut out, *addr); // st_value
+        push_u32(&mut out, 0); // st_size
+        out.push(STB_GLOBAL_NOTYPE); // st_info
+        out.push(0); // st_other
+        push_u16(&mut out, 1); // st_shndx → .text
+    }
+
+    // --- String tables ---------------------------------------------------
+    out.extend_from_slice(&strtab);
+    out.extend_from_slice(shstrtab);
+    out.resize(shoff, 0);
+
+    // --- Section headers -------------------------------------------------
+    // [name, type, flags, addr, offset, size, link, info, align, entsize]
+    let sections: [[u32; 10]; 5] = [
+        [0; 10],
+        // .text: SHF_ALLOC | SHF_EXECINSTR
+        [1, SHT_PROGBITS, 0x6, program.base, img_off as u32, image_len as u32, 0, 0, 4, 0],
+        // .symtab links to .strtab; info = index of the first global (1).
+        [7, SHT_SYMTAB, 0, 0, symtab_off as u32, (nsyms * SYM_LEN) as u32, 3, 1, 4, SYM_LEN as u32],
+        [15, SHT_STRTAB, 0, 0, strtab_off as u32, strtab.len() as u32, 0, 0, 1, 0],
+        [23, SHT_STRTAB, 0, 0, shstrtab_off as u32, shstrtab.len() as u32, 0, 0, 1, 0],
+    ];
+    for shdr in sections {
+        for v in shdr {
+            push_u32(&mut out, v);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arm_isa::asm::assemble;
+
+    #[test]
+    fn writer_is_deterministic_and_well_formed() {
+        let p = assemble("start:\nmov r0, #1\nswi #0\n").unwrap();
+        let a = p.to_elf_bytes();
+        let b = to_elf_bytes(&p);
+        assert_eq!(a, b, "equal programs must produce equal bytes");
+        assert_eq!(&a[0..4], &ELF_MAGIC);
+        assert_eq!(a[4], ELFCLASS32);
+        assert_eq!(a[5], ELFDATA2LSB);
+        // e_entry at offset 24.
+        assert_eq!(u32::from_le_bytes(a[24..28].try_into().unwrap()), p.entry);
+        // The image bytes sit at offset 116 for a base-0 program.
+        let img_off = EHDR_LEN + 2 * PHDR_LEN;
+        let first = u32::from_le_bytes(a[img_off..img_off + 4].try_into().unwrap());
+        assert_eq!(first, p.words[0]);
+    }
+
+    #[test]
+    fn small_images_reserve_the_default_layout_top() {
+        let p = assemble("mov r0, #1\nswi #0\n").unwrap();
+        assert_eq!(stack_segment_vaddr(&p), DEFAULT_MEM_BYTES - STACK_RESERVE_BYTES);
+    }
+
+    #[test]
+    fn oversized_images_push_the_stack_above_themselves() {
+        use std::collections::BTreeMap;
+        let words = (DEFAULT_MEM_BYTES / 4) as usize; // image alone fills 1 MiB
+        let p = Program { words: vec![0; words], base: 0, entry: 0, labels: BTreeMap::new() };
+        assert_eq!(stack_segment_vaddr(&p), DEFAULT_MEM_BYTES);
+    }
+}

@@ -1,0 +1,207 @@
+//! The loader robustness suite, mirroring the `artifact_format.rs`
+//! playbook: every way a file can be malformed must surface as a *typed*
+//! [`ElfError`] — never a panic, never a silently wrong image.
+//!
+//! The golden input is the writer's own output for the CRC fig10 kernel
+//! (deterministic, so these tests need no committed fixture).
+
+use rcpn_loader::elf::{ELFCLASS32, ELFDATA2LSB, ELF_MAGIC, EM_ARM};
+use rcpn_loader::{load_elf, ElfError, ProgramToElf};
+use workloads::{Kernel, Workload};
+
+fn golden() -> Vec<u8> {
+    let w = Workload::build(Kernel::Crc, Kernel::Crc.test_size());
+    w.program.to_elf_bytes()
+}
+
+/// Every strict prefix of a valid file is a typed error — the parser
+/// bounds-checks every read, end to end.
+#[test]
+fn every_truncation_is_a_typed_error() {
+    let bytes = golden();
+    load_elf(&bytes).expect("the untruncated file loads");
+    for len in 0..bytes.len() {
+        let err = load_elf(&bytes[..len])
+            .expect_err(&format!("prefix of {len}/{} bytes must not load", bytes.len()));
+        assert!(
+            matches!(err, ElfError::Truncated { .. }),
+            "prefix {len}: expected Truncated, got {err:?}"
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("truncated ELF"), "prefix {len}: unhelpful message {msg:?}");
+    }
+}
+
+#[test]
+fn bad_magic_bytes_are_rejected() {
+    let mut bytes = golden();
+    for i in 0..4 {
+        let mut b = bytes.clone();
+        b[i] ^= 0xFF;
+        let err = load_elf(&b).expect_err("corrupt magic must not load");
+        match err {
+            ElfError::BadMagic { found } => {
+                assert_ne!(found, ELF_MAGIC);
+                assert!(err.to_string().contains("not an ELF file"));
+            }
+            other => panic!("magic byte {i}: expected BadMagic, got {other:?}"),
+        }
+    }
+    // Entirely different leading bytes (a shell script, say).
+    bytes[0..4].copy_from_slice(b"#!/b");
+    assert!(matches!(load_elf(&bytes), Err(ElfError::BadMagic { .. })));
+}
+
+#[test]
+fn wrong_class_is_rejected() {
+    let mut bytes = golden();
+    bytes[4] = 2; // ELFCLASS64
+    let err = load_elf(&bytes).expect_err("a 64-bit image must not load");
+    assert_eq!(err, ElfError::BadClass { found: 2 });
+    assert!(err.to_string().contains("ELFCLASS32"), "message names the expected class");
+    bytes[4] = ELFCLASS32;
+    load_elf(&bytes).expect("restoring the class restores the load");
+}
+
+#[test]
+fn big_endian_is_unsupported_not_corrupt() {
+    let mut bytes = golden();
+    bytes[5] = 2; // ELFDATA2MSB
+    let err = load_elf(&bytes).expect_err("a big-endian image must not load");
+    assert!(
+        matches!(err, ElfError::UnsupportedFeature { what: "encoding", .. }),
+        "expected UnsupportedFeature(encoding), got {err:?}"
+    );
+    assert!(err.to_string().contains("little-endian"));
+    bytes[5] = ELFDATA2LSB;
+    load_elf(&bytes).expect("restoring the encoding restores the load");
+}
+
+#[test]
+fn wrong_machine_is_rejected() {
+    let mut bytes = golden();
+    bytes[18] = 62; // EM_X86_64
+    bytes[19] = 0;
+    let err = load_elf(&bytes).expect_err("a non-ARM image must not load");
+    assert_eq!(err, ElfError::BadMachine { found: 62 });
+    assert!(err.to_string().contains("EM_ARM"));
+    bytes[18] = EM_ARM as u8;
+    load_elf(&bytes).expect("restoring the machine restores the load");
+}
+
+#[test]
+fn relocatable_objects_are_unsupported() {
+    let mut bytes = golden();
+    bytes[16] = 1; // ET_REL
+    let err = load_elf(&bytes).expect_err("an ET_REL object must not load");
+    assert!(
+        matches!(err, ElfError::UnsupportedFeature { what: "object type", .. }),
+        "expected UnsupportedFeature(object type), got {err:?}"
+    );
+    assert!(err.to_string().contains("ET_EXEC"));
+}
+
+#[test]
+fn overlapping_segments_are_corrupt() {
+    let mut bytes = golden();
+    // Move the stack-reserve segment's vaddr (second phdr, p_vaddr at
+    // offset 52 + 32 + 8) onto the image segment.
+    let off = 52 + 32 + 8;
+    let image_vaddr = u32::from_le_bytes(bytes[52 + 8..52 + 12].try_into().unwrap());
+    bytes[off..off + 4].copy_from_slice(&image_vaddr.to_le_bytes());
+    let err = load_elf(&bytes).expect_err("overlapping PT_LOADs must not load");
+    match &err {
+        ElfError::Corrupt { what, detail } => {
+            assert_eq!(*what, "segments");
+            assert!(detail.contains("overlapping"), "detail: {detail}");
+        }
+        other => panic!("expected Corrupt(segments), got {other:?}"),
+    }
+}
+
+#[test]
+fn entry_outside_any_segment_is_corrupt() {
+    let mut bytes = golden();
+    // e_entry at offset 24: point far past every mapped range.
+    bytes[24..28].copy_from_slice(&0x7000_0000u32.to_le_bytes());
+    let err = load_elf(&bytes).expect_err("an unmapped entry must not load");
+    match &err {
+        ElfError::Corrupt { what, detail } => {
+            assert_eq!(*what, "entry");
+            assert!(detail.contains("outside any PT_LOAD"), "detail: {detail}");
+        }
+        other => panic!("expected Corrupt(entry), got {other:?}"),
+    }
+}
+
+#[test]
+fn misaligned_entry_is_corrupt() {
+    let mut bytes = golden();
+    let entry = u32::from_le_bytes(bytes[24..28].try_into().unwrap());
+    bytes[24..28].copy_from_slice(&(entry + 2).to_le_bytes());
+    let err = load_elf(&bytes).expect_err("a misaligned entry must not load");
+    assert!(
+        matches!(&err, ElfError::Corrupt { what: "entry", .. }),
+        "expected Corrupt(entry), got {err:?}"
+    );
+    assert!(err.to_string().contains("word-aligned"));
+}
+
+#[test]
+fn filesz_beyond_memsz_is_corrupt() {
+    let mut bytes = golden();
+    // First phdr: p_filesz at 52+16, p_memsz at 52+20.
+    let memsz = u32::from_le_bytes(bytes[52 + 20..52 + 24].try_into().unwrap());
+    bytes[52 + 16..52 + 20].copy_from_slice(&(memsz + 4).to_le_bytes());
+    let err = load_elf(&bytes).expect_err("filesz > memsz must not load");
+    assert!(
+        matches!(&err, ElfError::Corrupt { what: "segment", .. }),
+        "expected Corrupt(segment), got {err:?}"
+    );
+}
+
+#[test]
+fn zero_phnum_is_corrupt() {
+    let mut bytes = golden();
+    bytes[44] = 0;
+    bytes[45] = 0;
+    let err = load_elf(&bytes).expect_err("no program headers must not load");
+    assert!(
+        matches!(&err, ElfError::Corrupt { what: "program headers", .. }),
+        "expected Corrupt(program headers), got {err:?}"
+    );
+}
+
+#[test]
+fn symtab_name_offsets_are_validated() {
+    let bytes = golden();
+    // Locate .symtab through the section headers: e_shoff at 32,
+    // e_shnum at 48; the writer places .symtab at section index 2.
+    let shoff = u32::from_le_bytes(bytes[32..36].try_into().unwrap()) as usize;
+    let sym_off = shoff + 2 * 40;
+    let symtab_pos = u32::from_le_bytes(bytes[sym_off + 16..sym_off + 20].try_into().unwrap());
+    // Corrupt the first real symbol's st_name to point far outside the
+    // string table.
+    let mut b = bytes.clone();
+    let name_field = symtab_pos as usize + 16; // skip the null symbol
+    b[name_field..name_field + 4].copy_from_slice(&0x00FF_FFFFu32.to_le_bytes());
+    let err = load_elf(&b).expect_err("an out-of-range st_name must not load");
+    assert!(
+        matches!(&err, ElfError::Corrupt { what: "symtab", .. }),
+        "expected Corrupt(symtab), got {err:?}"
+    );
+    assert!(err.to_string().contains("string table"));
+}
+
+/// Flipping any single byte of the file never panics the loader: it
+/// either still loads (bytes with no structural meaning, e.g. image
+/// words — those become different programs) or fails with a typed error.
+#[test]
+fn single_byte_flips_never_panic() {
+    let bytes = golden();
+    for i in 0..bytes.len() {
+        let mut b = bytes.clone();
+        b[i] ^= 0xA5;
+        let _ = load_elf(&b); // must return, not panic
+    }
+}

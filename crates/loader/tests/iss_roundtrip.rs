@@ -1,0 +1,49 @@
+//! Functional round-trip: for every fig10 kernel, `assemble →
+//! to_elf_bytes → load_elf` reproduces the program exactly, and running
+//! the loaded image on the ISS reproduces the gold checksum, output and
+//! final registers of the in-process path.
+
+use arm_isa::iss::Iss;
+use arm_isa::program::MemLayout;
+use rcpn_loader::{load_elf, ProgramToElf};
+use workloads::{Kernel, Workload};
+
+#[test]
+fn every_kernel_roundtrips_bit_identically_on_the_iss() {
+    for &kernel in Kernel::ALL.iter() {
+        let w = Workload::build(kernel, kernel.test_size());
+        let bytes = w.program.to_elf_bytes();
+        let image = load_elf(&bytes).expect("writer output loads");
+
+        assert_eq!(image.program, w.program, "{kernel}: program survives the ELF round trip");
+        assert_eq!(
+            image.layout,
+            MemLayout::default(),
+            "{kernel}: fig10 images derive the historical layout"
+        );
+
+        let mut direct = Iss::from_program(&w.program);
+        direct.run(50_000_000).expect("direct path runs clean");
+        let mut loaded = image.iss();
+        loaded.run(50_000_000).expect("loaded path runs clean");
+
+        assert!(direct.halted() && loaded.halted(), "{kernel}: both paths exit");
+        assert_eq!(loaded.exit_code(), w.expected, "{kernel}: gold checksum");
+        assert_eq!(loaded.exit_code(), direct.exit_code(), "{kernel}: exit codes agree");
+        assert_eq!(loaded.regs, direct.regs, "{kernel}: final registers agree");
+        assert_eq!(loaded.output(), direct.output(), "{kernel}: output agrees");
+        assert_eq!(loaded.instr_count(), direct.instr_count(), "{kernel}: instr count agrees");
+        assert_eq!(loaded.unknown_swis(), 0, "{kernel}: no unknown SWIs");
+    }
+}
+
+/// ELF encoding is deterministic: equal programs, equal bytes — the
+/// property the committed fixtures guard relies on.
+#[test]
+fn encoding_is_deterministic_per_kernel() {
+    for &kernel in Kernel::ALL.iter() {
+        let a = Workload::build(kernel, kernel.test_size()).program.to_elf_bytes();
+        let b = Workload::build(kernel, kernel.test_size()).program.to_elf_bytes();
+        assert_eq!(a, b, "{kernel}: to_elf_bytes must be deterministic");
+    }
+}

@@ -479,6 +479,11 @@ pub fn decode_word(word: u32, pc: u32) -> DecInstr {
             // System calls read their argument register architecturally;
             // making r0 a source operand gives the data hazard for free.
             d.src_regs[0] = Some(Reg::new(0));
+            // Readback calls (GETC/CLOCK/BRK) also write r0; the immediate
+            // is decode-time static, so the destination hazard is too.
+            if arm_isa::syscall::returns_value(imm) {
+                d.dst_reg = Some(Reg::new(0));
+            }
         }
         Instr::Undefined(_) => {
             d.class = ArmClass::System;

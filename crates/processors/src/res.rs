@@ -5,7 +5,8 @@
 //! Section 3) — memory, caches, branch predictor — plus the architectural
 //! front-end state (PC, CPSR) and simulation bookkeeping.
 
-use arm_isa::program::{Program, DEFAULT_STACK_TOP};
+use arm_isa::program::{MemLayout, Program};
+use arm_isa::syscall::SysInput;
 use arm_isa::types::Psr;
 use memsys::bpred::Btb;
 use memsys::cache::{Cache, CacheConfig};
@@ -92,6 +93,15 @@ pub struct ArmRes {
     pub dec_cache: DecodeCache,
     /// Output stream of the semihosting interface.
     pub output: Vec<u8>,
+    /// Input stream of the semihosting interface (`swi #4`).
+    pub input: SysInput,
+    /// Program break reported/moved by `swi #6` (starts at the image end).
+    pub brk: u32,
+    /// System calls executed with no implementation behind them.
+    pub unknown_swis: u64,
+    /// Initial stack pointer (from the memory layout the resources were
+    /// built under).
+    pub stack_top: u32,
     /// Exit code once the program has terminated.
     pub exit: Option<u32>,
     /// Fault description (undefined instruction, ...).
@@ -113,7 +123,13 @@ impl ArmRes {
     /// loaded, PC at the entry point and the stack pointer convention of
     /// [`arm_isa::program`].
     pub fn new(program: &Program, config: &SimConfig) -> Self {
-        let mem = program.to_memory();
+        ArmRes::with_layout(program, config, MemLayout::default())
+    }
+
+    /// Builds the resources under an explicit memory layout (loaders
+    /// derive one from the image; [`ArmRes::new`] uses the default).
+    pub fn with_layout(program: &Program, config: &SimConfig, layout: MemLayout) -> Self {
+        let mem = program.to_memory_sized(layout.mem_bytes);
         let text_limit = program.base + program.size_bytes() + 4096;
         ArmRes {
             mem,
@@ -128,6 +144,10 @@ impl ArmRes {
                 DecodeCache::disabled()
             },
             output: Vec::new(),
+            input: SysInput::default(),
+            brk: program.image_end(),
+            unknown_swis: 0,
+            stack_top: layout.stack_top,
             exit: None,
             fault: None,
             pending_serialize: 0,
@@ -139,7 +159,7 @@ impl ArmRes {
 
     /// The initial stack-pointer value simulators must poke into `r13`.
     pub fn initial_sp(&self) -> u32 {
-        DEFAULT_STACK_TOP
+        self.stack_top
     }
 
     /// Builds a complete initial [`rcpn::model::Machine`] for `program`:
@@ -147,11 +167,20 @@ impl ArmRes {
     /// stack pointer poked into `r13`. This is the per-program state a
     /// compiled processor model is instantiated over.
     pub fn machine(program: &Program, config: &SimConfig) -> rcpn::model::Machine<ArmRes> {
+        ArmRes::machine_with(program, config, MemLayout::default())
+    }
+
+    /// [`ArmRes::machine`] under an explicit memory layout.
+    pub fn machine_with(
+        program: &Program,
+        config: &SimConfig,
+        layout: MemLayout,
+    ) -> rcpn::model::Machine<ArmRes> {
         use rcpn::ids::RegId;
         use rcpn::reg::RegisterFile;
         let mut rf = RegisterFile::new();
         rf.add_bank("r", 15);
-        let res = ArmRes::new(program, config);
+        let res = ArmRes::with_layout(program, config, layout);
         let sp = res.initial_sp();
         let mut machine = rcpn::model::Machine::new(rf, res);
         machine.regs.poke(RegId::from_index(13), sp);

@@ -12,7 +12,7 @@
 //! `reserve_write`, `set`, `writeback`).
 
 use arm_isa::exec::{alu, block_bounds, extend};
-use arm_isa::syscall::{dispatch, SysAction};
+use arm_isa::syscall::{dispatch, SysAction, SysEnv};
 use arm_isa::types::{shift_imm, shift_reg, Reg};
 use memsys::Memory;
 use rcpn::ids::PlaceId;
@@ -460,12 +460,29 @@ pub fn exec_system(
         annul(m, t, fx);
         return;
     }
-    match dispatch(t.dec.swi_imm, t.srcs[0].value(), &mut m.res.output) {
+    // Cycle-accurate clock: the engine cycle mirrored into the machine.
+    let clock = m.cycle;
+    let mut env = SysEnv {
+        out: &mut m.res.output,
+        input: &mut m.res.input,
+        clock,
+        brk: &mut m.res.brk,
+        unknown_swis: &mut m.res.unknown_swis,
+    };
+    match dispatch(t.dec.swi_imm, t.srcs[0].value(), &mut env) {
         SysAction::Exit(code) => {
             m.res.exit = Some(code);
             for &p in flush {
                 fx.flush(p);
             }
+        }
+        SysAction::SetR0(v) => {
+            // Value-returning SWIs (GETC/CLOCK/BRK) carry a decode-time
+            // destination (r0); publish at execute like a data-processing
+            // result — the generic writeback commits it.
+            t.value = v;
+            let tok = fx.token();
+            t.dst.set(&mut m.regs, tok, v);
         }
         SysAction::Continue => {}
     }

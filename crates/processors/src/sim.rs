@@ -6,7 +6,7 @@
 
 use std::path::Path;
 
-use arm_isa::program::Program;
+use arm_isa::program::{MemLayout, Program};
 use rcpn::artifact::{ArtifactCache, ArtifactError};
 use rcpn::batch::BatchRunner;
 use rcpn::compiled::CompiledModel;
@@ -219,8 +219,21 @@ impl CompiledSim {
     /// Binds the compiled simulator to a program: fresh machine state
     /// (memory image, caches, scoreboard) over the shared tables.
     pub fn instantiate(&self, program: &Program) -> CaSim {
-        let machine = ArmRes::machine(program, &self.config);
+        self.instantiate_with(program, MemLayout::default())
+    }
+
+    /// [`CompiledSim::instantiate`] under an explicit memory layout
+    /// (memory size and stack top derived by a loader instead of the
+    /// [`arm_isa::program`] defaults).
+    pub fn instantiate_with(&self, program: &Program, layout: MemLayout) -> CaSim {
+        let machine = ArmRes::machine_with(program, &self.config, layout);
         CaSim { engine: self.compiled.instantiate(machine), model: self.model }
+    }
+
+    /// Binds the compiled simulator to a loaded ELF image: the image's
+    /// program under the image's derived memory layout.
+    pub fn instantiate_image(&self, image: &rcpn_loader::LoadedImage) -> CaSim {
+        self.instantiate_with(&image.program, image.layout)
     }
 
     /// Runs one program batch through this compiled simulator, fanned
@@ -397,6 +410,18 @@ impl CaSim {
     /// Bytes written via the semihosting interface.
     pub fn output(&self) -> &[u8] {
         &self.engine.machine().res.output
+    }
+
+    /// Provides the byte stream consumed by `swi #4`
+    /// ([`arm_isa::syscall::SWI_GETC`]).
+    pub fn set_input(&mut self, bytes: Vec<u8>) {
+        self.engine.machine_mut().res.input = arm_isa::syscall::SysInput::new(bytes);
+    }
+
+    /// System calls executed with no implementation behind them (an
+    /// unimplemented call is diagnosable instead of wrong-but-quiet).
+    pub fn unknown_swis(&self) -> u64 {
+        self.engine.machine().res.unknown_swis
     }
 }
 

@@ -270,6 +270,97 @@ fn output_syscalls() {
     );
 }
 
+/// The value-returning semihosting calls (`swi #4` GETC, `swi #6` BRK)
+/// through the cycle-accurate pipelines: the r0 write must participate in
+/// the scoreboard (the `add` right after each call is a RAW hazard on the
+/// SWI's destination), and every model must agree with the ISS.
+/// `swi #5` (CLOCK) is excluded: its value is timing-model-dependent by
+/// design and is covered by `clock_swi_is_monotonic_and_model_dependent`.
+#[test]
+fn input_and_brk_syscalls() {
+    let src = "   mov r4, #0
+             loop:
+             swi #4
+             cmn r0, #1
+             beq done
+             add r4, r4, r0
+             b loop
+             done:
+             mov r0, #0
+             swi #6
+             add r5, r0, #128
+             mov r0, r5
+             swi #6
+             add r6, r0, #0
+             mov r0, r4
+             swi #0";
+    let program: Program = assemble(src).expect("assembles");
+    let input = b"\x05\x07\x0B".to_vec();
+
+    let mut iss = Iss::from_program(&program);
+    iss.set_input(input.clone());
+    iss.run(2_000_000).expect("ISS runs clean");
+    assert!(iss.halted());
+    assert_eq!(iss.exit_code(), 0x17, "checksum of the input bytes");
+
+    for proc in ProcModel::ALL {
+        let name = proc.label();
+        let mut ca = CaSim::with_config(proc, &program, &proc.default_config());
+        ca.set_input(input.clone());
+        let result = ca.run(20_000_000);
+        assert_eq!(result.fault, None, "{name} faulted");
+        assert_eq!(result.exit, Some(iss.exit_code()), "{name} exit differs");
+        assert_eq!(ca.unknown_swis(), 0, "{name} saw no unknown SWIs");
+        for r in 0..13 {
+            assert_eq!(ca.reg(r), iss.regs[r], "{name} r{r} differs from ISS");
+        }
+        assert_eq!(ca.res().brk, iss.brk(), "{name} break position differs");
+    }
+}
+
+/// `swi #5` reads the simulator clock: monotonically increasing within a
+/// run, and *different* across timing models (cycles on the CA pipelines,
+/// instructions on the ISS) — divergence here is the documented contract.
+#[test]
+fn clock_swi_is_monotonic_and_model_dependent() {
+    let src = "   swi #5
+             mov r4, r0
+             swi #5
+             sub r0, r0, r4
+             swi #0";
+    let program: Program = assemble(src).expect("assembles");
+    let mut iss = Iss::from_program(&program);
+    iss.run(1_000).expect("ISS runs clean");
+    assert_eq!(iss.exit_code(), 2, "ISS clock is retired instructions: two apart");
+    for proc in ProcModel::ALL {
+        let mut ca = CaSim::with_config(proc, &program, &proc.default_config());
+        let result = ca.run(1_000_000);
+        assert_eq!(result.fault, None, "{} faulted", proc.label());
+        let delta = result.exit.expect("exits");
+        assert!(delta > 0, "{}: clock must advance between reads", proc.label());
+    }
+}
+
+/// Unknown SWIs are counted — not silent — on every model and the ISS.
+#[test]
+fn unknown_swis_are_counted_everywhere() {
+    let src = "   swi #99
+             swi #200
+             mov r0, #3
+             swi #0";
+    let program: Program = assemble(src).expect("assembles");
+    let mut iss = Iss::from_program(&program);
+    iss.run(1_000).expect("ISS runs clean");
+    assert_eq!(iss.exit_code(), 3);
+    assert_eq!(iss.unknown_swis(), 2);
+    for proc in ProcModel::ALL {
+        let mut ca = CaSim::with_config(proc, &program, &proc.default_config());
+        let result = ca.run(1_000_000);
+        assert_eq!(result.exit, Some(3), "{}", proc.label());
+        assert_eq!(ca.unknown_swis(), 2, "{} must count unknown SWIs", proc.label());
+    }
+}
+
 #[test]
 fn shift_by_register_and_rrx() {
     cosim(

@@ -1,0 +1,74 @@
+//! Real-binary round trip: assemble a kernel, write it out as a real
+//! ELF32/ARM executable, load it back with the ELF loader, and prove the
+//! loaded image simulates **bit-identically** to the in-process program
+//! on every registry model.
+//!
+//! ```text
+//! cargo run --release --example elf_roundtrip
+//! ```
+//!
+//! This is the contract `rcpn-run` relies on: a binary on disk is exactly
+//! as good as a program assembled in memory.
+
+use processors::sim::{CompiledSim, ProcModel};
+use rcpn_loader::{load_elf, ProgramToElf};
+use workloads::{Kernel, Workload};
+
+fn main() {
+    let kernel = Kernel::Crc;
+    let w = Workload::build(kernel, kernel.test_size());
+
+    // Program → ELF bytes → loaded image.
+    let bytes = w.program.to_elf_bytes();
+    let image = load_elf(&bytes).expect("writer output loads");
+    assert_eq!(image.program, w.program, "the program survives the round trip");
+    println!(
+        "{kernel}: {} image bytes → {} ELF bytes → {} segments, {} labels, {} KiB memory",
+        w.program.size_bytes(),
+        bytes.len(),
+        image.segments.len(),
+        image.program.labels.len(),
+        image.layout.mem_bytes / 1024,
+    );
+
+    // ISS: the loaded image reproduces the gold checksum.
+    let mut iss = image.iss();
+    iss.run(50_000_000).expect("runs clean");
+    assert_eq!(iss.exit_code(), w.expected, "gold checksum through the ELF path");
+    println!(
+        "iss: exit {:#010x} after {} instrs (gold checksum ok)",
+        iss.exit_code(),
+        iss.instr_count()
+    );
+
+    // Every cycle-accurate registry model: identical trace + stats + result.
+    for model in ProcModel::ALL {
+        let mut config = model.default_config();
+        config.engine.trace = true;
+        let sim = CompiledSim::new(model, &config);
+
+        let mut direct = sim.instantiate(&w.program);
+        let r1 = direct.run(50_000_000);
+        let mut via_elf = sim.instantiate_image(&image);
+        let r2 = via_elf.run(50_000_000);
+
+        assert_eq!(r1.exit, Some(w.expected), "{}: gold checksum", model.label());
+        assert_eq!(r1, r2, "{}: SimResult differs through the ELF path", model.label());
+        assert_eq!(
+            direct.engine.take_trace(),
+            via_elf.engine.take_trace(),
+            "{}: cycle-level trace differs through the ELF path",
+            model.label()
+        );
+        assert_eq!(direct.engine.stats(), via_elf.engine.stats(), "{}: Stats", model.label());
+        assert_eq!(direct.sched(), via_elf.sched(), "{}: SchedStats", model.label());
+        println!(
+            "{}: exit {:#010x}  cycles {}  cpi {:.3}  — ELF path bit-identical",
+            model.figure_name(),
+            r2.exit.unwrap(),
+            r2.cycles,
+            r2.cpi()
+        );
+    }
+    println!("round trip: assemble → to_elf_bytes → load_elf → run is bit-identical everywhere");
+}
