@@ -48,11 +48,13 @@
 use rcpn_bench::{compiled_sim, measure, measure_compiled, Measurement, Simulator};
 use workloads::{Kernel, Workload};
 
-/// The fig10 dispatch-ablation rows (superblock default vs per-op vs
-/// closure interpreters). These measure the dispatch refactors, so —
-/// unlike ordinary rows, which degrade to "not gated" when missing from
-/// the baseline — losing *their* baseline coverage is a hard error.
-const DISPATCH_ORACLES: [&str; 2] = ["RCPN-StrongArm-Closure/", "RCPN-StrongArm-PerOp/"];
+/// The fig10 dispatch-ablation rows (chained-superblock default vs
+/// chains-off vs per-op vs closure interpreters). These measure the
+/// dispatch refactors, so — unlike ordinary rows, which degrade to "not
+/// gated" when missing from the baseline — losing *their* baseline
+/// coverage is a hard error.
+const DISPATCH_ORACLES: [&str; 3] =
+    ["RCPN-StrongArm-Closure/", "RCPN-StrongArm-PerOp/", "RCPN-StrongArm-ChainsOff/"];
 
 /// One measured (simulator, kernel) pair.
 struct Row {
@@ -72,6 +74,7 @@ fn main() {
     let mut scale_div = 40usize;
     let mut samples = 3usize;
     let mut normalize = false;
+    let mut history_path: Option<String> = Some("BENCH_history.jsonl".to_string());
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -85,6 +88,8 @@ fn main() {
             "--baseline" => baseline_path = next("a path").clone(),
             "--out" => out_path = Some(next("a path").clone()),
             "--no-out" => out_path = None,
+            "--history" => history_path = Some(next("a path").clone()),
+            "--no-history" => history_path = None,
             "--normalize" => normalize = true,
             "--tolerance" => {
                 tolerance = next("a fraction").parse().unwrap_or_else(|_| {
@@ -107,7 +112,8 @@ fn main() {
             other => {
                 eprintln!(
                     "unknown argument {other:?}; try --baseline PATH | --out PATH | --no-out | \
-                     --normalize | --tolerance F | --scale-div N | --samples N"
+                     --history PATH | --no-history | --normalize | --tolerance F | \
+                     --scale-div N | --samples N"
                 );
                 std::process::exit(2);
             }
@@ -231,7 +237,62 @@ fn main() {
         eprintln!("{regressions} bench(es) regressed more than {:.0}%", tolerance * 100.0);
         std::process::exit(1);
     }
+    if let Some(path) = &history_path {
+        append_history(path, &rows);
+    }
     println!("bench gate passed ({compared} benches within tolerance)");
+}
+
+/// Appends a one-line JSON record of a passing run — the UTC date, the
+/// dispatch mode the default rows ran under, and each default
+/// RCPN-StrongArm kernel's best cycles/sec — to `BENCH_history.jsonl`,
+/// so perf drift across commits stays greppable without re-running old
+/// trees. Best-effort: a failure to append warns but never fails the
+/// gate.
+fn append_history(path: &str, rows: &[Row]) {
+    let dispatch =
+        if rcpn::engine::EngineConfig::default().chains { "chains" } else { "superblocks" };
+    let prefix = format!("{}/", Simulator::RcpnStrongArm.name());
+    let per: Vec<String> = rows
+        .iter()
+        .filter_map(|r| r.bench.strip_prefix(&prefix).map(|k| format!("\"{k}\":{:.1}", r.cps)))
+        .collect();
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let (y, m, d) = civil_date(secs);
+    let line = format!(
+        "{{\"date\":\"{y:04}-{m:02}-{d:02}\",\"dispatch\":\"{dispatch}\",\
+         \"per_sec_best\":{{{}}}}}\n",
+        per.join(",")
+    );
+    use std::io::Write;
+    let appended = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+    match appended {
+        Ok(()) => println!("history appended to {path}"),
+        Err(e) => eprintln!("warning: cannot append history to {path}: {e}"),
+    }
+}
+
+/// Unix seconds to a (year, month, day) civil date — the workspace
+/// vendors no date crate, so this is the standard days-from-epoch
+/// conversion (Gregorian, era-based).
+fn civil_date(secs: u64) -> (i64, u32, u32) {
+    let z = (secs / 86_400) as i64 + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = (z - era * 146_097) as u64;
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe as i64 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
 }
 
 /// Measures the fig10 matrix ([`Simulator::FIG10`] × all six kernels) at

@@ -57,7 +57,7 @@ use crate::token::InstrData;
 /// Version of the on-disk encoding. Bump on **any** change to the byte
 /// layout — the golden-fixture test pins the current bytes and fails when
 /// they drift under an unchanged version.
-pub const FORMAT_VERSION: u32 = 1;
+pub const FORMAT_VERSION: u32 = 2;
 
 /// The four magic bytes every artifact starts with.
 pub const MAGIC: [u8; 4] = *b"RCPN";
@@ -734,6 +734,7 @@ fn encode_config(w: &mut Writer, cfg: &EngineConfig) {
     w.bool(cfg.collect_occupancy);
     w.bool(cfg.trace);
     w.bool(cfg.superblocks);
+    w.bool(cfg.chains);
 }
 
 fn config_bytes(cfg: &EngineConfig) -> Vec<u8> {
@@ -1015,12 +1016,15 @@ fn encode_plan(w: &mut Writer, plan: &ExecPlan) -> Result<(), ArtifactError> {
             w.u32(b.cap);
             w.u64(b.base_ready);
             w.u64(b.tdelay);
+            w.u32(b.class);
+            w.u32(b.chain_next);
         }
         w.len32(plan.sb_ops.len());
         for op in &plan.sb_ops {
             w.micro_op(op);
         }
         w.len32(plan.sb_classes);
+        w.u32s(&plan.chain_entry);
         Ok(())
     })
 }
@@ -1095,6 +1099,7 @@ fn decode_config(r: &mut Reader<'_>) -> Result<EngineConfig, ArtifactError> {
         collect_occupancy: r.bool()?,
         trace: r.bool()?,
         superblocks: r.bool()?,
+        chains: r.bool()?,
     })
 }
 
@@ -1312,12 +1317,15 @@ fn decode_plan(
                 cap: r.u32()?,
                 base_ready: r.u64()?,
                 tdelay: r.u64()?,
+                class: r.u32()?,
+                chain_next: r.u32()?,
             })
         })
         .collect::<Result<Vec<_>, ArtifactError>>()?;
     let n = r.count()?;
     let sb_ops = (0..n).map(|_| r.micro_op(n_places)).collect::<Result<Vec<_>, _>>()?;
     let sb_classes = r.u32()? as usize;
+    let chain_entry = r.u32s()?;
 
     // Cross-table sanity: indices the hot loops trust blindly must be in
     // range, so a forged-but-checksummed file cannot crash the engine.
@@ -1337,6 +1345,7 @@ fn decode_plan(
             || b.action.1 as usize > sb_ops.len()
             || b.guard.0 > b.guard.1
             || b.action.0 > b.action.1
+            || (b.chain_next != u32::MAX && b.chain_next as usize >= sb_blocks.len())
         {
             return Err(r.corrupt("superblock range out of bounds"));
         }
@@ -1344,6 +1353,11 @@ fn decode_plan(
     for &i in &sb_index {
         if i != u32::MAX && i as usize >= sb_blocks.len() {
             return Err(r.corrupt("sb_index entry out of range"));
+        }
+    }
+    for &i in &chain_entry {
+        if i != u32::MAX && i as usize >= sb_blocks.len() {
+            return Err(r.corrupt("chain_entry out of range"));
         }
     }
 
@@ -1366,6 +1380,7 @@ fn decode_plan(
         sb_blocks,
         sb_ops,
         sb_classes,
+        chain_entry,
     })
 }
 

@@ -101,6 +101,18 @@ pub struct SchedStats {
     /// Micro-ops interpreted inside superblock firings (fused
     /// ready/acquire pairs count as two ops).
     pub ops_inlined: u64,
+    /// Tokens that entered a compiled chain: a superblock firing whose
+    /// destination is the head of a fusion-legal chain link parked a
+    /// dispatch cursor on the destination place instead of leaving the
+    /// next hop to the generic place scan.
+    pub chains_entered: u64,
+    /// Chain links dispatched through a parked cursor: the place's sweep
+    /// slot fired the pre-resolved successor block directly, eliding the
+    /// token snapshot walk, class lookup and superblock table lookup (and
+    /// their `place_visits`/`token_visits`/`trans_visits`/
+    /// `superblocks_entered` accounting, which
+    /// [`SchedStats::dispatch_normalized`] folds back).
+    pub chain_links_fired: u64,
 }
 
 impl SchedStats {
@@ -122,6 +134,8 @@ impl SchedStats {
             actions_fused,
             superblocks_entered,
             ops_inlined,
+            chains_entered,
+            chain_links_fired,
         } = other;
         self.place_visits += place_visits;
         self.place_skips += place_skips;
@@ -136,6 +150,8 @@ impl SchedStats {
         self.actions_fused += actions_fused;
         self.superblocks_entered += superblocks_entered;
         self.ops_inlined += ops_inlined;
+        self.chains_entered += chains_entered;
+        self.chain_links_fired += chain_links_fired;
     }
 
     /// Total guard evaluations, independent of dispatch representation.
@@ -144,20 +160,28 @@ impl SchedStats {
     }
 
     /// A copy with the dispatch-representation counters folded away:
-    /// `guard_ir_evals` merged into `guard_hook_evals`, and
-    /// `actions_fused`, `superblocks_entered` and `ops_inlined` zeroed.
-    /// An IR-lowered model, its closure-lowered twin, and the
-    /// superblocks-off per-op oracle must agree on *this* view
-    /// bit-for-bit (the oracle tests compare it); the raw counters
-    /// differ by design — that difference is the refactor's
+    /// `guard_ir_evals` merged into `guard_hook_evals`; each
+    /// `chain_links_fired` folded back into the `place_visits`,
+    /// `token_visits` and `trans_visits` a cursor dispatch elides (one of
+    /// each per fired link); and `actions_fused`, `superblocks_entered`,
+    /// `ops_inlined`, `chains_entered` and `chain_links_fired` zeroed.
+    /// An IR-lowered model, its closure-lowered twin, the superblocks-off
+    /// per-op oracle, and the chains-off superblock oracle must agree on
+    /// *this* view bit-for-bit (the oracle tests compare it); the raw
+    /// counters differ by design — that difference is the refactor's
     /// observability.
     pub fn dispatch_normalized(&self) -> SchedStats {
         let mut s = self.clone();
         s.guard_hook_evals += s.guard_ir_evals;
         s.guard_ir_evals = 0;
+        s.place_visits += s.chain_links_fired;
+        s.token_visits += s.chain_links_fired;
+        s.trans_visits += s.chain_links_fired;
         s.actions_fused = 0;
         s.superblocks_entered = 0;
         s.ops_inlined = 0;
+        s.chains_entered = 0;
+        s.chain_links_fired = 0;
         s
     }
 

@@ -1,0 +1,180 @@
+//! Behavioral tests for cross-place chain dispatch: partial-chain
+//! progress when a downstream stage is occupied (the parked cursor must
+//! replay the generic stall bookkeeping bit-identically), the
+//! interference bailout (a guard reading an intermediate place blocks
+//! link formation), and counter honesty with chains disabled.
+//!
+//! The processor crates pin the same contract on the real ARM models
+//! (`spec_oracle`); these tests pin it on minimal hand-built pipelines
+//! where a divergence localizes to a single link.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+
+use rcpn::compiled::CompiledModel;
+use rcpn::prelude::*;
+
+/// Opcode-only token: chains care about `(place, class)` routing, not
+/// operands.
+#[derive(Debug, Clone)]
+struct Tok {
+    class: OpClassId,
+}
+
+impl InstrData for Tok {
+    fn op_class(&self) -> OpClassId {
+        self.class
+    }
+    fn src_operands(&self) -> &[Operand] {
+        &[]
+    }
+    fn src_operands_mut(&mut self) -> &mut [Operand] {
+        &mut []
+    }
+    fn dst_count(&self) -> usize {
+        0
+    }
+    fn dst_operand(&self, _i: usize) -> &Operand {
+        unreachable!("no destinations")
+    }
+    fn dst_operand_mut(&mut self, _i: usize) -> &mut Operand {
+        unreachable!("no destinations")
+    }
+}
+
+#[derive(Debug, Default)]
+struct Feed {
+    q: RefCell<VecDeque<Tok>>,
+}
+
+fn machine(n: usize) -> Machine<Feed> {
+    let feed = Feed::default();
+    feed.q.borrow_mut().extend((0..n).map(|_| Tok { class: OpClassId::from_index(0) }));
+    Machine::new(RegisterFile::new(), feed)
+}
+
+/// P1 -> P2 -> P3 -> end, every transition single-candidate and
+/// hook-free, so superblocks form at all three places. `slow_exec` gives
+/// the P2 -> P3 move a 2-cycle delay: tokens then occupy S3 long enough
+/// that the cursor parked at P2 finds the downstream stage full and must
+/// take the generic-fallback path. `observer` adds a transition whose
+/// guard reads P2 — the interference that must sever the P1 -> P2 link.
+fn pipeline(slow_exec: bool, observer: bool) -> Model<Tok, Feed> {
+    let mut b = ModelBuilder::<Tok, Feed>::new();
+    let s1 = b.stage("S1", 1);
+    let s2 = b.stage("S2", 1);
+    let s3 = b.stage("S3", 1);
+    let p1 = b.place("P1", s1);
+    let p2 = b.place("P2", s2);
+    let p3 = b.place("P3", s3);
+    let end = b.end_place();
+    let (c, _) = b.class_net("C");
+    b.transition(c, "issue").from(p1).to(p2).done();
+    let exec = b.transition(c, "exec").from(p2).to(p3);
+    if slow_exec {
+        exec.delay(2).done()
+    } else {
+        exec.done()
+    };
+    b.transition(c, "wb").from(p3).to(end).done();
+    if observer {
+        // A parallel path whose issue guard reads P2 (forwarding-style
+        // interference). Its source never produces, so the runtime
+        // behavior of the main pipe is unchanged — only chain formation
+        // may react.
+        let s4 = b.stage("S4", 1);
+        let p4 = b.place("P4", s4);
+        b.transition(c, "spy").from(p4).to(end).reads_state(p2).done();
+        b.source("idle").to(p4).produce(|_m, _fx| None).done();
+    }
+    b.source("feed").to(p1).produce(|m, _fx| m.res.q.borrow_mut().pop_front()).done();
+    b.build().expect("pipeline validates")
+}
+
+struct Outcome {
+    trace: Vec<rcpn::engine::TraceEvent>,
+    stats: Stats,
+    sched: SchedStats,
+}
+
+fn run(model: Model<Tok, Feed>, chains: bool, n: usize) -> (usize, usize, Outcome) {
+    let cfg = EngineConfig { trace: true, chains, ..Default::default() };
+    let compiled = CompiledModel::compile_with(model, cfg);
+    let (entries, links) = (compiled.chains(), compiled.chain_links());
+    let mut e = compiled.instantiate(machine(n));
+    e.run(120);
+    let o = Outcome { trace: e.take_trace(), stats: e.stats().clone(), sched: e.sched().clone() };
+    assert_eq!(o.stats.retired, n as u64, "workload must drain");
+    (entries, links, o)
+}
+
+fn assert_identical(a: &Outcome, b: &Outcome, what: &str) {
+    assert_eq!(a.trace, b.trace, "{what}: trace");
+    assert_eq!(a.stats, b.stats, "{what}: Stats");
+    assert_eq!(
+        a.sched.dispatch_normalized(),
+        b.sched.dispatch_normalized(),
+        "{what}: normalized SchedStats"
+    );
+}
+
+/// A chain makes partial progress when the next stage is occupied: the
+/// 2-cycle exec keeps S3 full, so cursors parked at P2 repeatedly fail
+/// validation-or-guard and must replay the exact stall bookkeeping the
+/// generic sweep would have produced — stalls and all counters stay
+/// bit-identical to the chains-off oracle, while successful links still
+/// fire on the cycles where the stage has drained.
+#[test]
+fn partial_chain_progress_with_downstream_stage_occupied() {
+    let (_, _, on) = run(pipeline(true, false), true, 8);
+    let (_, _, off) = run(pipeline(true, false), false, 8);
+    assert_identical(&on, &off, "occupied-stage chains on/off");
+    assert!(on.stats.stalls > 0, "the slow exec must force capacity stalls");
+    assert!(on.sched.chains_entered > 0, "cursors must be parked");
+    assert!(on.sched.chain_links_fired > 0, "drained cycles must fire through cursors");
+    assert_eq!(
+        on.sched.place_visits + on.sched.chain_links_fired,
+        off.sched.place_visits,
+        "each fired link elides exactly one place visit; each failed cursor replays it"
+    );
+    assert_eq!(off.sched.chains_entered, 0);
+    assert_eq!(off.sched.chain_links_fired, 0);
+}
+
+/// Interference bailout: a guard that reads an intermediate place keeps
+/// that place out of any chain *interior*. With the observer reading P2,
+/// the P1 -> P2 link must be severed (a token at P2 is observable state
+/// the chain may not skip past), while the P2 -> P3 link survives —
+/// and execution stays bit-identical either way.
+#[test]
+fn guard_reading_intermediate_place_blocks_fusion() {
+    let (_, links_free, _) = run(pipeline(false, false), true, 6);
+    assert_eq!(links_free, 2, "unobserved pipe links P1->P2 and P2->P3");
+
+    let (entries, links_observed, on) = run(pipeline(false, true), true, 6);
+    assert_eq!(links_observed, 1, "observed P2 must sever the link into it");
+    assert!(entries > 0, "guard reads do not outlaw chain heads");
+    let (_, _, off) = run(pipeline(false, true), false, 6);
+    assert_identical(&on, &off, "observed-pipe chains on/off");
+    assert!(on.sched.chain_links_fired > 0, "the surviving link must still fire");
+}
+
+/// Counter honesty: with `chains: false` the compiler must emit no chain
+/// tables and the engine must report zero chain activity, while the
+/// superblock oracle still runs — and the default twin shows both
+/// counters alive.
+#[test]
+fn chains_off_reports_zero_chain_activity() {
+    let (entries, links, off) = run(pipeline(false, false), false, 6);
+    assert_eq!(entries, 0, "no entry table when chains are off");
+    assert_eq!(links, 0, "no links when chains are off");
+    assert_eq!(off.sched.chains_entered, 0);
+    assert_eq!(off.sched.chain_links_fired, 0);
+    assert!(off.sched.superblocks_entered > 0, "superblocks stay on without chains");
+
+    let (entries, links, on) = run(pipeline(false, false), true, 6);
+    assert!(entries > 0 && links > 0);
+    assert!(on.sched.chains_entered > 0);
+    assert!(on.sched.chain_links_fired > 0);
+    assert_identical(&on, &off, "smooth-pipe chains on/off");
+}

@@ -631,9 +631,14 @@ fn check_cond_routes_tokens_and_superblocks_stay_bit_identical() {
     assert_eq!(sb_trace, po_trace, "superblocks must not change the trace");
     assert_eq!(sb_stats, po_stats, "superblocks must not change Stats");
     assert_eq!(sb_sched.dispatch_normalized(), po_sched.dispatch_normalized());
-    assert_eq!(sb_sched.superblocks_entered, n_pass, "out dispatches through its superblock");
+    assert_eq!(
+        sb_sched.superblocks_entered + sb_sched.chain_links_fired,
+        n_pass,
+        "out dispatches through its superblock, directly or via a parked chain cursor"
+    );
     assert!(sb_sched.ops_inlined >= n_pass, "the CheckCond guard op is interpreted inline");
     assert_eq!(po_sched.superblocks_entered, 0);
+    assert_eq!(po_sched.chain_links_fired, 0, "no superblocks means no chains");
     assert_eq!(po_sched.ops_inlined, 0);
 }
 

@@ -497,6 +497,8 @@ fn put_sched(e: &mut Enc, s: &SchedStats) {
         actions_fused,
         superblocks_entered,
         ops_inlined,
+        chains_entered,
+        chain_links_fired,
     } = s;
     for v in [
         place_visits,
@@ -512,6 +514,8 @@ fn put_sched(e: &mut Enc, s: &SchedStats) {
         actions_fused,
         superblocks_entered,
         ops_inlined,
+        chains_entered,
+        chain_links_fired,
     ] {
         e.u64(*v);
     }
@@ -533,6 +537,8 @@ fn take_sched(d: &mut Dec<'_>) -> Result<SchedStats, WireError> {
         actions_fused: d.u64(C)?,
         superblocks_entered: d.u64(C)?,
         ops_inlined: d.u64(C)?,
+        chains_entered: d.u64(C)?,
+        chain_links_fired: d.u64(C)?,
     })
 }
 
